@@ -1,0 +1,89 @@
+// Experiment E10: substrate ablation — the truncated-SVD backends behind
+// LsiIndex (DESIGN.md choice 1). Lanczos with full reorthogonalization
+// (the default / SVDPACK stand-in) vs randomized subspace iteration vs
+// dense one-sided Jacobi, across matrix sizes. The google-benchmark
+// timings show where each backend wins; accuracies are cross-checked in
+// tests/linalg/svd_test.cc.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "linalg/gkl_svd.h"
+#include "linalg/svd.h"
+
+namespace {
+
+constexpr std::size_t kRank = 10;
+
+lsi::bench::BenchCorpus CorpusOfSize(std::size_t docs) {
+  lsi::model::SeparableModelParams params;
+  params.num_topics = 10;
+  params.terms_per_topic = 60;
+  params.epsilon = 0.05;
+  params.min_document_length = 40;
+  params.max_document_length = 80;
+  return lsi::bench::MakeSeparableCorpus(params, docs, 60000 + docs);
+}
+
+void BM_LanczosSvd(benchmark::State& state) {
+  lsi::bench::BenchCorpus corpus =
+      CorpusOfSize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto svd = lsi::linalg::LanczosSvd(corpus.matrix, kRank);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  lsi::bench::BenchCorpus corpus =
+      CorpusOfSize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto svd = lsi::linalg::RandomizedSvd(corpus.matrix, kRank);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+
+void BM_GklSvd(benchmark::State& state) {
+  lsi::bench::BenchCorpus corpus =
+      CorpusOfSize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto svd = lsi::linalg::GklSvd(corpus.matrix, kRank);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+
+void BM_JacobiSvd(benchmark::State& state) {
+  lsi::bench::BenchCorpus corpus =
+      CorpusOfSize(static_cast<std::size_t>(state.range(0)));
+  auto dense = corpus.matrix.ToDense();
+  for (auto _ : state) {
+    auto svd = lsi::linalg::JacobiSvd(dense);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+
+void BM_LanczosSteps(benchmark::State& state) {
+  // Sensitivity of the default to the Lanczos step budget.
+  lsi::bench::BenchCorpus corpus = CorpusOfSize(200);
+  lsi::linalg::LanczosSvdOptions options;
+  options.steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto svd = lsi::linalg::LanczosSvd(corpus.matrix, kRank, options);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LanczosSvd)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomizedSvd)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GklSvd)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JacobiSvd)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LanczosSteps)->Arg(30)->Arg(40)->Arg(60)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

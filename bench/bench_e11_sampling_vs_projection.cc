@@ -1,0 +1,88 @@
+// Experiment E11: sampling vs random projection. §5 frames random
+// projection as "an alternative to (and a justification of) sampling in
+// LSI" and cites Frieze-Kannan-Vempala [15] for the sampling route. We
+// compare the two speedups head to head at matched budgets b (sampled
+// columns s = b for FKV, projected dimensions l = b for RP), measuring
+// rank-k reconstruction error and wall time against direct Lanczos LSI.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/rp_lsi.h"
+#include "linalg/norms.h"
+#include "linalg/sampled_svd.h"
+#include "linalg/svd.h"
+
+int main() {
+  std::printf("=== E11: FKV column sampling vs random projection ===\n");
+
+  lsi::model::SeparableModelParams params;
+  params.num_topics = 10;
+  params.terms_per_topic = 100;
+  params.epsilon = 0.05;
+  params.min_document_length = 50;
+  params.max_document_length = 100;
+  const std::size_t k = 10;
+  lsi::bench::BenchCorpus corpus =
+      lsi::bench::MakeSeparableCorpus(params, 400, 171717);
+  auto dense = corpus.matrix.ToDense();
+  double total = corpus.matrix.FrobeniusNorm();
+  std::printf("A: %zu x %zu, k=%zu, ||A||_F=%.1f\n\n", corpus.matrix.rows(),
+              corpus.matrix.cols(), k, total);
+
+  lsi::Timer timer;
+  auto direct = lsi::bench::Unwrap(lsi::linalg::LanczosSvd(corpus.matrix, k),
+                                   "direct");
+  double direct_ms = timer.ElapsedMillis();
+  double direct_err =
+      lsi::linalg::FrobeniusDistance(dense, direct.Reconstruct(k)) / total;
+  std::printf("direct Lanczos rank-%zu: err=%.4f, %.1f ms\n\n", k,
+              direct_err, direct_ms);
+
+  std::printf("%8s | %28s | %28s\n", "budget", "FKV sampling (s cols)",
+              "random projection (l dims)");
+  std::printf("%8s | %12s %12s | %12s %12s\n", "b", "err/||A||", "ms",
+              "err/||A||", "ms");
+  for (std::size_t budget : {20, 40, 80, 160, 320}) {
+    // Sampling route.
+    lsi::linalg::SampledSvdOptions sample_options;
+    sample_options.sample_size = budget;
+    sample_options.seed = 500 + budget;
+    timer.Restart();
+    auto sampled = lsi::bench::Unwrap(
+        lsi::linalg::SampledSvd(corpus.matrix, k, sample_options),
+        "sampled");
+    double sample_ms = timer.ElapsedMillis();
+    double sample_err =
+        lsi::linalg::FrobeniusDistance(dense, sampled.Reconstruct(k)) /
+        total;
+
+    // Projection route (rank 2k kept, per Theorem 5, then truncated to
+    // the same rank-k budget for a like-for-like reconstruction).
+    lsi::core::RpLsiOptions rp_options;
+    rp_options.rank = k;
+    rp_options.projection_dim = budget;
+    rp_options.seed = 900 + budget;
+    timer.Restart();
+    auto rp = lsi::core::RpLsiIndex::Build(corpus.matrix, rp_options);
+    double rp_ms = timer.ElapsedMillis();
+    double rp_err = std::nan("");
+    if (rp.ok()) {
+      auto recon = lsi::bench::Unwrap(rp->Reconstruct(corpus.matrix),
+                                      "reconstruct");
+      rp_err = lsi::linalg::FrobeniusDistance(dense, recon) / total;
+    }
+    std::printf("%8zu | %12.4f %12.1f | %12.4f %12.1f\n", budget, sample_err,
+                sample_ms, rp_err, rp_ms);
+  }
+  std::printf(
+      "\nexpected shape: both approaches converge toward the direct error "
+      "as the budget grows; projection converges faster and more smoothly "
+      "(every matrix entry informs every projected dimension, while "
+      "sampling's variance decays only as 1/sqrt(s)) — the paper's point "
+      "that projection is the rigorously-accurate alternative to the "
+      "sampling folklore.\n");
+  return 0;
+}

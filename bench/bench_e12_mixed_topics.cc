@@ -1,0 +1,100 @@
+// Experiment E12: the paper's §6 open question — "Can Theorem 2 be
+// extended to a model where documents could belong to several topics?"
+// We generate corpora whose documents mix 1..4 topics (Dirichlet-style
+// weights) and measure how well rank-k LSI still recovers the structure:
+// dominant-topic accuracy, and full mixture-weight recovery by
+// decomposing each LSI document vector over the folded topic prototypes.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/lsi_index.h"
+#include "core/mixture_analysis.h"
+#include "core/skew.h"
+#include "model/corpus_model.h"
+#include "model/separable_model.h"
+
+namespace {
+
+constexpr std::size_t kTopics = 6;
+constexpr std::size_t kTermsPerTopic = 60;
+
+std::vector<lsi::linalg::DenseVector> Prototypes(
+    const lsi::model::CorpusModel& model) {
+  std::vector<lsi::linalg::DenseVector> out;
+  for (std::size_t t = 0; t < model.NumTopics(); ++t) {
+    lsi::linalg::DenseVector proto(model.UniverseSize());
+    for (std::size_t term = 0; term < model.UniverseSize(); ++term) {
+      proto[term] = model.topic(t).ProbabilityOf(
+          static_cast<lsi::text::TermId>(term));
+    }
+    out.push_back(std::move(proto));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E12: documents mixing several topics (open problem) ===\n");
+  std::printf("%zu topics x %zu terms, 300 docs, doclen U[120,180]\n\n",
+              kTopics, kTermsPerTopic);
+  std::printf("%14s %12s %12s %12s %14s\n", "topics/doc", "weight-MAE",
+              "mix-cosine", "dom-top-acc", "NN-accuracy");
+
+  for (std::size_t topics_per_doc : {1, 2, 3, 4}) {
+    lsi::model::SeparableModelParams params;
+    params.num_topics = kTopics;
+    params.terms_per_topic = kTermsPerTopic;
+    params.epsilon = 0.0;
+    auto base = lsi::bench::Unwrap(lsi::model::BuildSeparableModel(params),
+                                   "base model");
+    std::vector<lsi::model::Topic> topics;
+    for (std::size_t t = 0; t < kTopics; ++t) topics.push_back(base.topic(t));
+    auto sampler = std::make_shared<lsi::model::MixedDocumentSampler>(
+        kTopics, topics_per_doc, 120, 180);
+    auto model = lsi::bench::Unwrap(
+        lsi::model::CorpusModel::Create(base.UniverseSize(),
+                                        std::move(topics), {}, sampler),
+        "model");
+    lsi::Rng rng(1200 + topics_per_doc);
+    auto corpus = lsi::bench::Unwrap(model.GenerateCorpus(300, rng),
+                                     "corpus");
+    auto matrix = lsi::bench::Unwrap(
+        lsi::text::BuildTermDocumentMatrix(corpus.corpus), "matrix");
+
+    lsi::core::LsiOptions options;
+    options.rank = kTopics;
+    auto index = lsi::bench::Unwrap(
+        lsi::core::LsiIndex::Build(matrix, options), "LSI");
+
+    auto weights = lsi::bench::Unwrap(
+        lsi::core::EstimateMixtureWeights(index, Prototypes(model)),
+        "mixtures");
+    lsi::linalg::DenseMatrix truth(300, kTopics, 0.0);
+    for (std::size_t d = 0; d < 300; ++d) {
+      for (const auto& [topic, weight] : corpus.specs[d].topics.components) {
+        truth(d, topic) = weight;
+      }
+    }
+    auto recovery = lsi::bench::Unwrap(
+        lsi::core::CompareMixtures(weights, truth), "compare");
+    auto nn = lsi::bench::Unwrap(
+        lsi::core::NearestNeighborTopicAccuracy(index.document_vectors(),
+                                                corpus.topic_of_document),
+        "NN accuracy");
+    std::printf("%14zu %12.4f %12.4f %11.1f%% %13.1f%%\n", topics_per_doc,
+                recovery.mean_absolute_error, recovery.mean_cosine,
+                100.0 * recovery.dominant_topic_accuracy, 100.0 * nn);
+  }
+  std::printf(
+      "\nexpected shape: mixture recovery stays strong (cosine > 0.9) as "
+      "documents mix more topics — evidence that the paper's conjecture "
+      "extends: rank-k LSI represents multi-topic documents as the "
+      "corresponding combinations of topic directions, even though "
+      "Theorem 2's proof technique (block-diagonal A) no longer applies. "
+      "Dominant-topic and NN metrics soften with more mixing, as "
+      "documents genuinely straddle topics.\n");
+  return 0;
+}

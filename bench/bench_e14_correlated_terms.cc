@@ -1,0 +1,71 @@
+// Experiment E14: the paper's §6 open question — does LSI's topic
+// recovery survive "a model where term occurrences are not independent"?
+// We inject burstiness (Pólya-urn repetition: each occurrence repeats an
+// earlier one with probability rho), which leaves topic marginals
+// unchanged but makes documents spiky, and sweep rho from the paper's
+// i.i.d. model (rho = 0) to heavily correlated corpora.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/lsi_index.h"
+#include "core/skew.h"
+#include "model/separable_model.h"
+
+int main() {
+  std::printf("=== E14: correlated term occurrences (open problem) ===\n");
+  std::printf(
+      "8 topics x 80 terms, eps=0.05, 400 docs, doclen U[50,100]; "
+      "burstiness rho swept\n\n");
+  std::printf("%8s %12s %12s %12s %14s\n", "rho", "intra-avg", "inter-avg",
+              "skew", "NN-accuracy");
+
+  for (double rho : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    lsi::model::SeparableModelParams params;
+    params.num_topics = 8;
+    params.terms_per_topic = 80;
+    params.epsilon = 0.05;
+    params.min_document_length = 50;
+    params.max_document_length = 100;
+    auto model = lsi::bench::Unwrap(lsi::model::BuildSeparableModel(params),
+                                    "model");
+    if (!model.SetBurstiness(rho).ok()) {
+      std::fprintf(stderr, "bad rho\n");
+      return 1;
+    }
+    lsi::Rng rng(1400 + static_cast<std::uint64_t>(rho * 100));
+    auto corpus = lsi::bench::Unwrap(model.GenerateCorpus(400, rng),
+                                     "corpus");
+    auto matrix = lsi::bench::Unwrap(
+        lsi::text::BuildTermDocumentMatrix(corpus.corpus), "matrix");
+
+    lsi::core::LsiOptions options;
+    options.rank = params.num_topics;
+    auto index = lsi::bench::Unwrap(
+        lsi::core::LsiIndex::Build(matrix, options), "LSI");
+
+    auto report = lsi::bench::Unwrap(
+        lsi::core::ComputeAngleReport(index.document_vectors(),
+                                      corpus.topic_of_document),
+        "angles");
+    auto skew = lsi::bench::Unwrap(
+        lsi::core::ComputeSkew(index.document_vectors(),
+                               corpus.topic_of_document),
+        "skew");
+    auto nn = lsi::bench::Unwrap(
+        lsi::core::NearestNeighborTopicAccuracy(index.document_vectors(),
+                                                corpus.topic_of_document),
+        "accuracy");
+    std::printf("%8.1f %12.4f %12.4f %12.4f %13.1f%%\n", rho,
+                report.intratopic.mean, report.intertopic.mean, skew,
+                100.0 * nn);
+  }
+  std::printf(
+      "\nexpected shape: LSI's separation degrades gracefully — "
+      "intratopic angles widen with rho (bursty documents are noisier "
+      "samples of their topic) but intertopic angles stay near pi/2 and "
+      "NN accuracy stays high until extreme burstiness, suggesting "
+      "Theorem 2's conclusion is robust to within-document correlation, "
+      "though its independence-based Chernoff argument is not.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Experiment E2: Theorem 2 — on pure, 0-separable corpora with small
+// per-term probability tau, rank-k LSI is 0-skewed with probability
+// 1 - O(1/m). We sweep corpus size m and document length and report the
+// empirical skew (max intratopic 1-cos / intertopic |cos|) and
+// nearest-neighbor topic accuracy; skew should fall toward 0 as m and
+// document length grow.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/lsi_index.h"
+#include "core/skew.h"
+
+int main() {
+  std::printf("=== E2: Theorem 2 (0-separable => 0-skewed) ===\n");
+  std::printf("k=8 topics, 80 primary terms each, epsilon=0\n\n");
+  std::printf("%6s %10s %12s %12s %14s\n", "m", "doclen", "skew",
+              "intra-avg", "NN-accuracy");
+
+  const std::size_t kTopics = 8;
+  for (std::size_t doclen : {30, 100}) {
+    for (std::size_t m : {50, 100, 200, 400, 800}) {
+      lsi::model::SeparableModelParams params;
+      params.num_topics = kTopics;
+      params.terms_per_topic = 80;
+      params.epsilon = 0.0;
+      params.min_document_length = doclen;
+      params.max_document_length = doclen;
+      lsi::bench::BenchCorpus corpus =
+          lsi::bench::MakeSeparableCorpus(params, m, 1000 + m + doclen);
+
+      lsi::core::LsiOptions options;
+      options.rank = kTopics;
+      auto index = lsi::bench::Unwrap(
+          lsi::core::LsiIndex::Build(corpus.matrix, options), "LSI");
+
+      auto skew = lsi::bench::Unwrap(
+          lsi::core::ComputeSkew(index.document_vectors(),
+                                 corpus.generated.topic_of_document),
+          "skew");
+      auto report = lsi::bench::Unwrap(
+          lsi::core::ComputeAngleReport(index.document_vectors(),
+                                        corpus.generated.topic_of_document),
+          "angles");
+      auto accuracy = lsi::bench::Unwrap(
+          lsi::core::NearestNeighborTopicAccuracy(
+              index.document_vectors(), corpus.generated.topic_of_document),
+          "accuracy");
+      std::printf("%6zu %10zu %12.4f %12.4f %13.1f%%\n", m, doclen, skew,
+                  report.intratopic.mean, 100.0 * accuracy);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: the 0-separable matrix is exactly block-diagonal, "
+      "so skew is 0 (up to rounding) at every size once each topic "
+      "contributes a dominant eigenvalue, and NN accuracy is 100%% "
+      "throughout — Theorem 2's conclusion holds already at small m.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Experiment E6: the §5 running-time claim. The paper prices direct LSI
+// at O(m n c) — the classical dense-SVD pipeline of its era — and the
+// two-step method at O(m l (l + c)). We time three pipelines as the term
+// universe n grows (documents and k fixed):
+//   1. classical dense SVD (one-sided Jacobi on the full matrix) — the
+//      cost model the paper argues against; grows superlinearly in n;
+//   2. direct sparse Lanczos LSI (our default; already exploits
+//      sparsity, so much of the paper's predicted gain is realized
+//      inside the solver);
+//   3. the two-step RP + rank-2k LSI (Gaussian projection, no QR),
+//      whose post-projection cost is independent of n.
+// The paper's *shape* — the projected pipeline scales with l rather than
+// n — shows up as the flat RP+LSI curve vs the growing baselines.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/lsi_index.h"
+#include "core/rp_lsi.h"
+#include "linalg/svd.h"
+
+namespace {
+
+constexpr std::size_t kRank = 10;
+constexpr std::size_t kDocs = 250;
+
+/// Builds a corpus whose universe has `n` terms (10 topics, n/10 primary
+/// terms each). Larger n = sparser, taller matrix at ~constant nnz.
+lsi::bench::BenchCorpus CorpusWithTerms(std::size_t n) {
+  lsi::model::SeparableModelParams params;
+  params.num_topics = 10;
+  params.terms_per_topic = n / 10;
+  params.epsilon = 0.05;
+  params.min_document_length = 50;
+  params.max_document_length = 100;
+  return lsi::bench::MakeSeparableCorpus(params, kDocs, 31337 + n);
+}
+
+void BM_ClassicalDenseSvd(benchmark::State& state) {
+  lsi::bench::BenchCorpus corpus =
+      CorpusWithTerms(static_cast<std::size_t>(state.range(0)));
+  auto dense = corpus.matrix.ToDense();
+  for (auto _ : state) {
+    auto svd = lsi::linalg::JacobiSvd(dense);
+    benchmark::DoNotOptimize(svd);
+  }
+  state.counters["terms"] = static_cast<double>(corpus.matrix.rows());
+}
+
+void BM_DirectLanczosLsi(benchmark::State& state) {
+  lsi::bench::BenchCorpus corpus =
+      CorpusWithTerms(static_cast<std::size_t>(state.range(0)));
+  lsi::core::LsiOptions options;
+  options.rank = kRank;
+  for (auto _ : state) {
+    auto index = lsi::core::LsiIndex::Build(corpus.matrix, options);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["terms"] = static_cast<double>(corpus.matrix.rows());
+  state.counters["nnz"] = static_cast<double>(corpus.matrix.NumNonZeros());
+}
+
+void BM_RpLsi(benchmark::State& state) {
+  lsi::bench::BenchCorpus corpus =
+      CorpusWithTerms(static_cast<std::size_t>(state.range(0)));
+  lsi::core::RpLsiOptions options;
+  options.rank = kRank;
+  options.projection_dim = static_cast<std::size_t>(state.range(1));
+  // Gaussian projection: generation is O(n l) with no QR, the cheap
+  // construction Lemma 2 equally covers.
+  options.projection_kind = lsi::core::ProjectionKind::kGaussian;
+  for (auto _ : state) {
+    auto index = lsi::core::RpLsiIndex::Build(corpus.matrix, options);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["terms"] = static_cast<double>(corpus.matrix.rows());
+  state.counters["l"] = static_cast<double>(state.range(1));
+}
+
+void BM_ProjectionOnly(benchmark::State& state) {
+  lsi::bench::BenchCorpus corpus =
+      CorpusWithTerms(static_cast<std::size_t>(state.range(0)));
+  auto projection = lsi::bench::Unwrap(
+      lsi::core::RandomProjection::Create(
+          corpus.matrix.rows(), 120, 1, lsi::core::ProjectionKind::kGaussian),
+      "projection");
+  for (auto _ : state) {
+    auto projected = projection.ProjectColumns(corpus.matrix);
+    benchmark::DoNotOptimize(projected);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClassicalDenseSvd)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DirectLanczosLsi)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_RpLsi)
+    ->Args({1000, 120})
+    ->Args({2000, 120})
+    ->Args({4000, 120})
+    ->Args({8000, 120})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ProjectionOnly)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Experiment E7: the §4 synonymy analysis. Plant a synonym pair via the
+// style mechanism (term 0 rewritten to term 1 with probability p) and
+// sweep p. The paper predicts: near-identical co-occurrence rows, a very
+// small eigenvalue whose eigenvector is the difference of the two term
+// axes, and rank-k LSI merging the pair (term cosine -> 1) — even though
+// at p = 0.5 the two terms rarely co-occur in the same document.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/lsi_index.h"
+#include "core/synonymy.h"
+#include "model/style.h"
+
+int main() {
+  std::printf("=== E7: synonymy via the style mechanism ===\n");
+  std::printf("4 topics x 50 terms, 400 docs, term0 -> term1 w.p. p\n\n");
+  std::printf("%8s %12s %12s %14s %16s\n", "p", "row-cos", "LSI-cos",
+              "lambda-diff", "diff-alignment");
+
+  for (double p : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9}) {
+    lsi::model::SeparableModelParams params;
+    params.num_topics = 4;
+    params.terms_per_topic = 50;
+    params.epsilon = 0.02;
+    params.min_document_length = 60;
+    params.max_document_length = 100;
+    const std::size_t universe = params.num_topics * params.terms_per_topic;
+
+    auto style = lsi::bench::Unwrap(
+        lsi::model::Style::SynonymSubstitution("syn", universe, {{0, 1}}, p),
+        "style");
+    auto model = lsi::bench::Unwrap(
+        lsi::model::BuildSeparableModelWithStyle(params, style, 1.0),
+        "model");
+    lsi::Rng rng(808 + static_cast<std::uint64_t>(p * 100));
+    auto generated = lsi::bench::Unwrap(model.GenerateCorpus(400, rng),
+                                        "corpus");
+    auto matrix = lsi::bench::Unwrap(
+        lsi::text::BuildTermDocumentMatrix(generated.corpus), "matrix");
+
+    lsi::core::LsiOptions options;
+    options.rank = params.num_topics;
+    auto index = lsi::bench::Unwrap(
+        lsi::core::LsiIndex::Build(matrix, options), "LSI");
+    auto report = lsi::bench::Unwrap(
+        lsi::core::AnalyzeSynonymPair(matrix, index.svd(), 0, 1),
+        "synonymy");
+
+    std::printf("%8.1f %12.4f %12.4f %14.4f %16.4f\n", p, report.row_cosine,
+                report.lsi_term_cosine,
+                report.difference_eigenvalue /
+                    (report.shared_eigenvalue > 0 ? report.shared_eigenvalue
+                                                  : 1.0),
+                report.difference_alignment);
+  }
+  std::printf(
+      "\nexpected shape: LSI term cosine stays near 1 for every p — LSI "
+      "merges the synonyms even as their raw co-occurrence cosine falls; "
+      "relative lambda-diff shrinks as p grows (term0's row fades, so "
+      "ever less energy lies along the difference direction). At p=0 the "
+      "\"pair\" is just two independent same-topic terms, which rank-k "
+      "LSI also maps to the shared topic direction.\n");
+  return 0;
+}

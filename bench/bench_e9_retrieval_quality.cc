@@ -1,0 +1,211 @@
+// Experiment E9: the paper's motivating claim — LSI improves retrieval
+// precision/recall over the conventional vector-space method on corpora
+// with synonymy, and RP+LSI approximates LSI. Synonymy is induced with a
+// style that rewrites each topic's first primary term into its second
+// with probability 0.5. Queries use only the FIRST synonym, so documents
+// that (by style) used the second are invisible to term matching.
+// A second table ablates the term weighting scheme.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/feedback.h"
+#include "core/lsi_index.h"
+#include "core/retrieval_metrics.h"
+#include "core/rp_lsi.h"
+#include "core/vector_space_index.h"
+#include "model/style.h"
+
+namespace {
+
+constexpr std::size_t kTopics = 8;
+constexpr std::size_t kTermsPerTopic = 40;
+constexpr std::size_t kDocs = 320;
+
+struct Evaluation {
+  double map = 0.0;
+  double precision_at_10 = 0.0;
+  double recall_at_30 = 0.0;
+};
+
+enum class QueryShape {
+  /// The paper's intro scenario: a single-term query on "car" (term0 of
+  /// the topic) while many relevant documents, thanks to the style, use
+  /// only "automobile" (term1) and are invisible to term matching.
+  kNarrowSynonymBlind,
+  /// A topical query over several primary terms (still never term1).
+  kBroadTopical,
+};
+
+/// Runs the per-topic synonym-blind queries against a search callback.
+template <typename SearchFn>
+Evaluation Evaluate(const lsi::model::GeneratedCorpus& corpus,
+                    std::size_t num_terms, QueryShape shape,
+                    SearchFn&& search) {
+  std::vector<std::vector<lsi::core::SearchResult>> rankings;
+  std::vector<lsi::core::RelevanceSet> relevants;
+  Evaluation eval;
+  for (std::size_t topic = 0; topic < kTopics; ++topic) {
+    lsi::linalg::DenseVector query(num_terms, 0.0);
+    query[topic * kTermsPerTopic] = 1.0;
+    if (shape == QueryShape::kBroadTopical) {
+      for (std::size_t t = 2; t < 8; ++t) {
+        query[topic * kTermsPerTopic + t] = 1.0;
+      }
+    }
+    lsi::core::RelevanceSet relevant;
+    for (std::size_t d = 0; d < kDocs; ++d) {
+      if (corpus.topic_of_document[d] == topic) relevant.insert(d);
+    }
+    auto ranking = search(query);
+    eval.precision_at_10 +=
+        lsi::core::PrecisionAtK(ranking, relevant, 10);
+    eval.recall_at_30 += lsi::core::RecallAtK(ranking, relevant, 30);
+    rankings.push_back(std::move(ranking));
+    relevants.push_back(std::move(relevant));
+  }
+  eval.map = lsi::core::MeanAveragePrecision(rankings, relevants);
+  eval.precision_at_10 /= kTopics;
+  eval.recall_at_30 /= kTopics;
+  return eval;
+}
+
+void PrintRow(const char* method, const Evaluation& eval) {
+  std::printf("%-24s %10.4f %10.4f %10.4f\n", method, eval.map,
+              eval.precision_at_10, eval.recall_at_30);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E9: retrieval quality, VSM vs LSI vs RP+LSI ===\n");
+  std::printf(
+      "%zu topics x %zu terms, %zu docs; synonym styles rewrite each "
+      "topic's term0 -> term1 w.p. 0.5; queries never use term1\n\n",
+      kTopics, kTermsPerTopic, kDocs);
+
+  lsi::model::SeparableModelParams params;
+  params.num_topics = kTopics;
+  params.terms_per_topic = kTermsPerTopic;
+  params.epsilon = 0.03;
+  params.min_document_length = 40;
+  params.max_document_length = 80;
+  // Pad the universe to 2000 terms (the paper's scale) so the random
+  // projection operates in the tall-matrix regime it was designed for.
+  params.extra_terms = 2000 - kTopics * kTermsPerTopic;
+  const std::size_t universe = 2000;
+
+  // One synonym pair per topic.
+  std::vector<std::pair<lsi::text::TermId, lsi::text::TermId>> pairs;
+  for (std::size_t topic = 0; topic < kTopics; ++topic) {
+    pairs.emplace_back(
+        static_cast<lsi::text::TermId>(topic * kTermsPerTopic),
+        static_cast<lsi::text::TermId>(topic * kTermsPerTopic + 1));
+  }
+  auto style = lsi::bench::Unwrap(
+      lsi::model::Style::SynonymSubstitution("syn", universe, pairs, 0.5),
+      "style");
+  auto model = lsi::bench::Unwrap(
+      lsi::model::BuildSeparableModelWithStyle(params, style, 1.0), "model");
+  lsi::Rng rng(123123);
+  auto generated = lsi::bench::Unwrap(model.GenerateCorpus(kDocs, rng),
+                                      "corpus");
+  auto matrix = lsi::bench::Unwrap(
+      lsi::text::BuildTermDocumentMatrix(generated.corpus), "matrix");
+
+  auto vsm = lsi::bench::Unwrap(lsi::core::VectorSpaceIndex::Build(matrix),
+                                "VSM");
+  for (QueryShape shape :
+       {QueryShape::kNarrowSynonymBlind, QueryShape::kBroadTopical}) {
+    std::printf("--- %s queries ---\n",
+                shape == QueryShape::kNarrowSynonymBlind
+                    ? "narrow single-term (\"car\")"
+                    : "broad topical (6 terms)");
+    std::printf("%-24s %10s %10s %10s\n", "method", "MAP", "P@10", "R@30");
+
+    PrintRow("vector-space (baseline)",
+             Evaluate(generated, matrix.rows(), shape, [&](const auto& q) {
+               return lsi::bench::Unwrap(vsm.Search(q), "search");
+             }));
+
+    for (std::size_t rank : {kTopics, 2 * kTopics, 4 * kTopics}) {
+      lsi::core::LsiOptions options;
+      options.rank = rank;
+      auto index = lsi::bench::Unwrap(
+          lsi::core::LsiIndex::Build(matrix, options), "LSI");
+      char label[64];
+      std::snprintf(label, sizeof(label), "LSI rank %zu", rank);
+      PrintRow(label,
+               Evaluate(generated, matrix.rows(), shape, [&](const auto& q) {
+                 return lsi::bench::Unwrap(index.Search(q), "search");
+               }));
+    }
+
+    for (std::size_t l : {100, 200, 400}) {
+      lsi::core::RpLsiOptions options;
+      options.rank = kTopics;
+      options.projection_dim = l;
+      auto index = lsi::bench::Unwrap(
+          lsi::core::RpLsiIndex::Build(matrix, options), "RP-LSI");
+      char label[64];
+      std::snprintf(label, sizeof(label), "RP+LSI l=%zu (rank 2k)", l);
+      PrintRow(label,
+               Evaluate(generated, matrix.rows(), shape, [&](const auto& q) {
+                 return lsi::bench::Unwrap(index.Search(q), "search");
+               }));
+    }
+
+    // Rocchio pseudo-relevance feedback on top of direct LSI.
+    {
+      lsi::core::LsiOptions options;
+      options.rank = kTopics;
+      auto index = lsi::bench::Unwrap(
+          lsi::core::LsiIndex::Build(matrix, options), "LSI");
+      PrintRow("LSI rank 8 + Rocchio",
+               Evaluate(generated, matrix.rows(), shape, [&](const auto& q) {
+                 return lsi::bench::Unwrap(
+                     lsi::core::SearchWithFeedback(index, q), "feedback");
+               }));
+    }
+    std::printf("\n");
+  }
+
+  // --- ablation: weighting scheme under direct LSI ---
+  std::printf("\n--- weighting ablation (LSI rank %zu) ---\n", kTopics);
+  std::printf("%-24s %10s %10s %10s\n", "weighting", "MAP", "P@10", "R@30");
+  const std::pair<lsi::text::WeightingScheme, const char*> schemes[] = {
+      {lsi::text::WeightingScheme::kTermFrequency, "raw counts"},
+      {lsi::text::WeightingScheme::kBinary, "binary"},
+      {lsi::text::WeightingScheme::kLogTermFrequency, "1+log(tf)"},
+      {lsi::text::WeightingScheme::kTfIdf, "tf-idf"},
+      {lsi::text::WeightingScheme::kLogEntropy, "log-entropy"},
+  };
+  for (const auto& [scheme, name] : schemes) {
+    lsi::text::TermDocumentMatrixOptions td_options;
+    td_options.scheme = scheme;
+    auto weighted = lsi::bench::Unwrap(
+        lsi::text::BuildTermDocumentMatrix(generated.corpus, td_options),
+        "matrix");
+    lsi::core::LsiOptions options;
+    options.rank = kTopics;
+    auto index = lsi::bench::Unwrap(
+        lsi::core::LsiIndex::Build(weighted, options), "LSI");
+    PrintRow(name, Evaluate(generated, weighted.rows(),
+                            QueryShape::kNarrowSynonymBlind,
+                            [&](const auto& q) {
+                              return lsi::bench::Unwrap(index.Search(q),
+                                                        "search");
+                            }));
+  }
+  std::printf(
+      "\nexpected shape: on narrow synonym-blind queries LSI beats the "
+      "vector-space baseline decisively (synonym documents rank high for "
+      "LSI, are invisible to VSM), while RP+LSI needs large l — the JL "
+      "additive error swamps the tiny inner products of near-orthogonal "
+      "single-term queries. On broad topical queries RP+LSI matches "
+      "direct LSI at moderate l, the §5 use case. The weighting choice "
+      "shifts results only mildly (the paper's \"precise choice does not "
+      "affect our results\").\n");
+  return 0;
+}

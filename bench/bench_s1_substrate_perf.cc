@@ -1,0 +1,95 @@
+// Substrate performance: throughput of the kernels everything else sits
+// on — sparse mat-vec, dense QR, random projection application, the text
+// pipeline (tokenize + stop-words + Porter stemming), and alias-method
+// sampling. Not a paper experiment; tracks regressions in the hot paths.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "linalg/qr.h"
+#include "linalg/random_matrix.h"
+#include "model/discrete_distribution.h"
+#include "text/analyzer.h"
+
+namespace {
+
+void BM_SparseMatVec(benchmark::State& state) {
+  lsi::model::SeparableModelParams params;
+  params.num_topics = 10;
+  params.terms_per_topic = 200;
+  lsi::bench::BenchCorpus corpus = lsi::bench::MakeSeparableCorpus(
+      params, static_cast<std::size_t>(state.range(0)), 777);
+  lsi::linalg::DenseVector x(corpus.matrix.cols(), 1.0);
+  for (auto _ : state) {
+    auto y = corpus.matrix.Multiply(x);
+    benchmark::DoNotOptimize(y);
+  }
+  state.counters["nnz"] = static_cast<double>(corpus.matrix.NumNonZeros());
+}
+
+void BM_SparseMatVecTranspose(benchmark::State& state) {
+  lsi::model::SeparableModelParams params;
+  params.num_topics = 10;
+  params.terms_per_topic = 200;
+  lsi::bench::BenchCorpus corpus = lsi::bench::MakeSeparableCorpus(
+      params, static_cast<std::size_t>(state.range(0)), 778);
+  lsi::linalg::DenseVector x(corpus.matrix.rows(), 1.0);
+  for (auto _ : state) {
+    auto y = corpus.matrix.MultiplyTranspose(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+
+void BM_HouseholderQr(benchmark::State& state) {
+  lsi::Rng rng(11);
+  auto g = lsi::linalg::GaussianMatrix(
+      static_cast<std::size_t>(state.range(0)), 120, rng);
+  for (auto _ : state) {
+    auto q = lsi::linalg::Orthonormalize(g);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+void BM_TextPipeline(benchmark::State& state) {
+  // ~1 KiB of prose, analyzed repeatedly.
+  std::string text;
+  for (int i = 0; i < 12; ++i) {
+    text +=
+        "The spectral analysis of the term document matrix reveals the "
+        "latent semantic structure hiding behind correlated words and "
+        "their repeated usage patterns across documents in a corpus. ";
+  }
+  lsi::text::Analyzer analyzer;
+  for (auto _ : state) {
+    auto tokens = analyzer.Analyze(text);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_AliasSampling(benchmark::State& state) {
+  std::vector<double> weights(2000);
+  lsi::Rng seed_rng(13);
+  for (double& w : weights) w = seed_rng.Uniform(0.1, 5.0);
+  auto dist = lsi::model::DiscreteDistribution::FromWeights(weights);
+  lsi::Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist->Sample(rng));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SparseMatVec)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SparseMatVecTranspose)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HouseholderQr)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TextPipeline)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AliasSampling);
+
+BENCHMARK_MAIN();

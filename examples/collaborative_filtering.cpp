@@ -1,0 +1,126 @@
+// The §6 generalization: "the rows and columns of A could in general be,
+// instead of terms and documents, consumers and products, viewers and
+// movies". This example builds a synthetic viewers x movies rating
+// matrix driven by latent genres, hides 20% of the ratings, and predicts
+// them from a rank-k LSI of the observed matrix — spectral collaborative
+// filtering, evaluated by RMSE against mean-rating baselines.
+//
+//   ./build/examples/collaborative_filtering [num_viewers] [num_movies]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/lsi_index.h"
+#include "linalg/sparse_matrix.h"
+
+namespace {
+
+constexpr std::size_t kGenres = 5;
+
+struct Rating {
+  std::size_t viewer;
+  std::size_t movie;
+  double value;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_viewers =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  std::size_t num_movies =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
+
+  lsi::Rng rng(321);
+
+  // Latent structure: each movie belongs to one genre; each viewer has a
+  // genre-affinity vector. True rating = 1..5 from the affinity.
+  std::vector<std::size_t> genre_of_movie(num_movies);
+  for (auto& g : genre_of_movie) {
+    g = static_cast<std::size_t>(rng.NextUint64Below(kGenres));
+  }
+  std::vector<std::vector<double>> affinity(num_viewers,
+                                            std::vector<double>(kGenres));
+  for (auto& row : affinity) {
+    for (double& a : row) a = rng.Uniform(0.0, 1.0);
+  }
+  auto true_rating = [&](std::size_t viewer, std::size_t movie) {
+    return 1.0 + 4.0 * affinity[viewer][genre_of_movie[movie]];
+  };
+
+  // Observe 80% of ratings (with viewer noise); hold out the rest.
+  std::vector<Rating> observed, held_out;
+  for (std::size_t v = 0; v < num_viewers; ++v) {
+    for (std::size_t m = 0; m < num_movies; ++m) {
+      double noisy = true_rating(v, m) + rng.Gaussian(0.0, 0.3);
+      noisy = std::min(5.0, std::max(1.0, noisy));
+      if (rng.Bernoulli(0.8)) {
+        observed.push_back({v, m, noisy});
+      } else {
+        held_out.push_back({v, m, noisy});
+      }
+    }
+  }
+  std::printf("ratings: %zu observed, %zu held out (%zu viewers x %zu "
+              "movies, %zu genres)\n",
+              observed.size(), held_out.size(), num_viewers, num_movies,
+              kGenres);
+
+  // Center by the global mean so missing entries read as "average".
+  double global_mean = 0.0;
+  for (const Rating& r : observed) global_mean += r.value;
+  global_mean /= static_cast<double>(observed.size());
+
+  lsi::linalg::SparseMatrixBuilder builder(num_viewers, num_movies);
+  for (const Rating& r : observed) {
+    builder.Add(r.viewer, r.movie, r.value - global_mean);
+  }
+  lsi::linalg::SparseMatrix matrix = builder.Build();
+
+  // Rank-k "LSI" of the rating matrix = spectral collaborative filter.
+  lsi::core::LsiOptions options;
+  options.rank = kGenres;
+  auto index = lsi::core::LsiIndex::Build(matrix, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  lsi::linalg::DenseMatrix reconstructed =
+      index->svd().Reconstruct(index->rank());
+
+  // Baselines: global mean and per-movie mean.
+  std::vector<double> movie_sum(num_movies, 0.0);
+  std::vector<std::size_t> movie_count(num_movies, 0);
+  for (const Rating& r : observed) {
+    movie_sum[r.movie] += r.value;
+    movie_count[r.movie]++;
+  }
+
+  double se_lsi = 0.0, se_global = 0.0, se_movie = 0.0;
+  for (const Rating& r : held_out) {
+    double predicted = global_mean + reconstructed(r.viewer, r.movie);
+    predicted = std::min(5.0, std::max(1.0, predicted));
+    se_lsi += (predicted - r.value) * (predicted - r.value);
+    se_global += (global_mean - r.value) * (global_mean - r.value);
+    double movie_mean = movie_count[r.movie] > 0
+                            ? movie_sum[r.movie] /
+                                  static_cast<double>(movie_count[r.movie])
+                            : global_mean;
+    se_movie += (movie_mean - r.value) * (movie_mean - r.value);
+  }
+  double n = static_cast<double>(held_out.size());
+  std::printf("\nheld-out RMSE:\n");
+  std::printf("  global-mean baseline:  %.3f\n", std::sqrt(se_global / n));
+  std::printf("  movie-mean baseline:   %.3f\n", std::sqrt(se_movie / n));
+  std::printf("  rank-%zu LSI:           %.3f\n", index->rank(),
+              std::sqrt(se_lsi / n));
+  std::printf(
+      "\nthe spectral filter recovers the viewer-genre structure the "
+      "per-movie average cannot see (different viewers like different "
+      "genres), exactly the collaborative-filtering use the paper's "
+      "conclusion anticipates.\n");
+  return 0;
+}

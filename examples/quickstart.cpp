@@ -1,0 +1,110 @@
+// Quickstart: build an LSI index over a handful of raw text documents and
+// run a query through the full pipeline (tokenize -> stop-words -> stem ->
+// weight -> rank-k SVD -> fold-in -> cosine ranking).
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/lsi_index.h"
+#include "core/vector_space_index.h"
+#include "text/analyzer.h"
+#include "text/corpus.h"
+#include "text/term_weighting.h"
+
+namespace {
+
+struct RawDocument {
+  const char* title;
+  const char* body;
+};
+
+constexpr RawDocument kDocuments[] = {
+    {"lunar mission",
+     "The spacecraft carried astronauts to the moon where the lander touched "
+     "down on the dusty surface as mission control watched"},
+    {"orbital station",
+     "Astronauts aboard the orbital station conducted experiments in zero "
+     "gravity while the spacecraft resupplied the crew"},
+    {"car review",
+     "The new automobile delivers smooth acceleration and the car handles "
+     "corners with precision while the engine stays quiet"},
+    {"vehicle maintenance",
+     "Regular maintenance keeps a vehicle reliable: change the engine oil, "
+     "rotate the tires, and inspect the brakes of your automobile"},
+    {"pasta recipe",
+     "Simmer the tomatoes with garlic and basil then toss the sauce with "
+     "fresh pasta and grated cheese for a quick dinner"},
+    {"soup recipe",
+     "A hearty soup begins with onions and garlic simmered in butter before "
+     "adding broth vegetables and herbs to the pot"},
+};
+
+}  // namespace
+
+int main() {
+  // 1. Analyze raw text into a shared-vocabulary corpus.
+  lsi::text::Analyzer analyzer;
+  lsi::text::Corpus corpus;
+  for (const RawDocument& doc : kDocuments) {
+    corpus.AddDocument(doc.title, analyzer.Analyze(doc.body));
+  }
+  std::printf("Corpus: %zu documents, %zu distinct terms\n",
+              corpus.NumDocuments(), corpus.NumTerms());
+
+  // 2. Build the weighted term-document matrix.
+  lsi::text::TermDocumentMatrixOptions weighting;
+  weighting.scheme = lsi::text::WeightingScheme::kTfIdf;
+  auto matrix = lsi::text::BuildTermDocumentMatrix(corpus, weighting);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "matrix: %s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Rank-k LSI. Three latent dimensions for three obvious topics.
+  lsi::core::LsiOptions options;
+  options.rank = 3;
+  auto index = lsi::core::LsiIndex::Build(matrix.value(), options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "lsi: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("LSI rank %zu; top singular values:", index->rank());
+  for (std::size_t i = 0; i < index->rank(); ++i) {
+    std::printf(" %.3f", index->SingularValue(i));
+  }
+  std::printf("\n\n");
+
+  // 4. Queries. Note "automobile" retrieving the "car" document: the
+  // latent space bridges synonyms that tf-idf alone cannot.
+  const char* queries[] = {"astronauts on the moon", "automobile engine",
+                           "garlic sauce dinner"};
+  for (const char* raw_query : queries) {
+    auto tokens = analyzer.Analyze(raw_query);
+    std::vector<std::pair<lsi::text::TermId, std::size_t>> counts;
+    for (const std::string& token : tokens) {
+      auto id = corpus.vocabulary().Lookup(token);
+      if (id.ok()) counts.emplace_back(id.value(), 1);
+    }
+    lsi::linalg::DenseVector query = lsi::text::WeightQueryVector(
+        corpus, counts, weighting.scheme);
+
+    auto results = index->Search(query, 3);
+    if (!results.ok()) {
+      std::fprintf(stderr, "search: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query: \"%s\"\n", raw_query);
+    for (const lsi::core::SearchResult& hit : results.value()) {
+      std::printf("  %.3f  %s\n", hit.score,
+                  corpus.document(hit.document).name().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

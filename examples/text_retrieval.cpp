@@ -1,0 +1,113 @@
+// End-to-end retrieval over a corpus file: loads a TSV corpus (one
+// "name<TAB>text" document per line), builds a tf-idf weighted LSI
+// index, saves it to disk, reloads it, and answers queries — the full
+// production loop (ingest -> index -> persist -> serve).
+//
+//   ./build/examples/text_retrieval [corpus.tsv]
+//
+// Without an argument, a small built-in corpus is written to a temp file
+// first, so the example is runnable out of the box.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/lsi_index.h"
+#include "text/analyzer.h"
+#include "text/corpus_io.h"
+#include "text/term_weighting.h"
+
+namespace {
+
+const char* kBuiltinCorpus =
+    "mars_rover\tThe rover landed on mars and sent images of the red "
+    "planet's rocky surface back to mission control\n"
+    "telescope\tThe space telescope captured light from distant galaxies "
+    "revealing how stars form in clouds of dust\n"
+    "electric_cars\tElectric vehicles use battery packs instead of fuel "
+    "engines and charge overnight at home\n"
+    "engine_repair\tThe mechanic rebuilt the car engine replacing worn "
+    "pistons and sealing the leaking gaskets\n"
+    "sourdough\tKnead the dough and let it rise overnight before baking "
+    "the sourdough loaf in a hot oven\n"
+    "pizza\tStretch the pizza dough spread the tomato sauce add cheese "
+    "and bake in the hottest oven you have\n";
+
+std::string WriteBuiltinCorpus() {
+  std::string path = "/tmp/lsi_example_corpus.tsv";
+  std::ofstream out(path, std::ios::trunc);
+  out << kBuiltinCorpus;
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_path = argc > 1 ? argv[1] : WriteBuiltinCorpus();
+
+  lsi::text::Analyzer analyzer;
+  auto corpus = lsi::text::LoadCorpusFromFile(corpus_path, analyzer);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu documents, %zu terms from %s\n",
+              corpus->NumDocuments(), corpus->NumTerms(),
+              corpus_path.c_str());
+
+  lsi::text::TermDocumentMatrixOptions weighting;
+  weighting.scheme = lsi::text::WeightingScheme::kTfIdf;
+  auto matrix = lsi::text::BuildTermDocumentMatrix(corpus.value(), weighting);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "matrix: %s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+
+  lsi::core::LsiOptions options;
+  options.rank = std::min<std::size_t>(
+      4, std::min(matrix->rows(), matrix->cols()));
+  auto built = lsi::core::LsiIndex::Build(matrix.value(), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "lsi: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  // Persist and reload — the serving process would only do the reload.
+  const std::string index_path = "/tmp/lsi_example_index.bin";
+  if (auto saved = built->Save(index_path); !saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  auto index = lsi::core::LsiIndex::Load(index_path);
+  if (!index.ok()) {
+    std::fprintf(stderr, "reload: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("index rank %zu saved to %s and reloaded\n\n", index->rank(),
+              index_path.c_str());
+
+  const char* queries[] = {"galaxies and planets", "vehicle battery",
+                           "baking bread dough"};
+  for (const char* raw : queries) {
+    auto tokens = analyzer.Analyze(raw);
+    std::vector<std::pair<lsi::text::TermId, std::size_t>> counts;
+    for (const std::string& token : tokens) {
+      auto id = corpus->vocabulary().Lookup(token);
+      if (id.ok()) counts.emplace_back(id.value(), 1);
+    }
+    auto query =
+        lsi::text::WeightQueryVector(corpus.value(), counts, weighting.scheme);
+    auto hits = index->Search(query, 2);
+    if (!hits.ok()) {
+      std::fprintf(stderr, "search: %s\n", hits.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query \"%s\":\n", raw);
+    for (const auto& hit : hits.value()) {
+      std::printf("  %.3f  %s\n", hit.score,
+                  corpus->document(hit.document).name().c_str());
+    }
+  }
+  return 0;
+}

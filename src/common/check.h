@@ -1,0 +1,28 @@
+#ifndef LSI_COMMON_CHECK_H_
+#define LSI_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checks. These guard programmer errors (out-of-bounds
+/// indices, shape mismatches on internal paths) where returning a Status
+/// would only paper over a bug. User-facing validation goes through
+/// Status/Result instead.
+#define LSI_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "LSI_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define LSI_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define LSI_DCHECK(cond) LSI_CHECK(cond)
+#endif
+
+#endif  // LSI_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef LSI_COMMON_LOGGING_H_
+#define LSI_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lsi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+/// Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use via LSI_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define LSI_LOG(level)                                                 \
+  ::lsi::internal_logging::LogMessage(::lsi::LogLevel::k##level,       \
+                                      __FILE__, __LINE__)
+
+}  // namespace lsi
+
+#endif  // LSI_COMMON_LOGGING_H_

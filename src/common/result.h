@@ -1,0 +1,96 @@
+#ifndef LSI_COMMON_RESULT_H_
+#define LSI_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace lsi {
+
+/// Holds either a value of type T or an error Status.
+///
+/// This is the value-returning counterpart of Status (the Arrow
+/// `Result<T>` idiom). A Result is never empty: it is constructed from
+/// either a T or a non-OK Status. Accessing the value of an error Result
+/// aborts, so callers must check `ok()` (or use ValueOrDie semantics
+/// knowingly).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding a non-OK `status`. Passing an OK status
+  /// is a logic error and is converted to an Internal error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : rep_(status.ok() ? Status::Internal("OK status used as error result")
+                         : std::move(status)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the error status (OK if this Result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(rep_);
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error, otherwise
+/// assigning its value into `lhs` (which must name a new variable
+/// declaration, e.g. `LSI_ASSIGN_OR_RETURN(auto x, Foo());`).
+#define LSI_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  LSI_ASSIGN_OR_RETURN_IMPL_(                            \
+      LSI_RESULT_CONCAT_(_lsi_result, __LINE__), lhs, rexpr)
+
+#define LSI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define LSI_RESULT_CONCAT_(a, b) LSI_RESULT_CONCAT_IMPL_(a, b)
+#define LSI_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace lsi
+
+#endif  // LSI_COMMON_RESULT_H_

@@ -1,0 +1,275 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "linalg/matrix_io.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::io_internal::FileHandle;
+using linalg::io_internal::ReadBytes;
+using linalg::io_internal::ReadDoubles;
+using linalg::io_internal::ReadU64;
+using linalg::io_internal::WriteBytes;
+using linalg::io_internal::WriteDoubles;
+using linalg::io_internal::WriteU64;
+
+constexpr char kEngineMagic[4] = {'L', 'S', 'I', 'E'};
+constexpr std::uint64_t kFormatVersion = 1;
+
+Status WriteString(std::FILE* file, const std::string& value) {
+  LSI_RETURN_IF_ERROR(WriteU64(file, value.size()));
+  return WriteBytes(file, value.data(), value.size());
+}
+
+Result<std::string> ReadString(std::FILE* file) {
+  LSI_ASSIGN_OR_RETURN(std::uint64_t size, ReadU64(file));
+  if (size > (1ULL << 24)) {
+    return Status::Internal("string length implausible");
+  }
+  std::string value(static_cast<std::size_t>(size), '\0');
+  LSI_RETURN_IF_ERROR(ReadBytes(file, value.data(), size));
+  return value;
+}
+
+}  // namespace
+
+LsiEngine::LsiEngine(LsiIndex index, text::WeightingScheme weighting,
+                     std::vector<std::string> terms,
+                     std::vector<double> global_weights,
+                     std::vector<std::string> document_names)
+    : index_(std::move(index)),
+      weighting_(weighting),
+      terms_(std::move(terms)),
+      global_weights_(std::move(global_weights)),
+      document_names_(std::move(document_names)) {
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    term_ids_.emplace(terms_[t], t);
+  }
+}
+
+Result<LsiEngine> LsiEngine::Build(const text::Corpus& corpus,
+                                   const LsiEngineOptions& options) {
+  if (corpus.NumDocuments() == 0 || corpus.NumTerms() == 0) {
+    return Status::InvalidArgument("LsiEngine: empty corpus");
+  }
+  text::TermDocumentMatrixOptions matrix_options;
+  matrix_options.scheme = options.weighting;
+  LSI_ASSIGN_OR_RETURN(linalg::SparseMatrix matrix,
+                       text::BuildTermDocumentMatrix(corpus, matrix_options));
+
+  LsiOptions lsi_options;
+  lsi_options.rank = std::max<std::size_t>(
+      1, std::min(options.rank, std::min(matrix.rows(), matrix.cols())));
+  lsi_options.solver = options.solver;
+  LSI_ASSIGN_OR_RETURN(LsiIndex index, LsiIndex::Build(matrix, lsi_options));
+
+  std::vector<std::string> document_names;
+  document_names.reserve(corpus.NumDocuments());
+  for (std::size_t d = 0; d < corpus.NumDocuments(); ++d) {
+    document_names.push_back(corpus.document(d).name());
+  }
+  return LsiEngine(std::move(index), options.weighting,
+                   corpus.vocabulary().terms(),
+                   text::ComputeGlobalWeights(corpus, options.weighting),
+                   std::move(document_names));
+}
+
+Result<std::vector<EngineHit>> LsiEngine::ToHits(
+    Result<std::vector<SearchResult>> results) const {
+  if (!results.ok()) return results.status();
+  std::vector<EngineHit> hits;
+  hits.reserve(results->size());
+  for (const SearchResult& r : results.value()) {
+    std::string name = r.document < document_names_.size()
+                           ? document_names_[r.document]
+                           : "folded" + std::to_string(r.document);
+    hits.push_back({std::move(name), r.document, r.score});
+  }
+  return hits;
+}
+
+Result<std::vector<EngineHit>> LsiEngine::Query(std::string_view query_text,
+                                                std::size_t top_k) const {
+  std::vector<std::string> tokens = analyzer_.Analyze(query_text);
+  std::map<std::size_t, std::size_t> counts;
+  for (const std::string& token : tokens) {
+    auto it = term_ids_.find(token);
+    if (it != term_ids_.end()) counts[it->second]++;
+  }
+  if (counts.empty()) return std::vector<EngineHit>{};
+
+  linalg::DenseVector query(NumTerms(), 0.0);
+  for (const auto& [term, count] : counts) {
+    query[term] =
+        text::LocalTermWeight(weighting_, count) * global_weights_[term];
+  }
+  return ToHits(index_.Search(query, top_k));
+}
+
+Result<std::vector<EngineHit>> LsiEngine::MoreLikeThis(
+    std::size_t document, std::size_t top_k) const {
+  if (document >= NumDocuments()) {
+    return Status::OutOfRange("MoreLikeThis: document index out of range");
+  }
+  linalg::DenseVector latent = index_.DocumentVector(document);
+  const auto& all = index_.document_vectors();
+  // Guard degenerate (near-zero) latent vectors — see LsiIndex::Search.
+  double max_norm = 0.0;
+  std::vector<double> norms(NumDocuments(), 0.0);
+  for (std::size_t d = 0; d < NumDocuments(); ++d) {
+    norms[d] = all.Row(d).Norm();
+    max_norm = std::max(max_norm, norms[d]);
+  }
+  const double floor = 1e-12 * max_norm;
+  std::vector<double> scores(NumDocuments(), -2.0);
+  double self_norm = latent.Norm();
+  for (std::size_t d = 0; d < NumDocuments(); ++d) {
+    if (d == document) continue;  // Excluded via sentinel score.
+    if (self_norm <= floor || norms[d] <= floor) {
+      scores[d] = 0.0;
+      continue;
+    }
+    scores[d] = Dot(latent, all.Row(d)) / (self_norm * norms[d]);
+  }
+  auto ranked = RankScores(scores, top_k == 0 ? 0 : top_k + 1);
+  ranked.erase(std::remove_if(ranked.begin(), ranked.end(),
+                              [&](const SearchResult& r) {
+                                return r.document == document;
+                              }),
+               ranked.end());
+  if (top_k != 0 && ranked.size() > top_k) ranked.resize(top_k);
+  return ToHits(std::move(ranked));
+}
+
+Result<std::vector<RelatedTerm>> LsiEngine::RelatedTerms(
+    std::string_view term, std::size_t top_k) const {
+  std::vector<std::string> analyzed = analyzer_.Analyze(term);
+  if (analyzed.size() != 1) {
+    return Status::InvalidArgument(
+        "RelatedTerms expects a single content word");
+  }
+  auto it = term_ids_.find(analyzed[0]);
+  if (it == term_ids_.end()) {
+    return Status::NotFound("term not in the corpus: " + analyzed[0]);
+  }
+  const std::size_t anchor = it->second;
+
+  linalg::DenseMatrix term_vectors = index_.TermVectors();
+  linalg::DenseVector anchor_vector = term_vectors.Row(anchor);
+  double anchor_norm = anchor_vector.Norm();
+  // Guard terms that fold to numerically nothing (cf. LsiIndex::Search).
+  double max_norm = 0.0;
+  std::vector<double> norms(NumTerms(), 0.0);
+  for (std::size_t t = 0; t < NumTerms(); ++t) {
+    norms[t] = term_vectors.Row(t).Norm();
+    max_norm = std::max(max_norm, norms[t]);
+  }
+  const double floor = 1e-12 * max_norm;
+  std::vector<double> scores(NumTerms(), -2.0);
+  if (anchor_norm > floor) {
+    for (std::size_t t = 0; t < NumTerms(); ++t) {
+      if (t == anchor || norms[t] <= floor) continue;
+      scores[t] = Dot(anchor_vector, term_vectors.Row(t)) /
+                  (anchor_norm * norms[t]);
+    }
+  }
+  auto ranked = RankScores(scores, top_k);
+  std::vector<RelatedTerm> related;
+  related.reserve(ranked.size());
+  for (const SearchResult& r : ranked) {
+    if (r.score <= -2.0) continue;
+    related.push_back({terms_[r.document], r.score});
+  }
+  return related;
+}
+
+Result<std::string> LsiEngine::DocumentName(std::size_t document) const {
+  if (document >= document_names_.size()) {
+    return Status::OutOfRange("DocumentName: index out of range");
+  }
+  return document_names_[document];
+}
+
+Status LsiEngine::Save(const std::string& path) const {
+  {
+    FileHandle file(path, "wb");
+    if (!file.ok()) {
+      return Status::InvalidArgument("cannot open for write: " + path);
+    }
+    LSI_RETURN_IF_ERROR(WriteBytes(file.get(), kEngineMagic, 4));
+    LSI_RETURN_IF_ERROR(WriteU64(file.get(), kFormatVersion));
+    LSI_RETURN_IF_ERROR(
+        WriteU64(file.get(), static_cast<std::uint64_t>(weighting_)));
+    LSI_RETURN_IF_ERROR(WriteU64(file.get(), terms_.size()));
+    for (const std::string& term : terms_) {
+      LSI_RETURN_IF_ERROR(WriteString(file.get(), term));
+    }
+    LSI_RETURN_IF_ERROR(
+        WriteDoubles(file.get(), global_weights_.data(),
+                     global_weights_.size()));
+    LSI_RETURN_IF_ERROR(WriteU64(file.get(), document_names_.size()));
+    for (const std::string& name : document_names_) {
+      LSI_RETURN_IF_ERROR(WriteString(file.get(), name));
+    }
+  }
+  return index_.Save(path + ".index");
+}
+
+Result<LsiEngine> LsiEngine::Load(const std::string& path) {
+  FileHandle file(path, "rb");
+  if (!file.ok()) return Status::NotFound("cannot open for read: " + path);
+  char magic[4];
+  LSI_RETURN_IF_ERROR(ReadBytes(file.get(), magic, 4));
+  if (std::memcmp(magic, kEngineMagic, 4) != 0) {
+    return Status::InvalidArgument("not an LsiEngine file: " + path);
+  }
+  LSI_ASSIGN_OR_RETURN(std::uint64_t version, ReadU64(file.get()));
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported LsiEngine format version");
+  }
+  LSI_ASSIGN_OR_RETURN(std::uint64_t weighting_raw, ReadU64(file.get()));
+  if (weighting_raw >
+      static_cast<std::uint64_t>(text::WeightingScheme::kLogEntropy)) {
+    return Status::InvalidArgument("unknown weighting scheme in file");
+  }
+  LSI_ASSIGN_OR_RETURN(std::uint64_t num_terms, ReadU64(file.get()));
+  if (num_terms > (1ULL << 32)) {
+    return Status::Internal("term count implausible");
+  }
+  std::vector<std::string> terms;
+  terms.reserve(num_terms);
+  for (std::uint64_t t = 0; t < num_terms; ++t) {
+    LSI_ASSIGN_OR_RETURN(std::string term, ReadString(file.get()));
+    terms.push_back(std::move(term));
+  }
+  std::vector<double> global_weights(num_terms);
+  LSI_RETURN_IF_ERROR(
+      ReadDoubles(file.get(), global_weights.data(), num_terms));
+  LSI_ASSIGN_OR_RETURN(std::uint64_t num_docs, ReadU64(file.get()));
+  if (num_docs > (1ULL << 32)) {
+    return Status::Internal("document count implausible");
+  }
+  std::vector<std::string> document_names;
+  document_names.reserve(num_docs);
+  for (std::uint64_t d = 0; d < num_docs; ++d) {
+    LSI_ASSIGN_OR_RETURN(std::string name, ReadString(file.get()));
+    document_names.push_back(std::move(name));
+  }
+
+  LSI_ASSIGN_OR_RETURN(LsiIndex index, LsiIndex::Load(path + ".index"));
+  if (index.NumTerms() != terms.size()) {
+    return Status::InvalidArgument(
+        "LsiEngine metadata does not match its index file");
+  }
+  return LsiEngine(std::move(index),
+                   static_cast<text::WeightingScheme>(weighting_raw),
+                   std::move(terms), std::move(global_weights),
+                   std::move(document_names));
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,106 @@
+#ifndef LSI_CORE_ENGINE_H_
+#define LSI_CORE_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/lsi_index.h"
+#include "text/analyzer.h"
+#include "text/corpus.h"
+#include "text/term_weighting.h"
+
+namespace lsi::core {
+
+/// One named retrieval hit returned by LsiEngine.
+struct EngineHit {
+  std::string document_name;
+  std::size_t document = 0;
+  double score = 0.0;
+};
+
+/// One related-term result.
+struct RelatedTerm {
+  std::string term;
+  double score = 0.0;
+};
+
+/// Options for building an LsiEngine.
+struct LsiEngineOptions {
+  std::size_t rank = 100;
+  text::WeightingScheme weighting = text::WeightingScheme::kTfIdf;
+  SvdSolver solver = SvdSolver::kLanczos;
+};
+
+/// The batteries-included retrieval engine: bundles the text pipeline,
+/// the weighted term-document matrix, the rank-k LSI index, and the
+/// per-term global weights needed to score free-text queries — with
+/// one-call persistence. This is the class a downstream application
+/// embeds; the lower-level pieces stay available for research use.
+class LsiEngine {
+ public:
+  /// Builds an engine over an analyzed corpus. The rank is clamped to
+  /// min(terms, documents).
+  static Result<LsiEngine> Build(const text::Corpus& corpus,
+                                 const LsiEngineOptions& options = {});
+
+  std::size_t NumTerms() const { return index_.NumTerms(); }
+  std::size_t NumDocuments() const { return index_.NumDocuments(); }
+  std::size_t rank() const { return index_.rank(); }
+  text::WeightingScheme weighting() const { return weighting_; }
+
+  /// Analyzes `query_text` with the same pipeline as the corpus, weights
+  /// it consistently, and returns the best `top_k` documents by latent
+  /// cosine. Unknown terms are ignored; a query with no known terms
+  /// returns an empty list.
+  Result<std::vector<EngineHit>> Query(std::string_view query_text,
+                                       std::size_t top_k = 10) const;
+
+  /// Ranks documents similar to an already-indexed document ("more like
+  /// this"). The document itself is excluded from the results.
+  Result<std::vector<EngineHit>> MoreLikeThis(std::size_t document,
+                                              std::size_t top_k = 10) const;
+
+  /// Terms whose latent representations (rows of U_k D_k) are most
+  /// parallel to `term`'s — the §4 synonymy mechanism as a feature:
+  /// distributional synonyms surface even when the words never co-occur.
+  /// `term` is analyzed (lowercased/stemmed) before lookup; returns
+  /// NotFound if it is absent from the corpus.
+  Result<std::vector<RelatedTerm>> RelatedTerms(std::string_view term,
+                                                std::size_t top_k = 10) const;
+
+  /// Name of document `index` (as given at corpus build time).
+  Result<std::string> DocumentName(std::size_t document) const;
+
+  /// Persists the engine as two files: `<path>` (vocabulary, global
+  /// weights, document names, weighting scheme) and `<path>.index`
+  /// (the LSI factors).
+  Status Save(const std::string& path) const;
+
+  /// Loads an engine written by Save().
+  static Result<LsiEngine> Load(const std::string& path);
+
+  const LsiIndex& index() const { return index_; }
+
+ private:
+  LsiEngine(LsiIndex index, text::WeightingScheme weighting,
+            std::vector<std::string> terms, std::vector<double> global_weights,
+            std::vector<std::string> document_names);
+
+  Result<std::vector<EngineHit>> ToHits(
+      Result<std::vector<SearchResult>> results) const;
+
+  LsiIndex index_;
+  text::WeightingScheme weighting_;
+  text::Analyzer analyzer_;
+  std::vector<std::string> terms_;  // Term id -> string.
+  std::unordered_map<std::string, std::size_t> term_ids_;
+  std::vector<double> global_weights_;  // Per-term idf/entropy factor.
+  std::vector<std::string> document_names_;
+};
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_ENGINE_H_

@@ -1,0 +1,68 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+
+namespace lsi::core {
+
+Result<linalg::DenseVector> RocchioExpandQuery(
+    const LsiIndex& index, const linalg::DenseVector& query,
+    const RocchioOptions& options) {
+  if (options.feedback_documents == 0) {
+    return Status::InvalidArgument(
+        "Rocchio: feedback_documents must be >= 1");
+  }
+  LSI_ASSIGN_OR_RETURN(linalg::DenseVector folded, index.FoldInQuery(query));
+  LSI_ASSIGN_OR_RETURN(
+      std::vector<SearchResult> first_pass,
+      index.Search(query, options.feedback_documents));
+
+  linalg::DenseVector centroid(index.rank(), 0.0);
+  std::size_t used = 0;
+  for (const SearchResult& hit : first_pass) {
+    if (hit.score <= 0.0) continue;  // Don't learn from non-matches.
+    centroid.Axpy(1.0, index.DocumentVector(hit.document));
+    ++used;
+  }
+  if (used > 0) {
+    centroid.Scale(1.0 / static_cast<double>(used));
+    // Scale the centroid to the query's magnitude so beta means what it
+    // says regardless of document lengths.
+    double folded_norm = folded.Norm();
+    double centroid_norm = centroid.Norm();
+    if (centroid_norm > 0.0 && folded_norm > 0.0) {
+      centroid.Scale(folded_norm / centroid_norm);
+    }
+  }
+
+  linalg::DenseVector expanded = folded;
+  expanded.Scale(options.alpha);
+  expanded.Axpy(options.beta, centroid);
+  return expanded;
+}
+
+Result<std::vector<SearchResult>> SearchWithFeedback(
+    const LsiIndex& index, const linalg::DenseVector& query,
+    std::size_t top_k, const RocchioOptions& options) {
+  LSI_ASSIGN_OR_RETURN(linalg::DenseVector expanded,
+                       RocchioExpandQuery(index, query, options));
+  const std::size_t m = index.NumDocuments();
+  const auto& docs = index.document_vectors();
+  double max_norm = 0.0;
+  std::vector<double> norms(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    norms[j] = docs.Row(j).Norm();
+    max_norm = std::max(max_norm, norms[j]);
+  }
+  const double floor = 1e-12 * max_norm;
+  double expanded_norm = expanded.Norm();
+  std::vector<double> scores(m, 0.0);
+  if (expanded_norm > 0.0) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (norms[j] <= floor) continue;
+      scores[j] = Dot(expanded, docs.Row(j)) / (expanded_norm * norms[j]);
+    }
+  }
+  return RankScores(scores, top_k);
+}
+
+}  // namespace lsi::core

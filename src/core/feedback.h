@@ -1,0 +1,41 @@
+#ifndef LSI_CORE_FEEDBACK_H_
+#define LSI_CORE_FEEDBACK_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "core/lsi_index.h"
+#include "linalg/dense_vector.h"
+
+namespace lsi::core {
+
+/// Options for Rocchio pseudo-relevance feedback.
+struct RocchioOptions {
+  /// Weight of the original query.
+  double alpha = 1.0;
+  /// Weight of the centroid of the top-ranked ("pseudo-relevant") docs.
+  double beta = 0.75;
+  /// How many top documents from the first pass feed the centroid.
+  std::size_t feedback_documents = 5;
+};
+
+/// Classic Rocchio pseudo-relevance feedback in the latent space: run
+/// `query` (term space) through `index`, take the centroid of the top
+/// results' latent vectors, and return the expanded latent query
+/// alpha * fold(q) + beta * centroid. Use SearchWithFeedback for the
+/// end-to-end two-pass retrieval.
+Result<linalg::DenseVector> RocchioExpandQuery(
+    const LsiIndex& index, const linalg::DenseVector& query,
+    const RocchioOptions& options = {});
+
+/// Two-pass retrieval: first pass with `query`, Rocchio expansion, then
+/// ranking against the expanded latent query. Returns the best `top_k`
+/// (all if 0). Helps recall on short queries — the latent centroid pulls
+/// in the neighborhood the query's few terms only hint at.
+Result<std::vector<SearchResult>> SearchWithFeedback(
+    const LsiIndex& index, const linalg::DenseVector& query,
+    std::size_t top_k = 0, const RocchioOptions& options = {});
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_FEEDBACK_H_

@@ -1,0 +1,68 @@
+#include <cstring>
+
+#include "core/lsi_index.h"
+#include "linalg/matrix_io.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::io_internal::FileHandle;
+using linalg::io_internal::ReadBytes;
+using linalg::io_internal::ReadDenseMatrixBody;
+using linalg::io_internal::ReadDenseVectorBody;
+using linalg::io_internal::ReadU64;
+using linalg::io_internal::WriteBytes;
+using linalg::io_internal::WriteDenseMatrixBody;
+using linalg::io_internal::WriteDenseVectorBody;
+using linalg::io_internal::WriteU64;
+
+constexpr char kIndexMagic[4] = {'L', 'S', 'I', 'X'};
+constexpr std::uint64_t kFormatVersion = 1;
+
+}  // namespace
+
+Status LsiIndex::Save(const std::string& path) const {
+  FileHandle file(path, "wb");
+  if (!file.ok()) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  LSI_RETURN_IF_ERROR(WriteBytes(file.get(), kIndexMagic, 4));
+  LSI_RETURN_IF_ERROR(WriteU64(file.get(), kFormatVersion));
+  LSI_RETURN_IF_ERROR(WriteDenseMatrixBody(file.get(), svd_.u));
+  LSI_RETURN_IF_ERROR(
+      WriteDenseVectorBody(file.get(), svd_.singular_values));
+  LSI_RETURN_IF_ERROR(WriteDenseMatrixBody(file.get(), svd_.v));
+  LSI_RETURN_IF_ERROR(WriteDenseMatrixBody(file.get(), document_vectors_));
+  return Status::OK();
+}
+
+Result<LsiIndex> LsiIndex::Load(const std::string& path) {
+  FileHandle file(path, "rb");
+  if (!file.ok()) return Status::NotFound("cannot open for read: " + path);
+  char magic[4];
+  LSI_RETURN_IF_ERROR(ReadBytes(file.get(), magic, 4));
+  if (std::memcmp(magic, kIndexMagic, 4) != 0) {
+    return Status::InvalidArgument("not an LsiIndex file: " + path);
+  }
+  LSI_ASSIGN_OR_RETURN(std::uint64_t version, ReadU64(file.get()));
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported LsiIndex format version");
+  }
+  linalg::SvdResult svd;
+  LSI_ASSIGN_OR_RETURN(svd.u, ReadDenseMatrixBody(file.get()));
+  LSI_ASSIGN_OR_RETURN(svd.singular_values,
+                       ReadDenseVectorBody(file.get()));
+  LSI_ASSIGN_OR_RETURN(svd.v, ReadDenseMatrixBody(file.get()));
+  LSI_ASSIGN_OR_RETURN(linalg::DenseMatrix document_vectors,
+                       ReadDenseMatrixBody(file.get()));
+  // Validate shapes before constructing.
+  if (svd.rank() == 0 || svd.u.cols() != svd.rank() ||
+      svd.v.cols() != svd.rank() ||
+      document_vectors.cols() != svd.rank() ||
+      document_vectors.rows() < svd.v.rows()) {
+    return Status::InvalidArgument("LsiIndex file has inconsistent shapes");
+  }
+  return LsiIndex(std::move(svd), std::move(document_vectors));
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,101 @@
+#include "core/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace lsi::core {
+
+Result<InvertedIndex> InvertedIndex::Build(
+    const linalg::SparseMatrix& term_document) {
+  if (term_document.rows() == 0 || term_document.cols() == 0) {
+    return Status::InvalidArgument("InvertedIndex requires a nonempty matrix");
+  }
+  InvertedIndex index;
+  index.postings_.resize(term_document.rows());
+  index.document_norms_.assign(term_document.cols(), 0.0);
+
+  const auto& offsets = term_document.row_offsets();
+  const auto& cols = term_document.col_indices();
+  const auto& values = term_document.values();
+  for (std::size_t term = 0; term < term_document.rows(); ++term) {
+    auto& list = index.postings_[term];
+    list.reserve(offsets[term + 1] - offsets[term]);
+    for (std::size_t p = offsets[term]; p < offsets[term + 1]; ++p) {
+      if (values[p] == 0.0) continue;
+      list.push_back({cols[p], values[p]});
+      index.document_norms_[cols[p]] += values[p] * values[p];
+    }
+  }
+  for (double& norm : index.document_norms_) norm = std::sqrt(norm);
+  return index;
+}
+
+Result<const std::vector<Posting>*> InvertedIndex::PostingsOf(
+    std::size_t term) const {
+  if (term >= postings_.size()) {
+    return Status::OutOfRange("PostingsOf: term id out of range");
+  }
+  return &postings_[term];
+}
+
+Result<std::size_t> InvertedIndex::DocumentFrequency(std::size_t term) const {
+  if (term >= postings_.size()) {
+    return Status::OutOfRange("DocumentFrequency: term id out of range");
+  }
+  return postings_[term].size();
+}
+
+Result<std::vector<SearchResult>> InvertedIndex::Search(
+    const std::vector<std::pair<std::size_t, double>>& query,
+    std::size_t top_k) const {
+  double query_norm_sq = 0.0;
+  for (const auto& [term, weight] : query) {
+    if (term >= postings_.size()) {
+      return Status::OutOfRange("Search: query term id out of range");
+    }
+    query_norm_sq += weight * weight;
+  }
+  if (query_norm_sq == 0.0) {
+    return std::vector<SearchResult>{};
+  }
+  double query_norm = std::sqrt(query_norm_sq);
+
+  // Term-at-a-time accumulation over matched documents only.
+  std::unordered_map<std::size_t, double> accumulator;
+  for (const auto& [term, weight] : query) {
+    if (weight == 0.0) continue;
+    for (const Posting& posting : postings_[term]) {
+      accumulator[posting.document] += weight * posting.weight;
+    }
+  }
+
+  std::vector<SearchResult> results;
+  results.reserve(accumulator.size());
+  for (const auto& [document, dot] : accumulator) {
+    double denom = query_norm * document_norms_[document];
+    results.push_back({document, denom > 0.0 ? dot / denom : 0.0});
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const SearchResult& a, const SearchResult& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.document < b.document;
+                   });
+  if (top_k != 0 && results.size() > top_k) results.resize(top_k);
+  return results;
+}
+
+Result<std::vector<SearchResult>> InvertedIndex::Search(
+    const linalg::DenseVector& query, std::size_t top_k) const {
+  if (query.size() != NumTerms()) {
+    return Status::InvalidArgument(
+        "Search: query dimension must equal the number of terms");
+  }
+  std::vector<std::pair<std::size_t, double>> sparse;
+  for (std::size_t t = 0; t < query.size(); ++t) {
+    if (query[t] != 0.0) sparse.emplace_back(t, query[t]);
+  }
+  return Search(sparse, top_k);
+}
+
+}  // namespace lsi::core

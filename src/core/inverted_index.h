@@ -1,0 +1,65 @@
+#ifndef LSI_CORE_INVERTED_INDEX_H_
+#define LSI_CORE_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/lsi_index.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::core {
+
+/// One posting: a document containing the term, with its weight.
+struct Posting {
+  std::size_t document = 0;
+  double weight = 0.0;
+};
+
+/// The classic inverted-file retrieval engine — "flat text and index
+/// files" in the paper's words: one posting list per term, term-at-a-time
+/// accumulation, cosine scores. Ranking-equivalent to VectorSpaceIndex
+/// but touches only the posting lists of the query's nonzero terms, so a
+/// sparse query over a large corpus costs O(sum of matched posting
+/// lists) rather than O(nnz).
+class InvertedIndex {
+ public:
+  /// Builds posting lists from a term-document matrix (rows terms,
+  /// columns documents). Fails on an empty matrix.
+  static Result<InvertedIndex> Build(
+      const linalg::SparseMatrix& term_document);
+
+  std::size_t NumTerms() const { return postings_.size(); }
+  std::size_t NumDocuments() const { return document_norms_.size(); }
+
+  /// The posting list of `term` (documents ascending). Empty for terms
+  /// that occur nowhere.
+  Result<const std::vector<Posting>*> PostingsOf(std::size_t term) const;
+
+  /// Number of documents containing `term`.
+  Result<std::size_t> DocumentFrequency(std::size_t term) const;
+
+  /// Ranks documents by cosine similarity against a sparse query given
+  /// as (term, weight) pairs; unknown terms are rejected. Returns the
+  /// best `top_k` (all scored documents if 0). Documents matching no
+  /// query term are omitted — the hallmark (and, under synonymy, the
+  /// weakness) of term-matching retrieval.
+  Result<std::vector<SearchResult>> Search(
+      const std::vector<std::pair<std::size_t, double>>& query,
+      std::size_t top_k = 0) const;
+
+  /// Convenience overload for dense term-space query vectors: zero
+  /// entries are skipped.
+  Result<std::vector<SearchResult>> Search(const linalg::DenseVector& query,
+                                           std::size_t top_k = 0) const;
+
+ private:
+  InvertedIndex() = default;
+
+  std::vector<std::vector<Posting>> postings_;  // Per term.
+  std::vector<double> document_norms_;
+};
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_INVERTED_INDEX_H_

@@ -1,0 +1,147 @@
+#include "core/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace lsi::core {
+namespace {
+
+double SquaredDistanceToRow(const linalg::DenseMatrix& points, std::size_t p,
+                            const linalg::DenseMatrix& centroids,
+                            std::size_t c) {
+  const double* x = points.RowPtr(p);
+  const double* y = centroids.RowPtr(c);
+  double acc = 0.0;
+  for (std::size_t d = 0; d < points.cols(); ++d) {
+    double diff = x[d] - y[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first centroid uniform, each next proportional to
+/// squared distance from the nearest chosen centroid.
+linalg::DenseMatrix SeedCentroids(const linalg::DenseMatrix& points,
+                                  std::size_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  linalg::DenseMatrix centroids(k, points.cols());
+  std::size_t first = static_cast<std::size_t>(rng.NextUint64Below(n));
+  centroids.SetRow(0, points.Row(first));
+
+  std::vector<double> dist_sq(n, std::numeric_limits<double>::max());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      dist_sq[p] =
+          std::min(dist_sq[p], SquaredDistanceToRow(points, p, centroids,
+                                                    c - 1));
+      total += dist_sq[p];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double u = rng.NextDouble() * total;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        acc += dist_sq[p];
+        if (u < acc) {
+          chosen = p;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<std::size_t>(rng.NextUint64Below(n));
+    }
+    centroids.SetRow(c, points.Row(chosen));
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const linalg::DenseMatrix& points, std::size_t k,
+                     std::size_t max_iterations, Rng& rng) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, k, rng);
+  result.cluster_of_point.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t p = 0; p < n; ++p) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double d = SquaredDistanceToRow(points, p, result.centroids, c);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.cluster_of_point[p] != best_c) {
+        result.cluster_of_point[p] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    linalg::DenseMatrix sums(k, dim, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      std::size_t c = result.cluster_of_point[p];
+      const double* x = points.RowPtr(p);
+      double* s = sums.RowPtr(c);
+      for (std::size_t d = 0; d < dim; ++d) s[d] += x[d];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed from a random point.
+        std::size_t p = static_cast<std::size_t>(rng.NextUint64Below(n));
+        result.centroids.SetRow(c, points.Row(p));
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      double* centroid = result.centroids.RowPtr(c);
+      const double* s = sums.RowPtr(c);
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] = s[d] * inv;
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    result.inertia += SquaredDistanceToRow(points, p, result.centroids,
+                                           result.cluster_of_point[p]);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const linalg::DenseMatrix& points, std::size_t k,
+                            const KMeansOptions& options) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("KMeans: empty point set");
+  }
+  if (k == 0 || k > points.rows()) {
+    return Status::InvalidArgument(
+        "KMeans: k must satisfy 1 <= k <= number of points");
+  }
+  Rng rng(options.seed);
+  KMeansResult best;
+  bool have_best = false;
+  std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    KMeansResult run = RunOnce(points, k, options.max_iterations, rng);
+    if (!have_best || run.inertia < best.inertia) {
+      best = std::move(run);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,190 @@
+#include "core/lsi_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "linalg/operators.h"
+
+namespace lsi::core {
+namespace {
+
+Result<linalg::SvdResult> ComputeTruncatedSvd(const linalg::LinearOperator& a,
+                                              const LsiOptions& options) {
+  const std::size_t min_dim = std::min(a.rows(), a.cols());
+  if (options.rank == 0 || options.rank > min_dim) {
+    return Status::InvalidArgument(
+        "LsiIndex: rank must satisfy 1 <= rank <= min(terms, documents)");
+  }
+  switch (options.solver) {
+    case SvdSolver::kLanczos:
+      return linalg::LanczosSvd(a, options.rank, options.lanczos);
+    case SvdSolver::kRandomized:
+      return linalg::RandomizedSvd(a, options.rank, options.randomized);
+    case SvdSolver::kGkl:
+      return linalg::GklSvd(a, options.rank, options.gkl);
+    case SvdSolver::kJacobi:
+      break;  // Handled below: needs a materialized matrix.
+  }
+  return Status::InvalidArgument("LsiIndex: unknown solver");
+}
+
+Result<linalg::SvdResult> ComputeJacobi(const linalg::DenseMatrix& dense,
+                                        std::size_t rank) {
+  if (rank == 0 || rank > std::min(dense.rows(), dense.cols())) {
+    return Status::InvalidArgument(
+        "LsiIndex: rank must satisfy 1 <= rank <= min(terms, documents)");
+  }
+  LSI_ASSIGN_OR_RETURN(linalg::SvdResult full, linalg::JacobiSvd(dense));
+  return full.Truncated(rank);
+}
+
+}  // namespace
+
+LsiIndex::LsiIndex(linalg::SvdResult svd) : svd_(std::move(svd)) {
+  // Document vectors: V_k D_k (row j = sigma-weighted coordinates of
+  // document j in the latent space).
+  const std::size_t m = svd_.v.rows();
+  const std::size_t k = svd_.rank();
+  document_vectors_ = linalg::DenseMatrix(m, k);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < k; ++i) {
+      document_vectors_(j, i) = svd_.v(j, i) * svd_.singular_values[i];
+    }
+  }
+  RecomputeDocumentNorms();
+}
+
+LsiIndex::LsiIndex(linalg::SvdResult svd,
+                   linalg::DenseMatrix document_vectors)
+    : svd_(std::move(svd)), document_vectors_(std::move(document_vectors)) {
+  RecomputeDocumentNorms();
+}
+
+void LsiIndex::RecomputeDocumentNorms() {
+  document_norms_.assign(document_vectors_.rows(), 0.0);
+  max_document_norm_ = 0.0;
+  for (std::size_t j = 0; j < document_vectors_.rows(); ++j) {
+    document_norms_[j] = document_vectors_.Row(j).Norm();
+    max_document_norm_ = std::max(max_document_norm_, document_norms_[j]);
+  }
+}
+
+Result<LsiIndex> LsiIndex::Build(const linalg::SparseMatrix& term_document,
+                                 const LsiOptions& options) {
+  if (options.solver == SvdSolver::kJacobi) {
+    LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd,
+                         ComputeJacobi(term_document.ToDense(), options.rank));
+    return LsiIndex(std::move(svd));
+  }
+  linalg::SparseOperator op(term_document);
+  LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd, ComputeTruncatedSvd(op, options));
+  return LsiIndex(std::move(svd));
+}
+
+Result<LsiIndex> LsiIndex::Build(const linalg::DenseMatrix& term_document,
+                                 const LsiOptions& options) {
+  if (options.solver == SvdSolver::kJacobi) {
+    LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd,
+                         ComputeJacobi(term_document, options.rank));
+    return LsiIndex(std::move(svd));
+  }
+  linalg::DenseOperator op(term_document);
+  LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd, ComputeTruncatedSvd(op, options));
+  return LsiIndex(std::move(svd));
+}
+
+Result<LsiIndex> LsiIndex::FromSvd(linalg::SvdResult svd) {
+  if (svd.rank() == 0 || svd.u.cols() != svd.rank() ||
+      svd.v.cols() != svd.rank() || svd.u.rows() == 0 || svd.v.rows() == 0) {
+    return Status::InvalidArgument(
+        "LsiIndex::FromSvd: inconsistent SVD factor shapes");
+  }
+  return LsiIndex(std::move(svd));
+}
+
+Result<std::size_t> LsiIndex::AppendDocument(
+    const linalg::DenseVector& term_vector) {
+  if (term_vector.size() != NumTerms()) {
+    return Status::InvalidArgument(
+        "AppendDocument: vector dimension must equal the number of terms");
+  }
+  linalg::DenseVector folded =
+      linalg::MultiplyTranspose(svd_.u, term_vector);
+  document_vectors_.AppendRow(folded);
+  document_norms_.push_back(folded.Norm());
+  max_document_norm_ = std::max(max_document_norm_, document_norms_.back());
+  return NumDocuments() - 1;
+}
+
+double LsiIndex::SingularValue(std::size_t i) const {
+  LSI_CHECK(i < svd_.rank());
+  return svd_.singular_values[i];
+}
+
+linalg::DenseVector LsiIndex::DocumentVector(std::size_t j) const {
+  LSI_CHECK(j < NumDocuments());
+  return document_vectors_.Row(j);
+}
+
+linalg::DenseMatrix LsiIndex::TermVectors() const {
+  const std::size_t n = svd_.u.rows();
+  const std::size_t k = svd_.rank();
+  linalg::DenseMatrix term_vectors(n, k);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < k; ++i) {
+      term_vectors(t, i) = svd_.u(t, i) * svd_.singular_values[i];
+    }
+  }
+  return term_vectors;
+}
+
+Result<linalg::DenseVector> LsiIndex::FoldInQuery(
+    const linalg::DenseVector& query) const {
+  if (query.size() != NumTerms()) {
+    return Status::InvalidArgument(
+        "FoldInQuery: query dimension must equal the number of terms");
+  }
+  return linalg::MultiplyTranspose(svd_.u, query);
+}
+
+Result<std::vector<SearchResult>> LsiIndex::Search(
+    const linalg::DenseVector& query, std::size_t top_k) const {
+  LSI_ASSIGN_OR_RETURN(linalg::DenseVector folded, FoldInQuery(query));
+  const std::size_t m = NumDocuments();
+  std::vector<double> scores(m, 0.0);
+  // Documents (or queries) orthogonal to the latent subspace fold to
+  // numerically-zero vectors; cosines against those are rounding noise,
+  // so they score 0 instead. Norms are cached at build/fold-in time.
+  const double doc_floor = 1e-12 * max_document_norm_;
+  const double query_floor = 1e-12 * query.Norm();
+  double folded_norm = folded.Norm();
+  if (folded_norm > query_floor) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (document_norms_[j] <= doc_floor) continue;
+      scores[j] = Dot(folded, document_vectors_.Row(j)) /
+                  (folded_norm * document_norms_[j]);
+    }
+  }
+  return RankScores(scores, top_k);
+}
+
+std::vector<SearchResult> RankScores(const std::vector<double>& scores,
+                                     std::size_t top_k) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  std::size_t keep = (top_k == 0) ? scores.size()
+                                  : std::min(top_k, scores.size());
+  std::vector<SearchResult> results;
+  results.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    results.push_back({order[i], scores[order[i]]});
+  }
+  return results;
+}
+
+}  // namespace lsi::core

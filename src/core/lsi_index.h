@@ -1,0 +1,151 @@
+#ifndef LSI_CORE_LSI_INDEX_H_
+#define LSI_CORE_LSI_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+#include "linalg/gkl_svd.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/svd.h"
+
+namespace lsi::core {
+
+/// One ranked retrieval hit.
+struct SearchResult {
+  std::size_t document = 0;
+  double score = 0.0;
+};
+
+/// Which truncated-SVD backend LsiIndex uses.
+enum class SvdSolver {
+  /// Symmetric Lanczos on the Gram operator with full
+  /// reorthogonalization — the default; plays the role of SVDPACK in
+  /// the paper's experiments.
+  kLanczos,
+  /// Randomized subspace iteration (Halko et al.) — faster, slightly
+  /// less accurate on clustered spectra.
+  kRandomized,
+  /// Dense one-sided Jacobi — exact, cubic; for small matrices and tests.
+  kJacobi,
+  /// Golub-Kahan-Lanczos bidiagonalization — avoids squaring the
+  /// condition number; best when small singular values matter.
+  kGkl,
+};
+
+/// Options for building an LsiIndex.
+struct LsiOptions {
+  /// The k of rank-k LSI: dimensionality of the latent space. "It should
+  /// be small enough to enable fast retrieval and large enough to
+  /// adequately capture the structure of the corpus" (§2).
+  std::size_t rank = 100;
+  SvdSolver solver = SvdSolver::kLanczos;
+  linalg::LanczosSvdOptions lanczos;
+  linalg::RandomizedSvdOptions randomized;
+  linalg::GklSvdOptions gkl;
+};
+
+/// A rank-k latent semantic index over a term-document matrix A (§2).
+///
+/// Computes A_k = U_k D_k V_k^T and represents document j by row j of
+/// V_k D_k (equivalently U_k^T a_j). Queries are folded into the same
+/// space by q |-> U_k^T q, and retrieval ranks documents by cosine
+/// similarity in the latent space.
+class LsiIndex {
+ public:
+  /// Builds the index from a sparse term-document matrix (rows terms,
+  /// columns documents). Fails if rank is 0 or exceeds min(n, m), or if
+  /// the SVD solver fails.
+  static Result<LsiIndex> Build(const linalg::SparseMatrix& term_document,
+                                const LsiOptions& options = {});
+
+  /// Builds from a dense matrix (used by the two-step random-projection
+  /// pipeline, whose projected matrix is dense).
+  static Result<LsiIndex> Build(const linalg::DenseMatrix& term_document,
+                                const LsiOptions& options = {});
+
+  /// Reconstructs an index from a caller-supplied truncated SVD — the
+  /// deserialization/advanced-use entry point. Fails on inconsistent
+  /// factor shapes.
+  static Result<LsiIndex> FromSvd(linalg::SvdResult svd);
+
+  std::size_t rank() const { return svd_.rank(); }
+  std::size_t NumTerms() const { return svd_.u.rows(); }
+
+  /// Number of searchable documents, including any folded-in after the
+  /// build (so this can exceed svd().v.rows()).
+  std::size_t NumDocuments() const { return document_vectors_.rows(); }
+
+  /// The i-th retained singular value.
+  double SingularValue(std::size_t i) const;
+
+  /// Document representations: row j is document j's latent vector
+  /// (V_k D_k, so dimensions are k).
+  const linalg::DenseMatrix& document_vectors() const {
+    return document_vectors_;
+  }
+
+  /// Copy of document j's latent vector.
+  linalg::DenseVector DocumentVector(std::size_t j) const;
+
+  /// Term representations: row t is term t's latent vector (U_k D_k).
+  /// Synonymous terms end up with nearly parallel rows (§4, Synonymy).
+  linalg::DenseMatrix TermVectors() const;
+
+  /// Folds a term-space query vector (dimension n) into the latent
+  /// space: returns U_k^T q. Fails on dimension mismatch.
+  Result<linalg::DenseVector> FoldInQuery(
+      const linalg::DenseVector& query) const;
+
+  /// Ranks all documents by cosine similarity to `query` (a term-space
+  /// vector) in the latent space; returns the best `top_k` (all if 0).
+  Result<std::vector<SearchResult>> Search(const linalg::DenseVector& query,
+                                           std::size_t top_k = 0) const;
+
+  /// Folds a new document into the existing latent space WITHOUT
+  /// recomputing the SVD (the classic LSI "folding-in" update): the
+  /// document becomes searchable immediately, represented by U_k^T d.
+  /// Quality degrades as folded documents shift the corpus statistics;
+  /// rebuild periodically. Returns the new document's index.
+  Result<std::size_t> AppendDocument(const linalg::DenseVector& term_vector);
+
+  /// Number of documents folded in since the build.
+  std::size_t NumFoldedDocuments() const {
+    return NumDocuments() - svd_.v.rows();
+  }
+
+  /// Serializes the index (SVD factors + document vectors, including
+  /// folded-in ones) to a binary file.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index written by Save().
+  static Result<LsiIndex> Load(const std::string& path);
+
+  /// The underlying truncated SVD.
+  const linalg::SvdResult& svd() const { return svd_; }
+
+ private:
+  explicit LsiIndex(linalg::SvdResult svd);
+  LsiIndex(linalg::SvdResult svd, linalg::DenseMatrix document_vectors);
+
+  void RecomputeDocumentNorms();
+
+  linalg::SvdResult svd_;
+  // m x k = V_k D_k at build time, plus one row per folded-in document.
+  linalg::DenseMatrix document_vectors_;
+  // Cached row norms of document_vectors_ and their maximum, used to
+  // zero out documents that fold to numerically-nothing.
+  std::vector<double> document_norms_;
+  double max_document_norm_ = 0.0;
+};
+
+/// Ranks `scores` and returns the top_k indices by descending score
+/// (all when top_k == 0). Shared by the index implementations.
+std::vector<SearchResult> RankScores(const std::vector<double>& scores,
+                                     std::size_t top_k);
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_LSI_INDEX_H_

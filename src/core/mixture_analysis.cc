@@ -1,0 +1,88 @@
+#include "core/mixture_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.h"
+
+namespace lsi::core {
+
+Result<linalg::DenseMatrix> EstimateMixtureWeights(
+    const LsiIndex& index,
+    const std::vector<linalg::DenseVector>& topic_prototypes) {
+  if (topic_prototypes.empty()) {
+    return Status::InvalidArgument(
+        "EstimateMixtureWeights: need at least one prototype");
+  }
+  const std::size_t k = topic_prototypes.size();
+  const std::size_t latent = index.rank();
+  if (k > latent) {
+    return Status::InvalidArgument(
+        "EstimateMixtureWeights: more prototypes than latent dimensions");
+  }
+
+  // Fold each prototype into the latent space; columns of P.
+  linalg::DenseMatrix prototypes(latent, k);
+  for (std::size_t t = 0; t < k; ++t) {
+    LSI_ASSIGN_OR_RETURN(linalg::DenseVector folded,
+                         index.FoldInQuery(topic_prototypes[t]));
+    folded.Normalize();
+    prototypes.SetColumn(t, folded);
+  }
+
+  const std::size_t m = index.NumDocuments();
+  linalg::DenseMatrix weights(m, k, 0.0);
+  for (std::size_t d = 0; d < m; ++d) {
+    linalg::DenseVector doc = index.DocumentVector(d);
+    doc.Normalize();
+    LSI_ASSIGN_OR_RETURN(
+        linalg::DenseVector w,
+        linalg::SolveLeastSquares(prototypes, doc, /*ridge=*/1e-9));
+    // Project onto the simplex-ish: clamp negatives, renormalize.
+    double sum = 0.0;
+    for (std::size_t t = 0; t < k; ++t) {
+      w[t] = std::max(w[t], 0.0);
+      sum += w[t];
+    }
+    if (sum > 0.0) {
+      for (std::size_t t = 0; t < k; ++t) w[t] /= sum;
+    }
+    weights.SetRow(d, w);
+  }
+  return weights;
+}
+
+Result<MixtureRecoveryReport> CompareMixtures(
+    const linalg::DenseMatrix& estimated, const linalg::DenseMatrix& truth) {
+  if (estimated.rows() != truth.rows() || estimated.cols() != truth.cols()) {
+    return Status::InvalidArgument("CompareMixtures: shape mismatch");
+  }
+  if (estimated.rows() == 0) {
+    return Status::InvalidArgument("CompareMixtures: empty input");
+  }
+  MixtureRecoveryReport report;
+  const std::size_t m = estimated.rows();
+  const std::size_t k = estimated.cols();
+  std::size_t dominant_hits = 0;
+  for (std::size_t d = 0; d < m; ++d) {
+    linalg::DenseVector est = estimated.Row(d);
+    linalg::DenseVector tru = truth.Row(d);
+    for (std::size_t t = 0; t < k; ++t) {
+      report.mean_absolute_error += std::fabs(est[t] - tru[t]);
+    }
+    report.mean_cosine += linalg::CosineSimilarity(est, tru);
+    std::size_t est_arg = 0, tru_arg = 0;
+    for (std::size_t t = 1; t < k; ++t) {
+      if (est[t] > est[est_arg]) est_arg = t;
+      if (tru[t] > tru[tru_arg]) tru_arg = t;
+    }
+    if (est_arg == tru_arg) ++dominant_hits;
+  }
+  report.mean_absolute_error /= static_cast<double>(m * k);
+  report.mean_cosine /= static_cast<double>(m);
+  report.dominant_topic_accuracy =
+      static_cast<double>(dominant_hits) / static_cast<double>(m);
+  return report;
+}
+
+}  // namespace lsi::core

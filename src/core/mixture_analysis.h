@@ -1,0 +1,48 @@
+#ifndef LSI_CORE_MIXTURE_ANALYSIS_H_
+#define LSI_CORE_MIXTURE_ANALYSIS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/lsi_index.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+
+namespace lsi::core {
+
+/// Tools for the paper's §6 open question "can Theorem 2 be extended to
+/// a model where documents could belong to several topics?": decompose
+/// LSI document representations as convex combinations of topic
+/// directions and compare against the generating mixtures.
+
+/// Estimates per-document topic mixture weights. `topic_prototypes`
+/// holds one term-space vector per topic (typically the topic's term
+/// distribution); each is folded into the latent space, and every
+/// document's latent vector is decomposed by least squares over the
+/// folded prototypes, clamped to nonnegative weights and normalized to
+/// sum 1. Returns an m x k matrix of weights (m = documents in the
+/// index, k = number of prototypes).
+Result<linalg::DenseMatrix> EstimateMixtureWeights(
+    const LsiIndex& index,
+    const std::vector<linalg::DenseVector>& topic_prototypes);
+
+/// Summary of mixture recovery quality against ground truth.
+struct MixtureRecoveryReport {
+  /// Mean absolute error of the weights, averaged over documents and
+  /// topics (0 = exact recovery).
+  double mean_absolute_error = 0.0;
+  /// Mean cosine similarity between estimated and true weight vectors.
+  double mean_cosine = 0.0;
+  /// Fraction of documents whose argmax weight equals the true dominant
+  /// topic.
+  double dominant_topic_accuracy = 0.0;
+};
+
+/// Compares estimated weights (rows = documents) against true weights of
+/// the same shape. Both are treated as distributions per row.
+Result<MixtureRecoveryReport> CompareMixtures(
+    const linalg::DenseMatrix& estimated, const linalg::DenseMatrix& truth);
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_MIXTURE_ANALYSIS_H_

@@ -1,0 +1,101 @@
+#include "core/random_projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/random_matrix.h"
+
+namespace lsi::core {
+
+Result<RandomProjection> RandomProjection::Create(std::size_t input_dim,
+                                                  std::size_t output_dim,
+                                                  std::uint64_t seed,
+                                                  ProjectionKind kind) {
+  if (output_dim == 0 || input_dim == 0) {
+    return Status::InvalidArgument(
+        "RandomProjection: dimensions must be >= 1");
+  }
+  if (output_dim > input_dim) {
+    return Status::InvalidArgument(
+        "RandomProjection: output_dim must not exceed input_dim");
+  }
+  Rng rng(seed);
+  switch (kind) {
+    case ProjectionKind::kOrthonormal: {
+      LSI_ASSIGN_OR_RETURN(
+          linalg::DenseMatrix r,
+          linalg::RandomOrthonormalColumns(input_dim, output_dim, rng));
+      double scale = std::sqrt(static_cast<double>(input_dim) /
+                               static_cast<double>(output_dim));
+      return RandomProjection(std::move(r), scale, kind);
+    }
+    case ProjectionKind::kGaussian: {
+      linalg::DenseMatrix r =
+          linalg::GaussianMatrix(input_dim, output_dim, rng);
+      r.Scale(1.0 / std::sqrt(static_cast<double>(output_dim)));
+      return RandomProjection(std::move(r), 1.0, kind);
+    }
+    case ProjectionKind::kSign: {
+      // SignMatrix scales by 1/sqrt(cols) already.
+      linalg::DenseMatrix r = linalg::SignMatrix(input_dim, output_dim, rng);
+      return RandomProjection(std::move(r), 1.0, kind);
+    }
+  }
+  return Status::InvalidArgument("RandomProjection: unknown kind");
+}
+
+std::size_t RandomProjection::RecommendedDimension(std::size_t num_points,
+                                                   double eps, double c) {
+  if (num_points < 2) return 1;
+  double l = c * std::log(static_cast<double>(num_points)) / (eps * eps);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(l)));
+}
+
+Result<linalg::DenseVector> RandomProjection::Project(
+    const linalg::DenseVector& x) const {
+  if (x.size() != input_dim()) {
+    return Status::InvalidArgument(
+        "RandomProjection::Project: dimension mismatch");
+  }
+  linalg::DenseVector y = linalg::MultiplyTranspose(r_, x);
+  if (scale_ != 1.0) y.Scale(scale_);
+  return y;
+}
+
+Result<linalg::DenseMatrix> RandomProjection::ProjectColumns(
+    const linalg::SparseMatrix& a) const {
+  if (a.rows() != input_dim()) {
+    return Status::InvalidArgument(
+        "RandomProjection::ProjectColumns: row dimension mismatch");
+  }
+  // B = scale * R^T A: accumulate R rows over the nonzeros of A.
+  const std::size_t l = output_dim();
+  const std::size_t m = a.cols();
+  linalg::DenseMatrix b(l, m, 0.0);
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+  for (std::size_t t = 0; t < a.rows(); ++t) {
+    const double* r_row = r_.RowPtr(t);  // Row t of R: l entries.
+    for (std::size_t p = offsets[t]; p < offsets[t + 1]; ++p) {
+      double v = values[p] * scale_;
+      std::size_t j = cols[p];
+      for (std::size_t i = 0; i < l; ++i) b(i, j) += r_row[i] * v;
+    }
+  }
+  return b;
+}
+
+Result<linalg::DenseMatrix> RandomProjection::ProjectColumns(
+    const linalg::DenseMatrix& a) const {
+  if (a.rows() != input_dim()) {
+    return Status::InvalidArgument(
+        "RandomProjection::ProjectColumns: row dimension mismatch");
+  }
+  linalg::DenseMatrix b = linalg::MultiplyAtB(r_, a);
+  if (scale_ != 1.0) b.Scale(scale_);
+  return b;
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,81 @@
+#ifndef LSI_CORE_RANDOM_PROJECTION_H_
+#define LSI_CORE_RANDOM_PROJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::core {
+
+/// How the projection matrix R is drawn.
+enum class ProjectionKind {
+  /// Column-orthonormal R (QR of a Gaussian): the paper's §5 choice,
+  /// giving the exact E[|R^T v|^2] = l/n of Lemma 2.
+  kOrthonormal,
+  /// Plain i.i.d. Gaussian entries scaled by 1/sqrt(l): the classical JL
+  /// construction; cheaper (no QR), nearly as accurate.
+  kGaussian,
+  /// Entries +-1/sqrt(l) (Achlioptas): cheapest to generate.
+  kSign,
+};
+
+/// A Johnson-Lindenstrauss random projection from R^n to R^l (§5).
+///
+/// With the paper's scaling sqrt(n/l) (applied automatically for the
+/// orthonormal kind; the other kinds fold scaling into R), projected
+/// vectors approximately preserve pairwise distances and inner products
+/// with high probability once l = Omega(log n / eps^2) (Lemma 2).
+class RandomProjection {
+ public:
+  /// Creates a projection from dimension n to l <= n.
+  static Result<RandomProjection> Create(std::size_t input_dim,
+                                         std::size_t output_dim,
+                                         std::uint64_t seed = 42,
+                                         ProjectionKind kind =
+                                             ProjectionKind::kOrthonormal);
+
+  /// The l = O(log n / eps^2) dimension Lemma 2 calls for. `c` is the
+  /// leading constant (the lemma's own constant, 24, is conservative in
+  /// practice; the default follows common practice).
+  static std::size_t RecommendedDimension(std::size_t num_points, double eps,
+                                          double c = 4.0);
+
+  std::size_t input_dim() const { return r_.rows(); }
+  std::size_t output_dim() const { return r_.cols(); }
+  ProjectionKind kind() const { return kind_; }
+
+  /// Projects one term-space vector: returns scale * R^T x (dimension l).
+  Result<linalg::DenseVector> Project(const linalg::DenseVector& x) const;
+
+  /// Projects a whole term-document matrix: B = scale * R^T A, an l x m
+  /// dense matrix. Cost O(nnz(A) * l).
+  Result<linalg::DenseMatrix> ProjectColumns(
+      const linalg::SparseMatrix& a) const;
+
+  /// Dense-input overload.
+  Result<linalg::DenseMatrix> ProjectColumns(
+      const linalg::DenseMatrix& a) const;
+
+  /// The scaling applied on top of R^T (sqrt(n/l) for orthonormal R,
+  /// 1 for the self-scaled kinds).
+  double scale() const { return scale_; }
+
+  /// The raw projection matrix R (n x l).
+  const linalg::DenseMatrix& matrix() const { return r_; }
+
+ private:
+  RandomProjection(linalg::DenseMatrix r, double scale, ProjectionKind kind)
+      : r_(std::move(r)), scale_(scale), kind_(kind) {}
+
+  linalg::DenseMatrix r_;  // n x l.
+  double scale_;
+  ProjectionKind kind_;
+};
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_RANDOM_PROJECTION_H_

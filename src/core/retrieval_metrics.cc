@@ -1,0 +1,90 @@
+#include "core/retrieval_metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lsi::core {
+
+double PrecisionAtK(const std::vector<SearchResult>& ranking,
+                    const RelevanceSet& relevant, std::size_t k) {
+  if (k == 0) return 0.0;
+  std::size_t cutoff = std::min(k, ranking.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < cutoff; ++i) {
+    if (relevant.count(ranking[i].document) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<SearchResult>& ranking,
+                 const RelevanceSet& relevant, std::size_t k) {
+  if (relevant.empty()) return 0.0;
+  std::size_t cutoff = std::min(k, ranking.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < cutoff; ++i) {
+    if (relevant.count(ranking[i].document) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double AveragePrecision(const std::vector<SearchResult>& ranking,
+                        const RelevanceSet& relevant) {
+  if (relevant.empty()) return 0.0;
+  std::size_t hits = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (relevant.count(ranking[i].document) > 0) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+double MeanAveragePrecision(
+    const std::vector<std::vector<SearchResult>>& rankings,
+    const std::vector<RelevanceSet>& relevants) {
+  LSI_CHECK(rankings.size() == relevants.size());
+  if (rankings.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t q = 0; q < rankings.size(); ++q) {
+    sum += AveragePrecision(rankings[q], relevants[q]);
+  }
+  return sum / static_cast<double>(rankings.size());
+}
+
+double F1Score(double precision, double recall) {
+  if (precision + recall <= 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+std::vector<double> ElevenPointInterpolatedPrecision(
+    const std::vector<SearchResult>& ranking, const RelevanceSet& relevant) {
+  std::vector<double> points(11, 0.0);
+  if (relevant.empty()) return points;
+
+  // Precision/recall after each rank position.
+  std::vector<double> precision_at(ranking.size());
+  std::vector<double> recall_at(ranking.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (relevant.count(ranking[i].document) > 0) ++hits;
+    precision_at[i] = static_cast<double>(hits) / static_cast<double>(i + 1);
+    recall_at[i] = static_cast<double>(hits) /
+                   static_cast<double>(relevant.size());
+  }
+  // Interpolated precision at recall r: max precision at any rank with
+  // recall >= r.
+  for (int p = 10; p >= 0; --p) {
+    double r = static_cast<double>(p) / 10.0;
+    double best = 0.0;
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
+      if (recall_at[i] + 1e-12 >= r) best = std::max(best, precision_at[i]);
+    }
+    points[static_cast<std::size_t>(p)] = best;
+  }
+  return points;
+}
+
+}  // namespace lsi::core

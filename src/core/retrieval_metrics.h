@@ -1,0 +1,47 @@
+#ifndef LSI_CORE_RETRIEVAL_METRICS_H_
+#define LSI_CORE_RETRIEVAL_METRICS_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lsi_index.h"
+
+namespace lsi::core {
+
+/// The set of documents relevant to one query.
+using RelevanceSet = std::unordered_set<std::size_t>;
+
+/// Precision at cutoff k: |relevant in top k| / k. Returns 0 for k == 0.
+double PrecisionAtK(const std::vector<SearchResult>& ranking,
+                    const RelevanceSet& relevant, std::size_t k);
+
+/// Recall at cutoff k: |relevant in top k| / |relevant|. Returns 0 if
+/// there are no relevant documents.
+double RecallAtK(const std::vector<SearchResult>& ranking,
+                 const RelevanceSet& relevant, std::size_t k);
+
+/// Average precision: mean of precision@rank over ranks of relevant
+/// documents actually retrieved, divided by |relevant|. 1.0 iff all
+/// relevant documents are ranked first.
+double AveragePrecision(const std::vector<SearchResult>& ranking,
+                        const RelevanceSet& relevant);
+
+/// Mean of AveragePrecision over queries (rankings[i] vs relevants[i]).
+/// Requires equal-length inputs; returns 0 for empty input.
+double MeanAveragePrecision(
+    const std::vector<std::vector<SearchResult>>& rankings,
+    const std::vector<RelevanceSet>& relevants);
+
+/// F1 score from precision and recall (0 when both are 0).
+double F1Score(double precision, double recall);
+
+/// Interpolated precision at the standard 11 recall points
+/// (0.0, 0.1, ..., 1.0) — the classic precision-recall curve of the
+/// paper's era, used by E9 to compare methods the way [9, 10] did.
+std::vector<double> ElevenPointInterpolatedPrecision(
+    const std::vector<SearchResult>& ranking, const RelevanceSet& relevant);
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_RETRIEVAL_METRICS_H_

@@ -1,0 +1,82 @@
+#ifndef LSI_CORE_RP_LSI_H_
+#define LSI_CORE_RP_LSI_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/lsi_index.h"
+#include "core/random_projection.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::core {
+
+/// Options for the two-step random-projection LSI of §5.
+struct RpLsiOptions {
+  /// The k of the LSI the two-step method approximates.
+  std::size_t rank = 100;
+  /// The intermediate dimension l. 0 means automatic:
+  /// max(RecommendedDimension(n, 0.5), 2 * post-projection rank).
+  std::size_t projection_dim = 0;
+  /// The paper keeps rank 2k after projection ("the number of singular
+  /// values kept may have to be increased a little"); this multiplier is
+  /// that factor. E5 sweeps it.
+  double rank_multiplier = 2.0;
+  ProjectionKind projection_kind = ProjectionKind::kOrthonormal;
+  std::uint64_t seed = 42;
+  /// Solver used on the small projected matrix.
+  SvdSolver solver = SvdSolver::kLanczos;
+};
+
+/// The two-step method of §5:
+///   1. project the term-document matrix to l dimensions with a random
+///      column-orthonormal R and scaling sqrt(n/l);
+///   2. run rank-2k LSI on the projected l x m matrix.
+/// Theorem 5 guarantees ||A - B_2k||_F^2 <= ||A - A_k||_F^2 + 2eps
+/// ||A||_F^2, at total cost O(m l (l + c)) versus O(m n c) for direct
+/// LSI.
+class RpLsiIndex {
+ public:
+  /// Builds the two-step index over a sparse term-document matrix.
+  static Result<RpLsiIndex> Build(const linalg::SparseMatrix& term_document,
+                                  const RpLsiOptions& options = {});
+
+  std::size_t NumTerms() const { return projection_.input_dim(); }
+  std::size_t NumDocuments() const { return inner_.NumDocuments(); }
+
+  /// Post-projection LSI rank (ceil(rank * rank_multiplier), clamped).
+  std::size_t InnerRank() const { return inner_.rank(); }
+
+  /// The intermediate dimension l.
+  std::size_t ProjectionDim() const { return projection_.output_dim(); }
+
+  /// Document representations in the final latent space (rows = docs).
+  const linalg::DenseMatrix& document_vectors() const {
+    return inner_.document_vectors();
+  }
+
+  /// Projects a term-space query through both steps and ranks documents
+  /// by cosine similarity in the final space.
+  Result<std::vector<SearchResult>> Search(const linalg::DenseVector& query,
+                                           std::size_t top_k = 0) const;
+
+  /// Materializes B_2k = A * V V^T (V = the right singular vectors kept
+  /// after projection) — the §5 approximation whose Frobenius error
+  /// Theorem 5 bounds. `a` must be the matrix the index was built from.
+  Result<linalg::DenseMatrix> Reconstruct(
+      const linalg::SparseMatrix& a) const;
+
+  const LsiIndex& inner() const { return inner_; }
+  const RandomProjection& projection() const { return projection_; }
+
+ private:
+  RpLsiIndex(RandomProjection projection, LsiIndex inner)
+      : projection_(std::move(projection)), inner_(std::move(inner)) {}
+
+  RandomProjection projection_;
+  LsiIndex inner_;
+};
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_RP_LSI_H_

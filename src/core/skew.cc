@@ -1,0 +1,169 @@
+#include "core/skew.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsi::core {
+namespace {
+
+/// Accumulates min/max/mean/stddev online (Welford).
+class StatsAccumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  AngleStats Finish() const {
+    AngleStats stats;
+    stats.count = count_;
+    if (count_ == 0) return stats;
+    stats.min = min_;
+    stats.max = max_;
+    stats.mean = mean_;
+    stats.stddev =
+        count_ > 1 ? std::sqrt(m2_ / static_cast<double>(count_)) : 0.0;
+    return stats;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+Status ValidateLabels(std::size_t num_documents,
+                      const std::vector<std::size_t>& topic_of_document) {
+  if (topic_of_document.size() != num_documents) {
+    return Status::InvalidArgument(
+        "topic labels must match the number of documents");
+  }
+  if (num_documents < 2) {
+    return Status::InvalidArgument(
+        "need at least two documents for pairwise statistics");
+  }
+  return Status::OK();
+}
+
+/// Extracts rows as unit vectors (zero rows stay zero).
+std::vector<linalg::DenseVector> NormalizedRows(
+    const linalg::DenseMatrix& matrix) {
+  std::vector<linalg::DenseVector> rows;
+  rows.reserve(matrix.rows());
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    linalg::DenseVector row = matrix.Row(i);
+    row.Normalize();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double AngleFromCosine(double c) {
+  return std::acos(std::clamp(c, -1.0, 1.0));
+}
+
+AngleReport ReportFromUnitVectors(
+    const std::vector<linalg::DenseVector>& unit_docs,
+    const std::vector<std::size_t>& topic_of_document) {
+  StatsAccumulator intra, inter;
+  const std::size_t m = unit_docs.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      double angle = AngleFromCosine(Dot(unit_docs[i], unit_docs[j]));
+      if (topic_of_document[i] == topic_of_document[j]) {
+        intra.Add(angle);
+      } else {
+        inter.Add(angle);
+      }
+    }
+  }
+  AngleReport report;
+  report.intratopic = intra.Finish();
+  report.intertopic = inter.Finish();
+  return report;
+}
+
+}  // namespace
+
+Result<AngleReport> ComputeAngleReport(
+    const linalg::DenseMatrix& document_vectors,
+    const std::vector<std::size_t>& topic_of_document) {
+  LSI_RETURN_IF_ERROR(
+      ValidateLabels(document_vectors.rows(), topic_of_document));
+  return ReportFromUnitVectors(NormalizedRows(document_vectors),
+                               topic_of_document);
+}
+
+Result<AngleReport> ComputeAngleReportOriginalSpace(
+    const linalg::SparseMatrix& term_document,
+    const std::vector<std::size_t>& topic_of_document) {
+  LSI_RETURN_IF_ERROR(
+      ValidateLabels(term_document.cols(), topic_of_document));
+  // Densify column-wise; corpora here are modest (benches use m ~ 1000).
+  std::vector<linalg::DenseVector> docs;
+  docs.reserve(term_document.cols());
+  for (std::size_t j = 0; j < term_document.cols(); ++j) {
+    docs.emplace_back(term_document.rows(), 0.0);
+  }
+  const auto& offsets = term_document.row_offsets();
+  const auto& cols = term_document.col_indices();
+  const auto& values = term_document.values();
+  for (std::size_t t = 0; t < term_document.rows(); ++t) {
+    for (std::size_t p = offsets[t]; p < offsets[t + 1]; ++p) {
+      docs[cols[p]][t] = values[p];
+    }
+  }
+  for (auto& d : docs) d.Normalize();
+  return ReportFromUnitVectors(docs, topic_of_document);
+}
+
+Result<double> ComputeSkew(
+    const linalg::DenseMatrix& document_vectors,
+    const std::vector<std::size_t>& topic_of_document) {
+  LSI_RETURN_IF_ERROR(
+      ValidateLabels(document_vectors.rows(), topic_of_document));
+  std::vector<linalg::DenseVector> docs = NormalizedRows(document_vectors);
+  double skew = 0.0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    for (std::size_t j = i + 1; j < docs.size(); ++j) {
+      double c = Dot(docs[i], docs[j]);
+      if (topic_of_document[i] == topic_of_document[j]) {
+        skew = std::max(skew, 1.0 - c);
+      } else {
+        skew = std::max(skew, std::fabs(c));
+      }
+    }
+  }
+  return skew;
+}
+
+Result<double> NearestNeighborTopicAccuracy(
+    const linalg::DenseMatrix& document_vectors,
+    const std::vector<std::size_t>& topic_of_document) {
+  LSI_RETURN_IF_ERROR(
+      ValidateLabels(document_vectors.rows(), topic_of_document));
+  std::vector<linalg::DenseVector> docs = NormalizedRows(document_vectors);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    double best = -2.0;
+    std::size_t best_j = i;
+    for (std::size_t j = 0; j < docs.size(); ++j) {
+      if (j == i) continue;
+      double c = Dot(docs[i], docs[j]);
+      if (c > best) {
+        best = c;
+        best_j = j;
+      }
+    }
+    if (topic_of_document[best_j] == topic_of_document[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(docs.size());
+}
+
+}  // namespace lsi::core

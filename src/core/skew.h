@@ -1,0 +1,59 @@
+#ifndef LSI_CORE_SKEW_H_
+#define LSI_CORE_SKEW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::core {
+
+/// Summary statistics of a set of pairwise angles (radians).
+struct AngleStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// The §4 experiment's measurement: angle statistics for intratopic pairs
+/// (documents generated from the same topic) and intertopic pairs.
+struct AngleReport {
+  AngleStats intratopic;
+  AngleStats intertopic;
+};
+
+/// Computes pairwise-angle statistics over document vectors given as the
+/// ROWS of `document_vectors` (the LsiIndex convention), labeled by
+/// `topic_of_document`. Fails if sizes disagree or fewer than 2 docs.
+Result<AngleReport> ComputeAngleReport(
+    const linalg::DenseMatrix& document_vectors,
+    const std::vector<std::size_t>& topic_of_document);
+
+/// Same measurement in the original term space: documents are the
+/// COLUMNS of the term-document matrix.
+Result<AngleReport> ComputeAngleReportOriginalSpace(
+    const linalg::SparseMatrix& term_document,
+    const std::vector<std::size_t>& topic_of_document);
+
+/// The empirical δ of the paper's δ-skew definition: the smallest δ such
+/// that every intertopic pair has |cos| <= δ and every intratopic pair
+/// has cos >= 1 - δ. 0 means perfect topic separation (Theorem 2);
+/// Theorem 3 predicts O(ε) for ε-separable corpora.
+Result<double> ComputeSkew(const linalg::DenseMatrix& document_vectors,
+                           const std::vector<std::size_t>& topic_of_document);
+
+/// Fraction of documents whose cosine-nearest neighbor shares their
+/// topic. A softer, rank-based counterpart of skew used in E2/E3 (skew is
+/// a max over pairs, so a single borderline pair dominates it; this
+/// measure degrades gracefully).
+Result<double> NearestNeighborTopicAccuracy(
+    const linalg::DenseMatrix& document_vectors,
+    const std::vector<std::size_t>& topic_of_document);
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_SKEW_H_

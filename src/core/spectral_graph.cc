@@ -1,0 +1,263 @@
+#include "core/spectral_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/kmeans.h"
+#include "linalg/operators.h"
+#include "linalg/svd.h"
+
+namespace lsi::core {
+namespace {
+
+Status ValidateAdjacency(const linalg::SparseMatrix& adjacency) {
+  if (adjacency.rows() != adjacency.cols()) {
+    return Status::InvalidArgument("adjacency matrix must be square");
+  }
+  if (adjacency.rows() < 2) {
+    return Status::InvalidArgument("graph needs at least two vertices");
+  }
+  return Status::OK();
+}
+
+std::vector<double> VertexDegrees(const linalg::SparseMatrix& adjacency) {
+  std::vector<double> degree(adjacency.rows(), 0.0);
+  const auto& offsets = adjacency.row_offsets();
+  const auto& values = adjacency.values();
+  for (std::size_t v = 0; v < adjacency.rows(); ++v) {
+    for (std::size_t p = offsets[v]; p < offsets[v + 1]; ++p) {
+      degree[v] += values[p];
+    }
+  }
+  return degree;
+}
+
+/// The operator I + D^{-1/2} A D^{-1/2}: positive semidefinite with the
+/// same eigenvectors as the normalized adjacency, shifted so that the
+/// top-k singular triplets are exactly the top-k eigenpairs. Rows with
+/// zero degree act as isolated (their normalized entries are zero).
+class ShiftedNormalizedAdjacency final : public linalg::LinearOperator {
+ public:
+  ShiftedNormalizedAdjacency(const linalg::SparseMatrix& adjacency,
+                             std::vector<double> degrees)
+      : adjacency_(adjacency), inv_sqrt_degree_(std::move(degrees)) {
+    for (double& d : inv_sqrt_degree_) {
+      d = d > 0.0 ? 1.0 / std::sqrt(d) : 0.0;
+    }
+  }
+
+  std::size_t rows() const override { return adjacency_.rows(); }
+  std::size_t cols() const override { return adjacency_.cols(); }
+
+  linalg::DenseVector Apply(const linalg::DenseVector& x) const override {
+    linalg::DenseVector scaled(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      scaled[i] = x[i] * inv_sqrt_degree_[i];
+    }
+    linalg::DenseVector y = adjacency_.Multiply(scaled);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] = y[i] * inv_sqrt_degree_[i] + x[i];
+    }
+    return y;
+  }
+
+  linalg::DenseVector ApplyTranspose(
+      const linalg::DenseVector& x) const override {
+    return Apply(x);  // Symmetric.
+  }
+
+ private:
+  const linalg::SparseMatrix& adjacency_;
+  std::vector<double> inv_sqrt_degree_;
+};
+
+}  // namespace
+
+Result<double> SetConductance(const linalg::SparseMatrix& adjacency,
+                              const std::vector<bool>& in_subset) {
+  LSI_RETURN_IF_ERROR(ValidateAdjacency(adjacency));
+  if (in_subset.size() != adjacency.rows()) {
+    return Status::InvalidArgument(
+        "subset indicator size must match vertex count");
+  }
+  std::size_t size_s = 0;
+  for (bool b : in_subset) {
+    if (b) ++size_s;
+  }
+  std::size_t size_complement = in_subset.size() - size_s;
+  if (size_s == 0 || size_complement == 0) {
+    return Status::InvalidArgument(
+        "subset and complement must both be nonempty");
+  }
+  double cut = 0.0;
+  const auto& offsets = adjacency.row_offsets();
+  const auto& cols = adjacency.col_indices();
+  const auto& values = adjacency.values();
+  for (std::size_t v = 0; v < adjacency.rows(); ++v) {
+    for (std::size_t p = offsets[v]; p < offsets[v + 1]; ++p) {
+      std::size_t u = cols[p];
+      // Count each undirected edge once (v < u suffices for symmetric A).
+      if (v < u && in_subset[v] != in_subset[u]) cut += values[p];
+    }
+  }
+  return cut / static_cast<double>(std::min(size_s, size_complement));
+}
+
+Result<double> SweepConductance(const linalg::SparseMatrix& adjacency,
+                                std::uint64_t seed) {
+  LSI_RETURN_IF_ERROR(ValidateAdjacency(adjacency));
+  const std::size_t n = adjacency.rows();
+
+  ShiftedNormalizedAdjacency op(adjacency, VertexDegrees(adjacency));
+  linalg::LanczosSvdOptions options;
+  options.seed = seed;
+  LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd, linalg::LanczosSvd(op, 2, options));
+
+  // Order vertices by the second eigenvector and sweep prefix cuts,
+  // maintaining the cut weight incrementally.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return svd.u(a, 1) < svd.u(b, 1);
+  });
+
+  std::vector<bool> in_subset(n, false);
+  const auto& offsets = adjacency.row_offsets();
+  const auto& cols = adjacency.col_indices();
+  const auto& values = adjacency.values();
+  double cut = 0.0;
+  double best = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::size_t v = order[i];
+    // Moving v into S flips the cut contribution of each incident edge.
+    for (std::size_t p = offsets[v]; p < offsets[v + 1]; ++p) {
+      std::size_t u = cols[p];
+      if (u == v) continue;
+      cut += in_subset[u] ? -values[p] : values[p];
+    }
+    in_subset[v] = true;
+    std::size_t size_s = i + 1;
+    double denom =
+        static_cast<double>(std::min(size_s, n - size_s));
+    best = std::min(best, cut / denom);
+  }
+  return best;
+}
+
+Result<SpectralPartitionResult> SpectralPartition(
+    const linalg::SparseMatrix& adjacency, std::size_t k,
+    std::uint64_t seed) {
+  LSI_RETURN_IF_ERROR(ValidateAdjacency(adjacency));
+  if (k == 0 || k > adjacency.rows()) {
+    return Status::InvalidArgument(
+        "SpectralPartition: k must satisfy 1 <= k <= vertices");
+  }
+
+  ShiftedNormalizedAdjacency op(adjacency, VertexDegrees(adjacency));
+  // Block (randomized subspace) solver rather than single-vector
+  // Lanczos: a disconnected or near-disconnected graph has the top
+  // eigenvalue with multiplicity k, which a Krylov space grown from one
+  // start vector cannot resolve, while a random k+p block spans the full
+  // eigenspace immediately.
+  linalg::RandomizedSvdOptions options;
+  options.seed = seed;
+  options.power_iterations = 12;  // Eigenvalue gaps near 1 are narrow.
+  options.oversample = 10;
+  LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd,
+                       linalg::RandomizedSvd(op, k, options));
+
+  SpectralPartitionResult result;
+  result.eigenvalues.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Undo the +1 shift to report normalized-adjacency eigenvalues.
+    result.eigenvalues.push_back(svd.singular_values[i] - 1.0);
+  }
+
+  // Spectral embedding: row v of U_k, normalized to the unit sphere
+  // (standard practice; removes degree effects).
+  const std::size_t n = adjacency.rows();
+  linalg::DenseMatrix embedding(n, k);
+  for (std::size_t v = 0; v < n; ++v) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      double value = svd.u(v, i);
+      embedding(v, i) = value;
+      norm_sq += value * value;
+    }
+    if (norm_sq > 0.0) {
+      double inv = 1.0 / std::sqrt(norm_sq);
+      for (std::size_t i = 0; i < k; ++i) embedding(v, i) *= inv;
+    }
+  }
+
+  KMeansOptions kmeans_options;
+  kmeans_options.seed = seed;
+  kmeans_options.restarts = 6;
+  LSI_ASSIGN_OR_RETURN(KMeansResult kmeans,
+                       KMeans(embedding, k, kmeans_options));
+  result.cluster_of_vertex = std::move(kmeans.cluster_of_point);
+  return result;
+}
+
+Result<double> ClusteringAccuracy(const std::vector<std::size_t>& predicted,
+                                  const std::vector<std::size_t>& truth) {
+  if (predicted.size() != truth.size()) {
+    return Status::InvalidArgument(
+        "ClusteringAccuracy: label vectors must have equal size");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("ClusteringAccuracy: empty labels");
+  }
+  std::size_t num_pred = *std::max_element(predicted.begin(), predicted.end()) + 1;
+  std::size_t num_true = *std::max_element(truth.begin(), truth.end()) + 1;
+  std::size_t k = std::max(num_pred, num_true);
+
+  // Confusion counts.
+  std::vector<std::vector<std::size_t>> overlap(
+      k, std::vector<std::size_t>(k, 0));
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    overlap[predicted[i]][truth[i]]++;
+  }
+
+  std::size_t best_correct = 0;
+  if (k <= 8) {
+    // Exhaustive assignment of predicted clusters to true labels.
+    std::vector<std::size_t> perm(k);
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      std::size_t correct = 0;
+      for (std::size_t c = 0; c < k; ++c) correct += overlap[c][perm[c]];
+      best_correct = std::max(best_correct, correct);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  } else {
+    // Greedy matching by descending overlap.
+    std::vector<bool> pred_used(k, false), true_used(k, false);
+    std::size_t correct = 0;
+    for (std::size_t round = 0; round < k; ++round) {
+      std::size_t best = 0, bp = 0, bt = 0;
+      bool found = false;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (pred_used[c]) continue;
+        for (std::size_t t = 0; t < k; ++t) {
+          if (true_used[t]) continue;
+          if (!found || overlap[c][t] > best) {
+            best = overlap[c][t];
+            bp = c;
+            bt = t;
+            found = true;
+          }
+        }
+      }
+      if (!found) break;
+      pred_used[bp] = true;
+      true_used[bt] = true;
+      correct += best;
+    }
+    best_correct = correct;
+  }
+  return static_cast<double>(best_correct) /
+         static_cast<double>(predicted.size());
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,52 @@
+#ifndef LSI_CORE_SPECTRAL_GRAPH_H_
+#define LSI_CORE_SPECTRAL_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::core {
+
+/// Conductance of the vertex subset S in a weighted undirected graph,
+/// using the paper's normalization (§4, after Theorem 2 / §6):
+///   cut(S, S-bar) / min(|S|, |S-bar|).
+/// `in_subset[v]` marks membership. Fails if the subset or its
+/// complement is empty, or the matrix is not square.
+Result<double> SetConductance(const linalg::SparseMatrix& adjacency,
+                              const std::vector<bool>& in_subset);
+
+/// Estimates the conductance of the whole graph by a Fiedler sweep:
+/// orders vertices by the second eigenvector of the row-normalized
+/// adjacency and returns the minimum SetConductance over prefix cuts.
+/// An upper bound on the true conductance (Cheeger-style).
+Result<double> SweepConductance(const linalg::SparseMatrix& adjacency,
+                                std::uint64_t seed = 42);
+
+/// Result of Theorem 6's procedure.
+struct SpectralPartitionResult {
+  std::vector<std::size_t> cluster_of_vertex;
+  /// Top-k eigenvalues of the row-normalized adjacency, descending.
+  std::vector<double> eigenvalues;
+};
+
+/// The rank-k spectral analysis of Theorem 6: row-normalize the
+/// adjacency (row sums 1), take the top-k eigenvectors, embed each
+/// vertex as its k spectral coordinates, and cluster with k-means.
+/// For a graph of k high-conductance blocks joined by an ε fraction of
+/// edges, this recovers the blocks.
+Result<SpectralPartitionResult> SpectralPartition(
+    const linalg::SparseMatrix& adjacency, std::size_t k,
+    std::uint64_t seed = 42);
+
+/// Fraction of vertices labeled correctly under the best matching of
+/// predicted clusters to true blocks. Exhaustive matching for
+/// k <= 8 clusters, greedy otherwise. Requires equal-sized label vectors.
+Result<double> ClusteringAccuracy(const std::vector<std::size_t>& predicted,
+                                  const std::vector<std::size_t>& truth);
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_SPECTRAL_GRAPH_H_

@@ -1,0 +1,88 @@
+#include "core/synonymy.h"
+
+#include <cmath>
+
+#include "linalg/dense_vector.h"
+
+namespace lsi::core {
+namespace {
+
+/// Extracts row `t` of a CSR matrix as a dense vector.
+linalg::DenseVector SparseRow(const linalg::SparseMatrix& a, std::size_t t) {
+  linalg::DenseVector row(a.cols(), 0.0);
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+  for (std::size_t p = offsets[t]; p < offsets[t + 1]; ++p) {
+    row[cols[p]] = values[p];
+  }
+  return row;
+}
+
+}  // namespace
+
+Result<SynonymyReport> AnalyzeSynonymPair(const linalg::SparseMatrix& a,
+                                          const linalg::SvdResult& svd,
+                                          std::size_t term_a,
+                                          std::size_t term_b) {
+  if (term_a >= a.rows() || term_b >= a.rows()) {
+    return Status::OutOfRange("AnalyzeSynonymPair: term id out of range");
+  }
+  if (term_a == term_b) {
+    return Status::InvalidArgument(
+        "AnalyzeSynonymPair: terms must be distinct");
+  }
+  if (svd.u.rows() != a.rows()) {
+    return Status::InvalidArgument(
+        "AnalyzeSynonymPair: SVD does not match the matrix");
+  }
+
+  SynonymyReport report;
+
+  linalg::DenseVector r1 = SparseRow(a, term_a);
+  linalg::DenseVector r2 = SparseRow(a, term_b);
+  report.row_cosine = linalg::CosineSimilarity(r1, r2);
+
+  // 2x2 Gram block of A A^T restricted to the pair:
+  //   [ <r1,r1>  <r1,r2> ]
+  //   [ <r1,r2>  <r2,r2> ]
+  double g11 = r1.SquaredNorm();
+  double g22 = r2.SquaredNorm();
+  double g12 = Dot(r1, r2);
+  double trace = g11 + g22;
+  double det = g11 * g22 - g12 * g12;
+  double disc = std::sqrt(std::max(trace * trace / 4.0 - det, 0.0));
+  report.shared_eigenvalue = trace / 2.0 + disc;
+  report.difference_eigenvalue = std::max(trace / 2.0 - disc, 0.0);
+
+  // Smallest eigenvector of the 2x2 block vs the difference direction
+  // (1, -1)/sqrt(2).
+  double lambda = report.difference_eigenvalue;
+  // (G - lambda I) v = 0 -> v = (g12, lambda - g11) or (lambda - g22, g12).
+  double vx = g12;
+  double vy = lambda - g11;
+  if (std::fabs(vx) + std::fabs(vy) < 1e-300) {
+    vx = lambda - g22;
+    vy = g12;
+  }
+  double norm = std::hypot(vx, vy);
+  if (norm > 0.0) {
+    report.difference_alignment =
+        std::fabs(vx - vy) / (norm * std::sqrt(2.0));
+  } else {
+    // Degenerate (both eigenvalues equal): any direction qualifies.
+    report.difference_alignment = 1.0;
+  }
+
+  // LSI term vectors: rows of U_k D_k.
+  const std::size_t k = svd.rank();
+  linalg::DenseVector t1(k), t2(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    t1[i] = svd.u(term_a, i) * svd.singular_values[i];
+    t2[i] = svd.u(term_b, i) * svd.singular_values[i];
+  }
+  report.lsi_term_cosine = linalg::CosineSimilarity(t1, t2);
+  return report;
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,50 @@
+#ifndef LSI_CORE_SYNONYMY_H_
+#define LSI_CORE_SYNONYMY_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/svd.h"
+
+namespace lsi::core {
+
+/// Diagnostics for one candidate synonym pair (§4, "Synonymy").
+///
+/// The paper's argument: if two terms have (nearly) identical
+/// co-occurrences, the corresponding rows of A are nearly identical, so
+/// the term-term matrix A A^T has a very small eigenvalue whose
+/// eigenvector is (approximately) the *difference* of the two term axes
+/// — and rank-k LSI "projects out" that insignificant difference,
+/// merging the synonyms.
+struct SynonymyReport {
+  /// Cosine similarity of the two raw term rows of A. Near 1 for terms
+  /// with near-identical co-occurrence patterns (even if the terms
+  /// themselves never co-occur).
+  double row_cosine = 0.0;
+  /// Cosine similarity of the two terms' LSI representations (rows of
+  /// U_k D_k). LSI is doing its job when this is near 1.
+  double lsi_term_cosine = 0.0;
+  /// The smaller eigenvalue of the 2x2 Gram block [r1; r2][r1; r2]^T,
+  /// i.e. the energy along the difference direction. Near 0 for true
+  /// synonym pairs.
+  double difference_eigenvalue = 0.0;
+  /// The larger eigenvalue (energy along the shared direction).
+  double shared_eigenvalue = 0.0;
+  /// |<smallest eigenvector, (e1 - e2)/sqrt(2)>| within the pair's
+  /// 2D subspace: 1 means the weak eigenvector is exactly the term
+  /// difference, as the paper predicts.
+  double difference_alignment = 0.0;
+};
+
+/// Analyzes the pair (term_a, term_b) of the term-document matrix `a`
+/// against a rank-k SVD of the same matrix. Fails if the ids are out of
+/// range or equal.
+Result<SynonymyReport> AnalyzeSynonymPair(const linalg::SparseMatrix& a,
+                                          const linalg::SvdResult& svd,
+                                          std::size_t term_a,
+                                          std::size_t term_b);
+
+}  // namespace lsi::core
+
+#endif  // LSI_CORE_SYNONYMY_H_

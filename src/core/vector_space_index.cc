@@ -1,0 +1,76 @@
+#include "core/vector_space_index.h"
+
+#include <cmath>
+
+namespace lsi::core {
+
+VectorSpaceIndex::VectorSpaceIndex(linalg::SparseMatrix matrix)
+    : matrix_(std::move(matrix)) {
+  column_norms_.assign(matrix_.cols(), 0.0);
+  const auto& offsets = matrix_.row_offsets();
+  const auto& cols = matrix_.col_indices();
+  const auto& values = matrix_.values();
+  for (std::size_t i = 0; i < matrix_.rows(); ++i) {
+    for (std::size_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+      column_norms_[cols[p]] += values[p] * values[p];
+    }
+  }
+  for (double& norm : column_norms_) norm = std::sqrt(norm);
+}
+
+Result<VectorSpaceIndex> VectorSpaceIndex::Build(
+    const linalg::SparseMatrix& term_document) {
+  if (term_document.rows() == 0 || term_document.cols() == 0) {
+    return Status::InvalidArgument(
+        "VectorSpaceIndex requires a nonempty matrix");
+  }
+  return VectorSpaceIndex(term_document);
+}
+
+Result<double> VectorSpaceIndex::Similarity(const linalg::DenseVector& query,
+                                            std::size_t document) const {
+  if (query.size() != NumTerms()) {
+    return Status::InvalidArgument(
+        "Similarity: query dimension must equal the number of terms");
+  }
+  if (document >= NumDocuments()) {
+    return Status::OutOfRange("Similarity: document index out of range");
+  }
+  double qnorm = query.Norm();
+  if (qnorm == 0.0 || column_norms_[document] == 0.0) return 0.0;
+  // <q, a_j> via one transpose SpMV would score everything; for a single
+  // document walk the rows once.
+  double dot = 0.0;
+  const auto& offsets = matrix_.row_offsets();
+  const auto& cols = matrix_.col_indices();
+  const auto& values = matrix_.values();
+  for (std::size_t i = 0; i < matrix_.rows(); ++i) {
+    double qi = query[i];
+    if (qi == 0.0) continue;
+    for (std::size_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+      if (cols[p] == document) dot += values[p] * qi;
+    }
+  }
+  return dot / (qnorm * column_norms_[document]);
+}
+
+Result<std::vector<SearchResult>> VectorSpaceIndex::Search(
+    const linalg::DenseVector& query, std::size_t top_k) const {
+  if (query.size() != NumTerms()) {
+    return Status::InvalidArgument(
+        "Search: query dimension must equal the number of terms");
+  }
+  linalg::DenseVector dots = matrix_.MultiplyTranspose(query);  // A^T q
+  double qnorm = query.Norm();
+  std::vector<double> scores(NumDocuments(), 0.0);
+  if (qnorm > 0.0) {
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      if (column_norms_[j] > 0.0) {
+        scores[j] = dots[j] / (qnorm * column_norms_[j]);
+      }
+    }
+  }
+  return RankScores(scores, top_k);
+}
+
+}  // namespace lsi::core

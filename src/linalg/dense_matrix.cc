@@ -1,0 +1,222 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lsi::linalg {
+
+DenseMatrix::DenseMatrix(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    LSI_CHECK(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+DenseMatrix DenseMatrix::Identity(std::size_t n) {
+  DenseMatrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::Diagonal(const DenseVector& diag) {
+  DenseMatrix m(diag.size(), diag.size(), 0.0);
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+double DenseMatrix::operator()(std::size_t i, std::size_t j) const {
+  LSI_DCHECK(i < rows_ && j < cols_);
+  return data_[i * cols_ + j];
+}
+
+double& DenseMatrix::operator()(std::size_t i, std::size_t j) {
+  LSI_DCHECK(i < rows_ && j < cols_);
+  return data_[i * cols_ + j];
+}
+
+DenseVector DenseMatrix::Row(std::size_t i) const {
+  LSI_CHECK(i < rows_);
+  DenseVector out(cols_);
+  const double* src = RowPtr(i);
+  std::copy(src, src + cols_, out.data());
+  return out;
+}
+
+DenseVector DenseMatrix::Column(std::size_t j) const {
+  LSI_CHECK(j < cols_);
+  DenseVector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + j];
+  return out;
+}
+
+void DenseMatrix::SetRow(std::size_t i, const DenseVector& v) {
+  LSI_CHECK(i < rows_ && v.size() == cols_);
+  std::copy(v.data(), v.data() + cols_, RowPtr(i));
+}
+
+void DenseMatrix::SetColumn(std::size_t j, const DenseVector& v) {
+  LSI_CHECK(j < cols_ && v.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) data_[i * cols_ + j] = v[i];
+}
+
+void DenseMatrix::AppendRow(const DenseVector& v) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = v.size();
+  }
+  LSI_CHECK(v.size() == cols_);
+  data_.insert(data_.end(), v.data(), v.data() + v.size());
+  ++rows_;
+}
+
+void DenseMatrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void DenseMatrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = row[j];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::LeftColumns(std::size_t k) const {
+  LSI_CHECK(k <= cols_);
+  DenseMatrix out(rows_, k);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    std::copy(src, src + k, out.RowPtr(i));
+  }
+  return out;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  LSI_CHECK(a.cols() == b.rows());
+  DenseMatrix c(a.rows(), b.cols(), 0.0);
+  // i-k-j loop order: streams through rows of b, cache friendly.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.RowPtr(i);
+    const double* arow = a.RowPtr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix MultiplyAtB(const DenseMatrix& a, const DenseMatrix& b) {
+  LSI_CHECK(a.rows() == b.rows());
+  DenseMatrix c(a.cols(), b.cols(), 0.0);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.RowPtr(k);
+    const double* brow = b.RowPtr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.RowPtr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix MultiplyABt(const DenseMatrix& a, const DenseMatrix& b) {
+  LSI_CHECK(a.cols() == b.cols());
+  DenseMatrix c(a.rows(), b.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+DenseVector Multiply(const DenseMatrix& a, const DenseVector& x) {
+  LSI_CHECK(x.size() == a.cols());
+  DenseVector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+DenseVector MultiplyTranspose(const DenseMatrix& a, const DenseVector& x) {
+  LSI_CHECK(x.size() == a.rows());
+  DenseVector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b) {
+  LSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  DenseMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i) {
+    c.data()[i] = a.data()[i] + b.data()[i];
+  }
+  return c;
+}
+
+DenseMatrix Subtract(const DenseMatrix& a, const DenseMatrix& b) {
+  LSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  DenseMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i) {
+    c.data()[i] = a.data()[i] - b.data()[i];
+  }
+  return c;
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  LSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+double OrthonormalityError(const DenseMatrix& q) {
+  DenseMatrix gram = MultiplyAtB(q, q);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    for (std::size_t j = 0; j < gram.cols(); ++j) {
+      double target = (i == j) ? 1.0 : 0.0;
+      max_err = std::max(max_err, std::fabs(gram(i, j) - target));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace lsi::linalg

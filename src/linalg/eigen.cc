@@ -1,0 +1,211 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace lsi::linalg {
+namespace {
+
+/// Sum of squares of the strictly upper-triangular entries.
+double OffDiagonalSquaredSum(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) acc += a(i, j) * a(i, j);
+  }
+  return acc;
+}
+
+/// Sorts (eigenvalue, eigenvector-column) pairs descending by eigenvalue.
+SymmetricEigenResult SortDescending(DenseVector values, DenseMatrix vectors) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] > values[b];
+  });
+
+  SymmetricEigenResult out;
+  out.eigenvalues = DenseVector(values.size());
+  out.eigenvectors = DenseMatrix(vectors.rows(), vectors.cols());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    out.eigenvalues[k] = values[order[k]];
+    for (std::size_t i = 0; i < vectors.rows(); ++i) {
+      out.eigenvectors(i, k) = vectors(i, order[k]);
+    }
+  }
+  return out;
+}
+
+inline double Hypot(double a, double b) { return std::hypot(a, b); }
+
+}  // namespace
+
+Result<SymmetricEigenResult> JacobiEigen(const DenseMatrix& input,
+                                         const JacobiEigenOptions& options) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("JacobiEigen requires a square matrix");
+  }
+  const std::size_t n = input.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("JacobiEigen requires a nonempty matrix");
+  }
+
+  // Work on the symmetrized copy.
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = 0.5 * (input(i, j) + input(j, i));
+    }
+  }
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  const double frob = a.FrobeniusNorm();
+  if (frob == 0.0) {
+    // Zero matrix: all eigenvalues zero, eigenvectors identity.
+    SymmetricEigenResult out;
+    out.eigenvalues = DenseVector(n, 0.0);
+    out.eigenvectors = std::move(v);
+    return out;
+  }
+  const double threshold_sq =
+      options.tolerance * options.tolerance * frob * frob;
+
+  for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (OffDiagonalSquaredSum(a) <= threshold_sq) {
+      DenseVector values(n);
+      for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i);
+      return SortDescending(std::move(values), std::move(v));
+    }
+    for (std::size_t p = 0; p < n - 1; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        double app = a(p, p);
+        double aqq = a(q, q);
+        // Rotation angle that annihilates a(p,q).
+        double tau = (aqq - app) / (2.0 * apq);
+        double t;
+        if (tau >= 0.0) {
+          t = 1.0 / (tau + Hypot(1.0, tau));
+        } else {
+          t = -1.0 / (-tau + Hypot(1.0, tau));
+        }
+        double c = 1.0 / Hypot(1.0, t);
+        double s = t * c;
+
+        // Update rows/columns p and q of A (A := J^T A J).
+        for (std::size_t k = 0; k < n; ++k) {
+          double akp = a(k, p);
+          double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double apk = a(p, k);
+          double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate rotations into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p);
+          double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (OffDiagonalSquaredSum(a) <= threshold_sq) {
+    DenseVector values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i);
+    return SortDescending(std::move(values), std::move(v));
+  }
+  return Status::NumericalError(
+      "JacobiEigen failed to converge within max_sweeps");
+}
+
+Result<SymmetricEigenResult> TridiagonalEigen(
+    const std::vector<double>& diagonal,
+    const std::vector<double>& subdiagonal) {
+  const std::size_t n = diagonal.size();
+  if (n == 0) {
+    return Status::InvalidArgument("TridiagonalEigen requires n >= 1");
+  }
+  if (subdiagonal.size() + 1 != n) {
+    return Status::InvalidArgument(
+        "TridiagonalEigen: subdiagonal must have n-1 entries");
+  }
+
+  // Implicit QL with Wilkinson-style shifts (classic tql2 scheme).
+  std::vector<double> d = diagonal;
+  std::vector<double> e(n, 0.0);
+  std::copy(subdiagonal.begin(), subdiagonal.end(), e.begin());
+  // e is padded so e[n-1] = 0; entries shift to e[0..n-2] usage below.
+
+  DenseMatrix z = DenseMatrix::Identity(n);
+
+  const int kMaxIterationsPerEigenvalue = 50;
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      // Find a small subdiagonal element to split the problem.
+      for (m = l; m + 1 < n; ++m) {
+        double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == kMaxIterationsPerEigenvalue) {
+          return Status::NumericalError(
+              "TridiagonalEigen: too many QL iterations");
+        }
+        // Form the shift.
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        double sign_r = (g >= 0.0) ? std::fabs(r) : -std::fabs(r);
+        g = d[m] - d[l] + e[l] / (g + sign_r);
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Recover from underflow.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          // Accumulate the rotation in the eigenvector matrix.
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  DenseVector values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = d[i];
+  return SortDescending(std::move(values), std::move(z));
+}
+
+}  // namespace lsi::linalg

@@ -1,0 +1,50 @@
+#ifndef LSI_LINALG_EIGEN_H_
+#define LSI_LINALG_EIGEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+
+namespace lsi::linalg {
+
+/// Eigendecomposition of a symmetric matrix: A = V diag(w) V^T with the
+/// eigenvalues `w` sorted in descending order and eigenvectors as the
+/// columns of `v`.
+struct SymmetricEigenResult {
+  DenseVector eigenvalues;
+  DenseMatrix eigenvectors;
+};
+
+/// Options for the cyclic Jacobi eigensolver.
+struct JacobiEigenOptions {
+  /// Stop when the off-diagonal Frobenius norm drops below
+  /// tolerance * ||A||_F.
+  double tolerance = 1e-12;
+  /// Hard cap on full sweeps; convergence is typically < 15 sweeps.
+  std::size_t max_sweeps = 64;
+};
+
+/// Computes all eigenvalues/eigenvectors of a symmetric matrix with the
+/// cyclic Jacobi rotation method. Robust and accurate; O(n^3) per sweep,
+/// so intended for n up to a few thousand. The input is symmetrized as
+/// (A + A^T)/2; returns InvalidArgument for non-square input and
+/// NumericalError if max_sweeps is exhausted before convergence.
+Result<SymmetricEigenResult> JacobiEigen(
+    const DenseMatrix& a, const JacobiEigenOptions& options = {});
+
+/// Computes eigenvalues (and optionally eigenvectors) of a symmetric
+/// tridiagonal matrix given its diagonal and subdiagonal, using the
+/// implicit QL algorithm with Wilkinson shifts. `diagonal` has n entries,
+/// `subdiagonal` has n-1. Results are sorted descending.
+///
+/// This is the back-end of the Lanczos solvers.
+Result<SymmetricEigenResult> TridiagonalEigen(
+    const std::vector<double>& diagonal,
+    const std::vector<double>& subdiagonal);
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_EIGEN_H_

@@ -1,0 +1,41 @@
+#ifndef LSI_LINALG_GKL_SVD_H_
+#define LSI_LINALG_GKL_SVD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/operators.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/svd.h"
+
+namespace lsi::linalg {
+
+/// Options for Golub-Kahan-Lanczos bidiagonalization.
+struct GklSvdOptions {
+  /// Bidiagonalization steps. 0 = automatic: min(min_dim, max(2k+20, 40)).
+  std::size_t steps = 0;
+  /// Breakdown threshold on the residual norms.
+  double tolerance = 1e-10;
+  std::uint64_t seed = 42;
+};
+
+/// Top-k SVD by Golub-Kahan-Lanczos bidiagonalization with full
+/// reorthogonalization of both Krylov sequences — the algorithm family
+/// behind SVDPACK, provided alongside the Gram-operator symmetric
+/// Lanczos (LanczosSvd) as an alternative backend. Builds
+/// A V_t = U_t B_t (B_t lower bidiagonal), takes the SVD of the small
+/// B_t, and lifts the top-k triplets. Avoids squaring the condition
+/// number, so it resolves small singular values more accurately than the
+/// Gram-based route. Requires 1 <= k <= min(rows, cols).
+Result<SvdResult> GklSvd(const LinearOperator& a, std::size_t k,
+                         const GklSvdOptions& options = {});
+
+Result<SvdResult> GklSvd(const SparseMatrix& a, std::size_t k,
+                         const GklSvdOptions& options = {});
+Result<SvdResult> GklSvd(const DenseMatrix& a, std::size_t k,
+                         const GklSvdOptions& options = {});
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_GKL_SVD_H_

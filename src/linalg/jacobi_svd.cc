@@ -1,0 +1,174 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/svd.h"
+
+namespace lsi::linalg {
+namespace {
+
+/// One-sided Jacobi on a tall matrix (rows >= cols). Rotates column pairs
+/// of W until all pairs are numerically orthogonal; then W = U * diag(s)
+/// and the accumulated rotations form V.
+Result<SvdResult> JacobiSvdTall(const DenseMatrix& a,
+                                const JacobiSvdOptions& options) {
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  LSI_CHECK(n >= m);
+
+  // Column-major working copy for cache-friendly column rotations.
+  std::vector<std::vector<double>> w(m, std::vector<double>(n));
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < n; ++i) w[j][i] = a(i, j);
+  }
+  // V accumulated column-major as well.
+  std::vector<std::vector<double>> v(m, std::vector<double>(m, 0.0));
+  for (std::size_t j = 0; j < m; ++j) v[j][j] = 1.0;
+
+  const double tol = options.tolerance;
+  // Columns whose norm collapses below this (relative to ||A||_F) are
+  // numerically zero: rotating them further cannot converge and only
+  // spins the sweep loop.
+  double frob_sq = 0.0;
+  for (const auto& col : w) {
+    for (double x : col) frob_sq += x * x;
+  }
+  const double null_threshold = 1e-28 * frob_sq;
+
+  bool converged = false;
+  for (std::size_t sweep = 0; sweep < options.max_sweeps && !converged;
+       ++sweep) {
+    converged = true;
+    for (std::size_t p = 0; p + 1 < m; ++p) {
+      for (std::size_t q = p + 1; q < m; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        const double* wp = w[p].data();
+        const double* wq = w[q].data();
+        for (std::size_t i = 0; i < n; ++i) {
+          alpha += wp[i] * wp[i];
+          beta += wq[i] * wq[i];
+          gamma += wp[i] * wq[i];
+        }
+        if (alpha <= null_threshold || beta <= null_threshold) continue;
+        if (std::fabs(gamma) <= tol * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        // Rotation that orthogonalizes columns p and q.
+        double zeta = (beta - alpha) / (2.0 * gamma);
+        double t;
+        if (zeta >= 0.0) {
+          t = 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta));
+        } else {
+          t = -1.0 / (-zeta + std::sqrt(1.0 + zeta * zeta));
+        }
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = c * t;
+
+        double* wp_mut = w[p].data();
+        double* wq_mut = w[q].data();
+        for (std::size_t i = 0; i < n; ++i) {
+          double wpi = wp_mut[i];
+          double wqi = wq_mut[i];
+          wp_mut[i] = c * wpi - s * wqi;
+          wq_mut[i] = s * wpi + c * wqi;
+        }
+        double* vp = v[p].data();
+        double* vq = v[q].data();
+        for (std::size_t i = 0; i < m; ++i) {
+          double vpi = vp[i];
+          double vqi = vq[i];
+          vp[i] = c * vpi - s * vqi;
+          vq[i] = s * vpi + c * vqi;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    return Status::NumericalError(
+        "JacobiSvd failed to converge within max_sweeps");
+  }
+
+  // Singular values are the column norms of W.
+  std::vector<double> sigma(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (double x : w[j]) acc += x * x;
+    sigma[j] = std::sqrt(acc);
+  }
+
+  // Sort triplets descending by sigma.
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.u = DenseMatrix(n, m, 0.0);
+  out.v = DenseMatrix(m, m, 0.0);
+  out.singular_values = DenseVector(m);
+
+  // Numerical rank threshold relative to the largest singular value.
+  const double rank_tol =
+      (m > 0 && sigma[order[0]] > 0.0) ? 1e-13 * sigma[order[0]] : 0.0;
+
+  std::size_t numerical_rank = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t src = order[k];
+    out.singular_values[k] = sigma[src];
+    for (std::size_t i = 0; i < m; ++i) out.v(i, k) = v[src][i];
+    if (sigma[src] > rank_tol) {
+      ++numerical_rank;
+      double inv = 1.0 / sigma[src];
+      for (std::size_t i = 0; i < n; ++i) out.u(i, k) = w[src][i] * inv;
+    }
+  }
+
+  // Complete U columns for zero singular values to an orthonormal basis:
+  // Gram-Schmidt coordinate vectors against the existing columns.
+  for (std::size_t k = numerical_rank; k < m; ++k) {
+    out.singular_values[k] = 0.0;
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      // Start from e_cand and orthogonalize against columns 0..k-1.
+      std::vector<double> u_new(n, 0.0);
+      u_new[cand] = 1.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        double dot = out.u(cand, j);
+        for (std::size_t i = 0; i < n; ++i) u_new[i] -= dot * out.u(i, j);
+      }
+      double norm_sq = 0.0;
+      for (double x : u_new) norm_sq += x * x;
+      if (norm_sq > 0.5) {  // e_cand was far from span of previous columns.
+        double inv = 1.0 / std::sqrt(norm_sq);
+        for (std::size_t i = 0; i < n; ++i) out.u(i, k) = u_new[i] * inv;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SvdResult> JacobiSvd(const DenseMatrix& a,
+                            const JacobiSvdOptions& options) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("JacobiSvd requires a nonempty matrix");
+  }
+  if (a.rows() >= a.cols()) {
+    return JacobiSvdTall(a, options);
+  }
+  // Wide matrix: factor the transpose and swap U <-> V.
+  auto result = JacobiSvdTall(a.Transposed(), options);
+  if (!result.ok()) return result.status();
+  SvdResult swapped;
+  swapped.u = std::move(result.value().v);
+  swapped.v = std::move(result.value().u);
+  swapped.singular_values = std::move(result.value().singular_values);
+  return swapped;
+}
+
+}  // namespace lsi::linalg

@@ -1,0 +1,173 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/svd.h"
+
+namespace lsi::linalg {
+namespace {
+
+/// Runs symmetric Lanczos with full reorthogonalization on the (implicitly
+/// PSD) operator `g`, returning the Lanczos basis Q (columns), and the
+/// tridiagonal coefficients alpha/beta.
+struct LanczosBasis {
+  std::vector<DenseVector> q;
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[j] couples q[j] and q[j+1].
+};
+
+/// Full (two-pass classical Gram-Schmidt) reorthogonalization of w against
+/// the basis vectors collected so far.
+void Reorthogonalize(const std::vector<DenseVector>& basis, DenseVector& w) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const DenseVector& q : basis) {
+      double d = Dot(q, w);
+      if (d != 0.0) w.Axpy(-d, q);
+    }
+  }
+}
+
+LanczosBasis RunLanczos(const LinearOperator& g, std::size_t steps,
+                        double tolerance, Rng& rng) {
+  const std::size_t dim = g.cols();
+  LanczosBasis basis;
+
+  DenseVector q(dim);
+  for (std::size_t i = 0; i < dim; ++i) q[i] = rng.NextGaussian();
+  q.Normalize();
+  basis.q.push_back(q);
+
+  for (std::size_t j = 0; j < steps; ++j) {
+    DenseVector w = g.Apply(basis.q[j]);
+    double alpha = Dot(w, basis.q[j]);
+    basis.alpha.push_back(alpha);
+    w.Axpy(-alpha, basis.q[j]);
+    if (j > 0) w.Axpy(-basis.beta[j - 1], basis.q[j - 1]);
+    Reorthogonalize(basis.q, w);
+    double beta = w.Norm();
+    if (j + 1 == steps) break;  // The last beta is not needed.
+    if (beta <= tolerance) {
+      // Invariant subspace found: restart with a fresh random direction
+      // orthogonal to the basis. If the space is exhausted, stop.
+      if (basis.q.size() >= dim) {
+        break;
+      }
+      DenseVector fresh(dim);
+      for (std::size_t i = 0; i < dim; ++i) fresh[i] = rng.NextGaussian();
+      Reorthogonalize(basis.q, fresh);
+      double norm = fresh.Normalize();
+      if (norm <= tolerance) break;
+      basis.beta.push_back(0.0);
+      basis.q.push_back(fresh);
+      continue;
+    }
+    w.Scale(1.0 / beta);
+    basis.beta.push_back(beta);
+    basis.q.push_back(w);
+  }
+  return basis;
+}
+
+}  // namespace
+
+Result<SvdResult> LanczosSvd(const LinearOperator& a, std::size_t k,
+                             const LanczosSvdOptions& options) {
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("LanczosSvd requires a nonempty matrix");
+  }
+  const std::size_t min_dim = std::min(n, m);
+  if (k == 0 || k > min_dim) {
+    return Status::InvalidArgument(
+        "LanczosSvd requires 1 <= k <= min(rows, cols)");
+  }
+
+  // Work on the Gram operator of the smaller side, so the Lanczos basis
+  // vectors are as short as possible.
+  const bool use_outer = (n <= m);  // A A^T is n x n.
+  GramOperator gram(a);             // A^T A, m x m.
+  OuterGramOperator outer(a);       // A A^T, n x n.
+  const LinearOperator& g = use_outer
+                                ? static_cast<const LinearOperator&>(outer)
+                                : static_cast<const LinearOperator&>(gram);
+  const std::size_t dim = use_outer ? n : m;
+
+  std::size_t steps = options.steps;
+  if (steps == 0) steps = std::max<std::size_t>(2 * k + 20, 40);
+  steps = std::min(steps, dim);
+  if (steps < k) {
+    return Status::InvalidArgument("LanczosSvd: steps < k");
+  }
+
+  Rng rng(options.seed);
+  LanczosBasis basis = RunLanczos(g, steps, options.tolerance, rng);
+  const std::size_t t = basis.alpha.size();
+  if (t < k) {
+    return Status::NumericalError(
+        "LanczosSvd: Lanczos terminated before reaching k directions");
+  }
+
+  std::vector<double> sub(basis.beta.begin(),
+                          basis.beta.begin() + static_cast<std::ptrdiff_t>(t - 1));
+  auto eig = TridiagonalEigen(basis.alpha, sub);
+  if (!eig.ok()) return eig.status();
+  const SymmetricEigenResult& tri = eig.value();
+
+  SvdResult out;
+  out.singular_values = DenseVector(k);
+  out.u = DenseMatrix(n, k, 0.0);
+  out.v = DenseMatrix(m, k, 0.0);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    double lambda = std::max(tri.eigenvalues[i], 0.0);
+    double sigma = std::sqrt(lambda);
+    out.singular_values[i] = sigma;
+
+    // Ritz vector in the Gram space: y = Q * z_i.
+    DenseVector y(dim, 0.0);
+    for (std::size_t j = 0; j < t; ++j) {
+      double zji = tri.eigenvectors(j, i);
+      if (zji != 0.0) y.Axpy(zji, basis.q[j]);
+    }
+    y.Normalize();
+
+    if (use_outer) {
+      // y is a left singular vector; v = A^T u / sigma.
+      for (std::size_t r = 0; r < n; ++r) out.u(r, i) = y[r];
+      if (sigma > 0.0) {
+        DenseVector vcol = a.ApplyTranspose(y);
+        vcol.Scale(1.0 / sigma);
+        vcol.Normalize();
+        for (std::size_t r = 0; r < m; ++r) out.v(r, i) = vcol[r];
+      }
+    } else {
+      // y is a right singular vector; u = A v / sigma.
+      for (std::size_t r = 0; r < m; ++r) out.v(r, i) = y[r];
+      if (sigma > 0.0) {
+        DenseVector ucol = a.Apply(y);
+        ucol.Scale(1.0 / sigma);
+        ucol.Normalize();
+        for (std::size_t r = 0; r < n; ++r) out.u(r, i) = ucol[r];
+      }
+    }
+  }
+  return out;
+}
+
+Result<SvdResult> LanczosSvd(const SparseMatrix& a, std::size_t k,
+                             const LanczosSvdOptions& options) {
+  SparseOperator op(a);
+  return LanczosSvd(op, k, options);
+}
+
+Result<SvdResult> LanczosSvd(const DenseMatrix& a, std::size_t k,
+                             const LanczosSvdOptions& options) {
+  DenseOperator op(a);
+  return LanczosSvd(op, k, options);
+}
+
+}  // namespace lsi::linalg

@@ -1,0 +1,66 @@
+#ifndef LSI_LINALG_MATRIX_IO_H_
+#define LSI_LINALG_MATRIX_IO_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::linalg {
+
+/// Binary serialization for the matrix types. Format: little-endian
+/// (host order; files are not meant to cross architectures), a 4-byte
+/// magic per type, a version byte, dimensions as uint64, then payload.
+
+/// Writes `matrix` to `path`, replacing any existing file.
+Status SaveDenseMatrix(const DenseMatrix& matrix, const std::string& path);
+
+/// Reads a dense matrix written by SaveDenseMatrix.
+Result<DenseMatrix> LoadDenseMatrix(const std::string& path);
+
+/// Writes a sparse matrix (CSR arrays) to `path`.
+Status SaveSparseMatrix(const SparseMatrix& matrix, const std::string& path);
+
+/// Reads a sparse matrix written by SaveSparseMatrix.
+Result<SparseMatrix> LoadSparseMatrix(const std::string& path);
+
+namespace io_internal {
+
+/// Low-level helpers shared with the LsiIndex serializer.
+Status WriteBytes(std::FILE* file, const void* data, std::size_t size);
+Status ReadBytes(std::FILE* file, void* data, std::size_t size);
+Status WriteU64(std::FILE* file, std::uint64_t value);
+Result<std::uint64_t> ReadU64(std::FILE* file);
+Status WriteDoubles(std::FILE* file, const double* data, std::size_t count);
+Status ReadDoubles(std::FILE* file, double* data, std::size_t count);
+Status WriteDenseMatrixBody(std::FILE* file, const DenseMatrix& matrix);
+Result<DenseMatrix> ReadDenseMatrixBody(std::FILE* file);
+Status WriteDenseVectorBody(std::FILE* file, const DenseVector& vector);
+Result<DenseVector> ReadDenseVectorBody(std::FILE* file);
+
+/// RAII FILE handle.
+class FileHandle {
+ public:
+  FileHandle(const std::string& path, const char* mode)
+      : file_(std::fopen(path.c_str(), mode)) {}
+  ~FileHandle() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+
+  std::FILE* get() const { return file_; }
+  bool ok() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace io_internal
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_MATRIX_IO_H_

@@ -1,0 +1,58 @@
+#include "linalg/norms.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace lsi::linalg {
+
+double TwoNorm(const LinearOperator& a, const TwoNormOptions& options) {
+  const std::size_t m = a.cols();
+  LSI_CHECK(m > 0 && a.rows() > 0);
+  Rng rng(options.seed);
+  DenseVector x(m);
+  for (std::size_t i = 0; i < m; ++i) x[i] = rng.NextGaussian();
+  x.Normalize();
+
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    DenseVector y = a.ApplyTranspose(a.Apply(x));  // (A^T A) x
+    double norm = y.Norm();
+    if (norm == 0.0) return 0.0;  // x in the null space; ||A|| could still
+                                  // be > 0 but a Gaussian start makes this
+                                  // happen only for A = 0.
+    y.Scale(1.0 / norm);
+    double new_lambda = norm;  // Rayleigh-style estimate of sigma^2.
+    x = std::move(y);
+    if (it > 0 && std::fabs(new_lambda - lambda) <=
+                      options.tolerance * std::fabs(new_lambda)) {
+      lambda = new_lambda;
+      break;
+    }
+    lambda = new_lambda;
+  }
+  return std::sqrt(lambda);
+}
+
+double TwoNorm(const DenseMatrix& a, const TwoNormOptions& options) {
+  DenseOperator op(a);
+  return TwoNorm(op, options);
+}
+
+double TwoNorm(const SparseMatrix& a, const TwoNormOptions& options) {
+  SparseOperator op(a);
+  return TwoNorm(op, options);
+}
+
+double FrobeniusDistance(const DenseMatrix& a, const DenseMatrix& b) {
+  LSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows() * a.cols(); ++i) {
+    double d = a.data()[i] - b.data()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace lsi::linalg

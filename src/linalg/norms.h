@@ -1,0 +1,35 @@
+#ifndef LSI_LINALG_NORMS_H_
+#define LSI_LINALG_NORMS_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/operators.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::linalg {
+
+/// Options for the power-iteration two-norm estimate.
+struct TwoNormOptions {
+  std::size_t max_iterations = 300;
+  /// Relative change threshold between iterations for convergence.
+  double tolerance = 1e-10;
+  std::uint64_t seed = 7;
+};
+
+/// Estimates the spectral norm ||A||_2 (largest singular value) by power
+/// iteration on A^T A. Converges fast unless the top two singular values
+/// are nearly equal, in which case the estimate is still a tight lower
+/// bound within `tolerance` of sigma_1 in practice.
+double TwoNorm(const LinearOperator& a, const TwoNormOptions& options = {});
+
+double TwoNorm(const DenseMatrix& a, const TwoNormOptions& options = {});
+double TwoNorm(const SparseMatrix& a, const TwoNormOptions& options = {});
+
+/// ||A - B||_F for dense matrices of equal shape.
+double FrobeniusDistance(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_NORMS_H_

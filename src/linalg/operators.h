@@ -1,0 +1,125 @@
+#ifndef LSI_LINALG_OPERATORS_H_
+#define LSI_LINALG_OPERATORS_H_
+
+#include <cstddef>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::linalg {
+
+/// Abstract matrix-free linear operator.
+///
+/// Iterative solvers (Lanczos, power iteration, randomized range finding)
+/// only need matrix-vector products, so they are written against this
+/// interface and work identically for dense, sparse, and implicit
+/// (e.g. Gram) matrices.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+
+  /// Returns A * x. Requires x.size() == cols().
+  virtual DenseVector Apply(const DenseVector& x) const = 0;
+
+  /// Returns A^T * x. Requires x.size() == rows().
+  virtual DenseVector ApplyTranspose(const DenseVector& x) const = 0;
+};
+
+/// LinearOperator view over a DenseMatrix (not owned).
+class DenseOperator final : public LinearOperator {
+ public:
+  explicit DenseOperator(const DenseMatrix& matrix) : matrix_(matrix) {}
+
+  std::size_t rows() const override { return matrix_.rows(); }
+  std::size_t cols() const override { return matrix_.cols(); }
+  DenseVector Apply(const DenseVector& x) const override {
+    return Multiply(matrix_, x);
+  }
+  DenseVector ApplyTranspose(const DenseVector& x) const override {
+    return MultiplyTranspose(matrix_, x);
+  }
+
+ private:
+  const DenseMatrix& matrix_;
+};
+
+/// LinearOperator view over a SparseMatrix (not owned).
+class SparseOperator final : public LinearOperator {
+ public:
+  explicit SparseOperator(const SparseMatrix& matrix) : matrix_(matrix) {}
+
+  std::size_t rows() const override { return matrix_.rows(); }
+  std::size_t cols() const override { return matrix_.cols(); }
+  DenseVector Apply(const DenseVector& x) const override {
+    return matrix_.Multiply(x);
+  }
+  DenseVector ApplyTranspose(const DenseVector& x) const override {
+    return matrix_.MultiplyTranspose(x);
+  }
+
+ private:
+  const SparseMatrix& matrix_;
+};
+
+/// The transpose view of a base operator (not owned).
+class TransposedOperator final : public LinearOperator {
+ public:
+  explicit TransposedOperator(const LinearOperator& base) : base_(base) {}
+
+  std::size_t rows() const override { return base_.cols(); }
+  std::size_t cols() const override { return base_.rows(); }
+  DenseVector Apply(const DenseVector& x) const override {
+    return base_.ApplyTranspose(x);
+  }
+  DenseVector ApplyTranspose(const DenseVector& x) const override {
+    return base_.Apply(x);
+  }
+
+ private:
+  const LinearOperator& base_;
+};
+
+/// The symmetric positive semidefinite Gram operator G = A^T A of a base
+/// operator A, applied without forming G. Square: cols(A) x cols(A).
+class GramOperator final : public LinearOperator {
+ public:
+  explicit GramOperator(const LinearOperator& base) : base_(base) {}
+
+  std::size_t rows() const override { return base_.cols(); }
+  std::size_t cols() const override { return base_.cols(); }
+  DenseVector Apply(const DenseVector& x) const override {
+    return base_.ApplyTranspose(base_.Apply(x));
+  }
+  DenseVector ApplyTranspose(const DenseVector& x) const override {
+    return Apply(x);  // G is symmetric.
+  }
+
+ private:
+  const LinearOperator& base_;
+};
+
+/// The outer Gram operator H = A A^T. Square: rows(A) x rows(A).
+class OuterGramOperator final : public LinearOperator {
+ public:
+  explicit OuterGramOperator(const LinearOperator& base) : base_(base) {}
+
+  std::size_t rows() const override { return base_.rows(); }
+  std::size_t cols() const override { return base_.rows(); }
+  DenseVector Apply(const DenseVector& x) const override {
+    return base_.Apply(base_.ApplyTranspose(x));
+  }
+  DenseVector ApplyTranspose(const DenseVector& x) const override {
+    return Apply(x);
+  }
+
+ private:
+  const LinearOperator& base_;
+};
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_OPERATORS_H_

@@ -1,0 +1,130 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace lsi::linalg {
+namespace {
+
+/// State of the Householder factorization, kept column-major: columns of
+/// the working matrix are contiguous so the reflector applications that
+/// dominate the cost stream through memory. R lives on and above the
+/// diagonal; reflector tails below it (with the implicit v[k] = 1
+/// convention); beta_k holds H_k = I - beta_k v_k v_k^T.
+struct HouseholderState {
+  std::size_t rows = 0;
+  std::vector<std::vector<double>> columns;
+  std::vector<double> betas;
+};
+
+HouseholderState Factorize(const DenseMatrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HouseholderState state;
+  state.rows = m;
+  state.columns.assign(n, std::vector<double>(m));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) state.columns[j][i] = a(i, j);
+  }
+  state.betas.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    double* ck = state.columns[k].data();
+    // Norm of the column below (and including) the diagonal.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += ck[i] * ck[i];
+    double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      state.betas[k] = 0.0;  // Column already zero: identity reflector.
+      continue;
+    }
+    double x0 = ck[k];
+    // Choose the sign that avoids cancellation.
+    double alpha = (x0 >= 0.0) ? -norm : norm;
+    // v = x - alpha e1, normalized so v[k] = 1; tail stored in place.
+    double v0 = x0 - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) ck[i] /= v0;
+    double vnorm_sq = 1.0;
+    for (std::size_t i = k + 1; i < m; ++i) vnorm_sq += ck[i] * ck[i];
+    double beta = 2.0 / vnorm_sq;
+    state.betas[k] = beta;
+    ck[k] = alpha;  // R(k, k).
+
+    // Apply H to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double* cj = state.columns[j].data();
+      double dot = cj[k];
+      for (std::size_t i = k + 1; i < m; ++i) dot += ck[i] * cj[i];
+      double coeff = beta * dot;
+      cj[k] -= coeff;
+      for (std::size_t i = k + 1; i < m; ++i) cj[i] -= coeff * ck[i];
+    }
+  }
+  return state;
+}
+
+DenseMatrix ExtractQ(const HouseholderState& state) {
+  const std::size_t m = state.rows;
+  const std::size_t n = state.columns.size();
+  // Build Q's columns (thin: first n columns of the full Q) by applying
+  // the reflectors in reverse order to the identity columns.
+  std::vector<std::vector<double>> q(n, std::vector<double>(m, 0.0));
+  for (std::size_t j = 0; j < n; ++j) q[j][j] = 1.0;
+
+  for (std::size_t kk = n; kk-- > 0;) {
+    double beta = state.betas[kk];
+    if (beta == 0.0) continue;
+    const double* v = state.columns[kk].data();
+    for (std::size_t j = 0; j < n; ++j) {
+      double* qj = q[j].data();
+      double dot = qj[kk];
+      for (std::size_t i = kk + 1; i < m; ++i) dot += v[i] * qj[i];
+      double coeff = beta * dot;
+      qj[kk] -= coeff;
+      for (std::size_t i = kk + 1; i < m; ++i) qj[i] -= coeff * v[i];
+    }
+  }
+  DenseMatrix out(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) out(i, j) = q[j][i];
+  }
+  return out;
+}
+
+DenseMatrix ExtractR(const HouseholderState& state) {
+  const std::size_t n = state.columns.size();
+  DenseMatrix r(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i <= j; ++i) r(i, j) = state.columns[j][i];
+  }
+  return r;
+}
+
+Status ValidateQrInput(const DenseMatrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("QR requires a nonempty matrix");
+  }
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument("QR requires rows >= cols (thin QR)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QrResult> HouseholderQr(const DenseMatrix& a) {
+  LSI_RETURN_IF_ERROR(ValidateQrInput(a));
+  HouseholderState state = Factorize(a);
+  QrResult out;
+  out.q = ExtractQ(state);
+  out.r = ExtractR(state);
+  return out;
+}
+
+Result<DenseMatrix> Orthonormalize(const DenseMatrix& a) {
+  LSI_RETURN_IF_ERROR(ValidateQrInput(a));
+  HouseholderState state = Factorize(a);
+  return ExtractQ(state);
+}
+
+}  // namespace lsi::linalg

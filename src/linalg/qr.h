@@ -1,0 +1,27 @@
+#ifndef LSI_LINALG_QR_H_
+#define LSI_LINALG_QR_H_
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+
+namespace lsi::linalg {
+
+/// Thin QR factorization A = Q R of an m x n matrix with m >= n:
+/// Q is m x n with orthonormal columns, R is n x n upper triangular.
+struct QrResult {
+  DenseMatrix q;
+  DenseMatrix r;
+};
+
+/// Computes the thin (reduced) QR factorization via Householder
+/// reflections. Requires a.rows() >= a.cols(); returns InvalidArgument
+/// otherwise. Rank deficiency is tolerated (R has small/zero diagonal
+/// entries; Q columns are still orthonormal).
+Result<QrResult> HouseholderQr(const DenseMatrix& a);
+
+/// Returns only the orthonormal Q factor (cheaper to call, same cost).
+Result<DenseMatrix> Orthonormalize(const DenseMatrix& a);
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_QR_H_

@@ -1,0 +1,44 @@
+#include "linalg/random_matrix.h"
+
+#include <cmath>
+
+#include "linalg/qr.h"
+
+namespace lsi::linalg {
+
+DenseMatrix GaussianMatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  DenseMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* row = m.RowPtr(i);
+    for (std::size_t j = 0; j < cols; ++j) row[j] = rng.NextGaussian();
+  }
+  return m;
+}
+
+Result<DenseMatrix> RandomOrthonormalColumns(std::size_t n, std::size_t l,
+                                             Rng& rng) {
+  if (l > n) {
+    return Status::InvalidArgument(
+        "RandomOrthonormalColumns requires l <= n");
+  }
+  if (l == 0 || n == 0) {
+    return Status::InvalidArgument(
+        "RandomOrthonormalColumns requires n, l >= 1");
+  }
+  DenseMatrix g = GaussianMatrix(n, l, rng);
+  return Orthonormalize(g);
+}
+
+DenseMatrix SignMatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  DenseMatrix m(rows, cols);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(cols));
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* row = m.RowPtr(i);
+    for (std::size_t j = 0; j < cols; ++j) {
+      row[j] = rng.Bernoulli(0.5) ? scale : -scale;
+    }
+  }
+  return m;
+}
+
+}  // namespace lsi::linalg

@@ -1,0 +1,28 @@
+#ifndef LSI_LINALG_RANDOM_MATRIX_H_
+#define LSI_LINALG_RANDOM_MATRIX_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/dense_matrix.h"
+
+namespace lsi::linalg {
+
+/// Returns a rows x cols matrix with i.i.d. N(0, 1) entries.
+DenseMatrix GaussianMatrix(std::size_t rows, std::size_t cols, Rng& rng);
+
+/// Returns an n x l matrix with orthonormal columns spanning a uniformly
+/// random l-dimensional subspace of R^n (QR of a Gaussian matrix). This is
+/// the projection matrix R of Section 5 of the paper. Requires l <= n.
+Result<DenseMatrix> RandomOrthonormalColumns(std::size_t n, std::size_t l,
+                                             Rng& rng);
+
+/// Returns a rows x cols matrix with i.i.d. entries +-1/sqrt(cols)
+/// (Achlioptas-style sparse-friendly JL projection); cheaper to apply than
+/// the orthonormal variant and nearly as accurate. Used in ablations.
+DenseMatrix SignMatrix(std::size_t rows, std::size_t cols, Rng& rng);
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_RANDOM_MATRIX_H_

@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+
+namespace lsi::linalg {
+namespace {
+
+/// Applies `a` to each column of `x`: returns A * X as a dense matrix.
+DenseMatrix ApplyToColumns(const LinearOperator& a, const DenseMatrix& x) {
+  DenseMatrix y(a.rows(), x.cols());
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    DenseVector col = a.Apply(x.Column(j));
+    y.SetColumn(j, col);
+  }
+  return y;
+}
+
+/// Returns A^T * X as a dense matrix.
+DenseMatrix ApplyTransposeToColumns(const LinearOperator& a,
+                                    const DenseMatrix& x) {
+  DenseMatrix y(a.cols(), x.cols());
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    DenseVector col = a.ApplyTranspose(x.Column(j));
+    y.SetColumn(j, col);
+  }
+  return y;
+}
+
+}  // namespace
+
+Result<SvdResult> RandomizedSvd(const LinearOperator& a, std::size_t k,
+                                const RandomizedSvdOptions& options) {
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument(
+        "RandomizedSvd requires a nonempty matrix");
+  }
+  const std::size_t min_dim = std::min(n, m);
+  if (k == 0 || k > min_dim) {
+    return Status::InvalidArgument(
+        "RandomizedSvd requires 1 <= k <= min(rows, cols)");
+  }
+  const std::size_t sample = std::min(k + options.oversample, min_dim);
+
+  Rng rng(options.seed);
+  // Gaussian test matrix Omega: m x sample.
+  DenseMatrix omega(m, sample);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < sample; ++j) omega(i, j) = rng.NextGaussian();
+  }
+
+  // Range sampling Y = A * Omega, with power iterations
+  // Y <- A (A^T Y) and re-orthonormalization for stability.
+  DenseMatrix y = ApplyToColumns(a, omega);
+  LSI_ASSIGN_OR_RETURN(DenseMatrix q, Orthonormalize(y));
+  for (std::size_t it = 0; it < options.power_iterations; ++it) {
+    DenseMatrix z = ApplyTransposeToColumns(a, q);
+    LSI_ASSIGN_OR_RETURN(DenseMatrix qz, Orthonormalize(z));
+    DenseMatrix y2 = ApplyToColumns(a, qz);
+    LSI_ASSIGN_OR_RETURN(q, Orthonormalize(y2));
+  }
+
+  // Project: B = Q^T A, computed as (A^T Q)^T, sized sample x m.
+  DenseMatrix at_q = ApplyTransposeToColumns(a, q);  // m x sample
+  DenseMatrix b = at_q.Transposed();                 // sample x m
+
+  LSI_ASSIGN_OR_RETURN(SvdResult small, JacobiSvd(b));
+
+  SvdResult out;
+  out.singular_values = DenseVector(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.singular_values[i] = small.singular_values[i];
+  }
+  // U = Q * U_b (truncate to k columns), V = V_b columns.
+  DenseMatrix ub = small.u.LeftColumns(k);
+  out.u = Multiply(q, ub);
+  out.v = small.v.LeftColumns(k);
+  return out;
+}
+
+Result<SvdResult> RandomizedSvd(const SparseMatrix& a, std::size_t k,
+                                const RandomizedSvdOptions& options) {
+  SparseOperator op(a);
+  return RandomizedSvd(op, k, options);
+}
+
+Result<SvdResult> RandomizedSvd(const DenseMatrix& a, std::size_t k,
+                                const RandomizedSvdOptions& options) {
+  DenseOperator op(a);
+  return RandomizedSvd(op, k, options);
+}
+
+}  // namespace lsi::linalg

@@ -1,0 +1,38 @@
+#ifndef LSI_LINALG_SAMPLED_SVD_H_
+#define LSI_LINALG_SAMPLED_SVD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/svd.h"
+
+namespace lsi::linalg {
+
+/// Options for the sampling-based Monte Carlo low-rank approximation.
+struct SampledSvdOptions {
+  /// Number of columns to sample (with replacement, length-squared
+  /// probabilities). 0 means automatic: max(4k + 20, 50), clamped to m.
+  std::size_t sample_size = 0;
+  std::uint64_t seed = 42;
+};
+
+/// The Frieze–Kannan–Vempala Monte Carlo low-rank approximation the
+/// paper cites as the *sampling* alternative to random projection (§5,
+/// ref [15]): sample s columns of A with probability proportional to
+/// their squared lengths, rescale so the sampled matrix C has
+/// E[C C^T] = A A^T, take the top-k left singular vectors of the small
+/// n x s matrix C as approximate left singular vectors of A, and
+/// complete the triplets against A itself (sigma_i = |A^T u_i|,
+/// v_i = A^T u_i / sigma_i).
+///
+/// Satisfies ||A - D||_F <= ||A - A_k||_F + eps ||A||_F w.h.p. once the
+/// sample is large enough (poly in k, 1/eps). Compare bench_e11.
+/// Requires 1 <= k <= min(rows, cols).
+Result<SvdResult> SampledSvd(const SparseMatrix& a, std::size_t k,
+                             const SampledSvdOptions& options = {});
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_SAMPLED_SVD_H_

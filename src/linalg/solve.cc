@@ -1,0 +1,83 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <vector>
+
+namespace lsi::linalg {
+
+Result<DenseVector> SolveLinearSystem(const DenseMatrix& a,
+                                      const DenseVector& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0 || b.size() != n) {
+    return Status::InvalidArgument(
+        "SolveLinearSystem: dimension mismatch or empty system");
+  }
+
+  // Augmented working copy.
+  DenseMatrix work = a;
+  DenseVector rhs = b;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: largest |entry| in the column at/below the pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(work(col, col));
+    for (std::size_t row = col + 1; row < n; ++row) {
+      double candidate = std::fabs(work(row, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-300) {
+      return Status::NumericalError(
+          "SolveLinearSystem: matrix is numerically singular");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work(col, j), work(pivot, j));
+      }
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    // Eliminate below.
+    double inv_pivot = 1.0 / work(col, col);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      double factor = work(row, col) * inv_pivot;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) {
+        work(row, j) -= factor * work(col, j);
+      }
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+
+  // Back substitution.
+  DenseVector x(n);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = rhs[row];
+    for (std::size_t j = row + 1; j < n; ++j) acc -= work(row, j) * x[j];
+    x[row] = acc / work(row, row);
+  }
+  return x;
+}
+
+Result<DenseVector> SolveLeastSquares(const DenseMatrix& a,
+                                      const DenseVector& b, double ridge) {
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument(
+        "SolveLeastSquares requires rows >= cols");
+  }
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("SolveLeastSquares: rhs size mismatch");
+  }
+  DenseMatrix normal = MultiplyAtB(a, a);
+  for (std::size_t i = 0; i < normal.rows(); ++i) {
+    normal(i, i) += ridge;
+  }
+  DenseVector rhs = MultiplyTranspose(a, b);
+  return SolveLinearSystem(normal, rhs);
+}
+
+}  // namespace lsi::linalg

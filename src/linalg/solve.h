@@ -1,0 +1,26 @@
+#ifndef LSI_LINALG_SOLVE_H_
+#define LSI_LINALG_SOLVE_H_
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+
+namespace lsi::linalg {
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting. Returns NumericalError if A is (numerically) singular.
+/// Intended for the small systems the library needs (normal equations of
+/// k-dimensional least-squares problems), not as a large-scale solver.
+Result<DenseVector> SolveLinearSystem(const DenseMatrix& a,
+                                      const DenseVector& b);
+
+/// Solves the least-squares problem min ||A x - b||_2 for a tall matrix
+/// A (rows >= cols) via the normal equations A^T A x = A^T b, with a
+/// tiny ridge (lambda * I) for rank-deficient robustness.
+Result<DenseVector> SolveLeastSquares(const DenseMatrix& a,
+                                      const DenseVector& b,
+                                      double ridge = 1e-12);
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_SOLVE_H_

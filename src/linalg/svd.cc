@@ -1,0 +1,37 @@
+#include "linalg/svd.h"
+
+#include "common/check.h"
+
+namespace lsi::linalg {
+
+DenseMatrix SvdResult::Reconstruct(std::size_t k) const {
+  LSI_CHECK(k <= rank());
+  const std::size_t n = u.rows();
+  const std::size_t m = v.rows();
+  DenseMatrix out(n, m, 0.0);
+  for (std::size_t t = 0; t < k; ++t) {
+    double s = singular_values[t];
+    if (s == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      double us = u(i, t) * s;
+      if (us == 0.0) continue;
+      double* row = out.RowPtr(i);
+      for (std::size_t j = 0; j < m; ++j) row[j] += us * v(j, t);
+    }
+  }
+  return out;
+}
+
+SvdResult SvdResult::Truncated(std::size_t k) const {
+  LSI_CHECK(k <= rank());
+  SvdResult out;
+  out.u = u.LeftColumns(k);
+  out.v = v.LeftColumns(k);
+  out.singular_values = DenseVector(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.singular_values[i] = singular_values[i];
+  }
+  return out;
+}
+
+}  // namespace lsi::linalg

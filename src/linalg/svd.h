@@ -1,0 +1,100 @@
+#ifndef LSI_LINALG_SVD_H_
+#define LSI_LINALG_SVD_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+#include "linalg/operators.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::linalg {
+
+/// A (possibly truncated) singular value decomposition A ~= U S V^T of an
+/// n x m matrix:
+///   u:                n x k, orthonormal columns (left singular vectors)
+///   singular_values:  k entries, nonnegative, descending
+///   v:                m x k, orthonormal columns (right singular vectors)
+struct SvdResult {
+  DenseMatrix u;
+  DenseVector singular_values;
+  DenseMatrix v;
+
+  /// Number of retained singular triplets.
+  std::size_t rank() const { return singular_values.size(); }
+
+  /// Reconstructs U_k S_k V_k^T using the first `k` triplets
+  /// (k = rank() reconstructs everything retained).
+  DenseMatrix Reconstruct(std::size_t k) const;
+
+  /// Returns a copy truncated to the top `k` triplets.
+  SvdResult Truncated(std::size_t k) const;
+};
+
+/// Options for the one-sided Jacobi SVD.
+struct JacobiSvdOptions {
+  /// Column pair (p,q) is rotated only if |w_p . w_q| exceeds
+  /// tolerance * ||w_p|| * ||w_q||.
+  double tolerance = 1e-12;
+  std::size_t max_sweeps = 64;
+};
+
+/// Full SVD of a dense matrix by the one-sided Jacobi (Hestenes) method.
+/// Robust and highly accurate; cost is O(min(n,m)^2 * max(n,m)) per sweep,
+/// so intended for matrices up to a few thousand on a side. Returns all
+/// min(n, m) singular triplets. Columns of U/V corresponding to zero
+/// singular values are completed to an orthonormal basis.
+Result<SvdResult> JacobiSvd(const DenseMatrix& a,
+                            const JacobiSvdOptions& options = {});
+
+/// Options for the Lanczos truncated SVD.
+struct LanczosSvdOptions {
+  /// Lanczos steps. 0 means automatic: min(dim, max(2k + 20, 40)) where
+  /// dim is the smaller matrix dimension.
+  std::size_t steps = 0;
+  /// Breakdown / convergence threshold on the Lanczos residual norm.
+  double tolerance = 1e-10;
+  /// Seed for the random start vector.
+  std::uint64_t seed = 42;
+};
+
+/// Top-k SVD of a (typically sparse) matrix via symmetric Lanczos with
+/// full reorthogonalization applied to the Gram operator of the smaller
+/// side. This is the library's workhorse for term-document matrices and
+/// plays the role SVDPACK played in the paper's experiments.
+/// Requires 1 <= k <= min(rows, cols).
+Result<SvdResult> LanczosSvd(const LinearOperator& a, std::size_t k,
+                             const LanczosSvdOptions& options = {});
+
+/// Convenience overloads.
+Result<SvdResult> LanczosSvd(const SparseMatrix& a, std::size_t k,
+                             const LanczosSvdOptions& options = {});
+Result<SvdResult> LanczosSvd(const DenseMatrix& a, std::size_t k,
+                             const LanczosSvdOptions& options = {});
+
+/// Options for randomized (subspace iteration) SVD.
+struct RandomizedSvdOptions {
+  /// Extra sampled dimensions beyond k (Halko et al. recommend 5-10).
+  std::size_t oversample = 8;
+  /// Power iterations; 2 is enough for rapidly decaying spectra.
+  std::size_t power_iterations = 2;
+  std::uint64_t seed = 42;
+};
+
+/// Top-k SVD by Gaussian range sampling + power iteration + small dense
+/// SVD (Halko/Martinsson/Tropp). Faster but slightly less accurate than
+/// Lanczos for clustered spectra. Requires 1 <= k <= min(rows, cols) and
+/// k + oversample is clamped to min(rows, cols).
+Result<SvdResult> RandomizedSvd(const LinearOperator& a, std::size_t k,
+                                const RandomizedSvdOptions& options = {});
+
+Result<SvdResult> RandomizedSvd(const SparseMatrix& a, std::size_t k,
+                                const RandomizedSvdOptions& options = {});
+Result<SvdResult> RandomizedSvd(const DenseMatrix& a, std::size_t k,
+                                const RandomizedSvdOptions& options = {});
+
+}  // namespace lsi::linalg
+
+#endif  // LSI_LINALG_SVD_H_

@@ -1,0 +1,206 @@
+#include "model/corpus_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace lsi::model {
+
+std::size_t Mixture::SampleComponent(Rng& rng) const {
+  LSI_CHECK(!components.empty());
+  double total = TotalWeight();
+  double u = rng.NextDouble() * total;
+  double acc = 0.0;
+  for (const auto& [index, weight] : components) {
+    acc += weight;
+    if (u < acc) return index;
+  }
+  return components.back().first;  // Rounding fallback.
+}
+
+std::size_t Mixture::DominantComponent() const {
+  LSI_CHECK(!components.empty());
+  std::size_t best = components[0].first;
+  double best_weight = components[0].second;
+  for (const auto& [index, weight] : components) {
+    if (weight > best_weight) {
+      best = index;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+double Mixture::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& [index, weight] : components) total += weight;
+  return total;
+}
+
+PureDocumentSampler::PureDocumentSampler(std::size_t num_topics,
+                                         std::size_t min_length,
+                                         std::size_t max_length)
+    : num_topics_(num_topics),
+      min_length_(min_length),
+      max_length_(max_length) {
+  LSI_CHECK(num_topics > 0);
+  LSI_CHECK(min_length >= 1 && min_length <= max_length);
+}
+
+DocumentSpec PureDocumentSampler::Sample(Rng& rng) const {
+  DocumentSpec spec;
+  spec.topics = Mixture::Single(
+      static_cast<std::size_t>(rng.NextUint64Below(num_topics_)));
+  spec.styles = styles_;
+  spec.length = static_cast<std::size_t>(rng.UniformInt(
+      static_cast<std::int64_t>(min_length_),
+      static_cast<std::int64_t>(max_length_)));
+  return spec;
+}
+
+MixedDocumentSampler::MixedDocumentSampler(std::size_t num_topics,
+                                           std::size_t topics_per_doc,
+                                           std::size_t min_length,
+                                           std::size_t max_length)
+    : num_topics_(num_topics),
+      topics_per_doc_(std::min(topics_per_doc, num_topics)),
+      min_length_(min_length),
+      max_length_(max_length) {
+  LSI_CHECK(num_topics > 0 && topics_per_doc > 0);
+  LSI_CHECK(min_length >= 1 && min_length <= max_length);
+}
+
+DocumentSpec MixedDocumentSampler::Sample(Rng& rng) const {
+  // Choose topics_per_doc distinct topics, weight them with exponential
+  // draws normalized to 1 (equivalent to a flat Dirichlet).
+  std::vector<std::size_t> indices(num_topics_);
+  for (std::size_t i = 0; i < num_topics_; ++i) indices[i] = i;
+  rng.Shuffle(indices);
+
+  DocumentSpec spec;
+  double total = 0.0;
+  for (std::size_t i = 0; i < topics_per_doc_; ++i) {
+    double w = -std::log(1.0 - rng.NextDouble());
+    spec.topics.components.emplace_back(indices[i], w);
+    total += w;
+  }
+  for (auto& [index, weight] : spec.topics.components) weight /= total;
+  spec.length = static_cast<std::size_t>(rng.UniformInt(
+      static_cast<std::int64_t>(min_length_),
+      static_cast<std::int64_t>(max_length_)));
+  return spec;
+}
+
+CorpusModel::CorpusModel(std::size_t universe_size, std::vector<Topic> topics,
+                         std::vector<Style> styles,
+                         std::shared_ptr<const DocumentSpecSampler> sampler)
+    : universe_size_(universe_size),
+      topics_(std::move(topics)),
+      styles_(std::move(styles)),
+      sampler_(std::move(sampler)) {}
+
+Result<CorpusModel> CorpusModel::Create(
+    std::size_t universe_size, std::vector<Topic> topics,
+    std::vector<Style> styles,
+    std::shared_ptr<const DocumentSpecSampler> sampler) {
+  if (universe_size == 0) {
+    return Status::InvalidArgument("CorpusModel: empty universe");
+  }
+  if (topics.empty()) {
+    return Status::InvalidArgument("CorpusModel: at least one topic required");
+  }
+  if (sampler == nullptr) {
+    return Status::InvalidArgument("CorpusModel: sampler must not be null");
+  }
+  for (const Topic& t : topics) {
+    if (t.UniverseSize() != universe_size) {
+      return Status::InvalidArgument(
+          "CorpusModel: topic universe size mismatch");
+    }
+  }
+  for (const Style& s : styles) {
+    if (s.UniverseSize() != universe_size) {
+      return Status::InvalidArgument(
+          "CorpusModel: style universe size mismatch");
+    }
+  }
+  return CorpusModel(universe_size, std::move(topics), std::move(styles),
+                     std::move(sampler));
+}
+
+Status CorpusModel::SetBurstiness(double rho) {
+  if (rho < 0.0 || rho >= 1.0) {
+    return Status::InvalidArgument("burstiness must satisfy 0 <= rho < 1");
+  }
+  burstiness_ = rho;
+  return Status::OK();
+}
+
+Result<std::pair<std::vector<text::TermId>, DocumentSpec>>
+CorpusModel::GenerateDocument(Rng& rng) const {
+  DocumentSpec spec = sampler_->Sample(rng);
+  if (spec.topics.components.empty()) {
+    return Status::Internal("DocumentSpec has no topic components");
+  }
+  for (const auto& [index, weight] : spec.topics.components) {
+    if (index >= topics_.size() || weight < 0.0) {
+      return Status::Internal("DocumentSpec references an invalid topic");
+    }
+  }
+  for (const auto& [index, weight] : spec.styles.components) {
+    if (index >= styles_.size() || weight < 0.0) {
+      return Status::Internal("DocumentSpec references an invalid style");
+    }
+  }
+  // Two-step process of §3: sample l terms from the topic combination
+  // T-bar, each passed through the style combination S-bar. With
+  // burstiness rho, an occurrence may instead repeat an earlier one
+  // (Pólya urn), modeling correlated term occurrences.
+  std::vector<text::TermId> terms;
+  terms.reserve(spec.length);
+  for (std::size_t i = 0; i < spec.length; ++i) {
+    if (!terms.empty() && burstiness_ > 0.0 && rng.Bernoulli(burstiness_)) {
+      terms.push_back(terms[static_cast<std::size_t>(
+          rng.NextUint64Below(terms.size()))]);
+      continue;
+    }
+    std::size_t topic_index = spec.topics.SampleComponent(rng);
+    text::TermId term = topics_[topic_index].Sample(rng);
+    if (!spec.styles.components.empty()) {
+      std::size_t style_index = spec.styles.SampleComponent(rng);
+      term = styles_[style_index].Apply(term, rng);
+    }
+    terms.push_back(term);
+  }
+  return std::make_pair(std::move(terms), std::move(spec));
+}
+
+Result<GeneratedCorpus> CorpusModel::GenerateCorpus(std::size_t num_documents,
+                                                    Rng& rng) const {
+  if (num_documents == 0) {
+    return Status::InvalidArgument("GenerateCorpus: num_documents must be > 0");
+  }
+  GeneratedCorpus out;
+  // Pre-register the full universe so term ids == universe indices.
+  char buffer[32];
+  for (std::size_t t = 0; t < universe_size_; ++t) {
+    std::snprintf(buffer, sizeof(buffer), "term%05zu", t);
+    out.corpus.AddTerm(buffer);
+  }
+  out.specs.reserve(num_documents);
+  out.topic_of_document.reserve(num_documents);
+  for (std::size_t d = 0; d < num_documents; ++d) {
+    LSI_ASSIGN_OR_RETURN(auto generated, GenerateDocument(rng));
+    auto& [terms, spec] = generated;
+    std::snprintf(buffer, sizeof(buffer), "doc%05zu", d);
+    auto added = out.corpus.AddDocumentFromIds(buffer, std::move(terms));
+    if (!added.ok()) return added.status();
+    out.topic_of_document.push_back(spec.topics.DominantComponent());
+    out.specs.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace lsi::model

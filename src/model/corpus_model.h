@@ -1,0 +1,156 @@
+#ifndef LSI_MODEL_CORPUS_MODEL_H_
+#define LSI_MODEL_CORPUS_MODEL_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/style.h"
+#include "model/topic.h"
+#include "text/corpus.h"
+
+namespace lsi::model {
+
+/// A convex combination of components (topics or styles), by index into
+/// the corpus model's topic/style lists. Weights must be nonnegative and
+/// sum to ~1 (enforced by CorpusModel at generation time).
+struct Mixture {
+  std::vector<std::pair<std::size_t, double>> components;
+
+  /// A mixture concentrated on one component.
+  static Mixture Single(std::size_t index) { return Mixture{{{index, 1.0}}}; }
+
+  /// Samples a component index proportionally to the weights.
+  std::size_t SampleComponent(Rng& rng) const;
+
+  /// The component with the largest weight (ties broken by order).
+  std::size_t DominantComponent() const;
+
+  /// Sum of the weights.
+  double TotalWeight() const;
+};
+
+/// One draw from the distribution D of Definition 4: a topic
+/// combination, a style combination (empty = no style / identity), and a
+/// document length.
+struct DocumentSpec {
+  Mixture topics;
+  Mixture styles;
+  std::size_t length = 0;
+};
+
+/// The distribution D on T-bar x S-bar x Z+ (Definition 4). Subclasses
+/// define how topic mixtures, style mixtures and lengths are drawn.
+class DocumentSpecSampler {
+ public:
+  virtual ~DocumentSpecSampler() = default;
+  virtual DocumentSpec Sample(Rng& rng) const = 0;
+};
+
+/// The sampler used throughout §4: each document is *pure* (exactly one
+/// topic, chosen uniformly or by a given prior), style-free (or a fixed
+/// style mixture), with length uniform in [min_length, max_length].
+class PureDocumentSampler final : public DocumentSpecSampler {
+ public:
+  /// Uniform topic prior over `num_topics`.
+  PureDocumentSampler(std::size_t num_topics, std::size_t min_length,
+                      std::size_t max_length);
+
+  /// Applies a fixed style mixture to every document (e.g. a synonym
+  /// substitution style at weight w, identity at 1-w).
+  void SetStyleMixture(Mixture styles) { styles_ = std::move(styles); }
+
+  DocumentSpec Sample(Rng& rng) const override;
+
+ private:
+  std::size_t num_topics_;
+  std::size_t min_length_;
+  std::size_t max_length_;
+  Mixture styles_;
+};
+
+/// A sampler for documents mixing up to `max_topics_per_doc` topics with
+/// Dirichlet-like random weights — used to probe the paper's open
+/// question "can Theorem 2 be extended to a model where documents could
+/// belong to several topics?".
+class MixedDocumentSampler final : public DocumentSpecSampler {
+ public:
+  MixedDocumentSampler(std::size_t num_topics, std::size_t topics_per_doc,
+                       std::size_t min_length, std::size_t max_length);
+
+  DocumentSpec Sample(Rng& rng) const override;
+
+ private:
+  std::size_t num_topics_;
+  std::size_t topics_per_doc_;
+  std::size_t min_length_;
+  std::size_t max_length_;
+};
+
+/// A corpus generated from a CorpusModel, with the ground truth that the
+/// evaluation needs: each document's spec and its dominant topic.
+struct GeneratedCorpus {
+  text::Corpus corpus;
+  std::vector<DocumentSpec> specs;
+  /// Dominant topic index per document (== the single topic for pure
+  /// corpora; Theorems 2-3 say rank-k LSI recovers this labeling).
+  std::vector<std::size_t> topic_of_document;
+};
+
+/// The corpus model C = (U, T, S, D) of Definition 4, with the two-step
+/// document sampling process of §3: first draw (T-bar, S-bar, l) from D,
+/// then sample l terms from T-bar each passed through S-bar.
+class CorpusModel {
+ public:
+  /// Builds a model. `universe_size` fixes |U|; all topics and styles
+  /// must range over exactly this universe. `sampler` supplies D.
+  static Result<CorpusModel> Create(
+      std::size_t universe_size, std::vector<Topic> topics,
+      std::vector<Style> styles,
+      std::shared_ptr<const DocumentSpecSampler> sampler);
+
+  /// Term-occurrence burstiness (Pólya-urn repetition): with probability
+  /// `rho` each term occurrence after the first repeats a uniformly
+  /// chosen earlier occurrence of the same document instead of being
+  /// drawn fresh from the topic combination. rho = 0 (the default) is
+  /// the paper's i.i.d. model; rho > 0 probes the §6 open question of
+  /// corpora "where term occurrences are not independent" while leaving
+  /// each topic's marginal term distribution unchanged in expectation.
+  /// Returns InvalidArgument unless 0 <= rho < 1.
+  Status SetBurstiness(double rho);
+  double burstiness() const { return burstiness_; }
+
+  std::size_t UniverseSize() const { return universe_size_; }
+  std::size_t NumTopics() const { return topics_.size(); }
+  std::size_t NumStyles() const { return styles_.size(); }
+  const Topic& topic(std::size_t i) const { return topics_[i]; }
+  const Style& style(std::size_t i) const { return styles_[i]; }
+
+  /// Samples one document (the term-occurrence sequence) plus its spec.
+  Result<std::pair<std::vector<text::TermId>, DocumentSpec>> GenerateDocument(
+      Rng& rng) const;
+
+  /// Samples a corpus of `num_documents` documents. The returned corpus
+  /// has the full universe pre-registered as terms "term00000"... so
+  /// term ids equal universe indices.
+  Result<GeneratedCorpus> GenerateCorpus(std::size_t num_documents,
+                                         Rng& rng) const;
+
+ private:
+  CorpusModel(std::size_t universe_size, std::vector<Topic> topics,
+              std::vector<Style> styles,
+              std::shared_ptr<const DocumentSpecSampler> sampler);
+
+  std::size_t universe_size_;
+  std::vector<Topic> topics_;
+  std::vector<Style> styles_;
+  std::shared_ptr<const DocumentSpecSampler> sampler_;
+  double burstiness_ = 0.0;
+};
+
+}  // namespace lsi::model
+
+#endif  // LSI_MODEL_CORPUS_MODEL_H_

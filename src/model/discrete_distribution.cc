@@ -1,0 +1,93 @@
+#include "model/discrete_distribution.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lsi::model {
+
+Result<DiscreteDistribution> DiscreteDistribution::FromWeights(
+    const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument(
+        "DiscreteDistribution requires at least one outcome");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "DiscreteDistribution weights must be finite and nonnegative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(
+        "DiscreteDistribution weights must not all be zero");
+  }
+  DiscreteDistribution dist;
+  dist.probabilities_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    dist.probabilities_[i] = weights[i] / total;
+  }
+  dist.BuildAliasTable();
+  return dist;
+}
+
+Result<DiscreteDistribution> DiscreteDistribution::Uniform(std::size_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("Uniform distribution requires n >= 1");
+  }
+  return FromWeights(std::vector<double>(n, 1.0));
+}
+
+double DiscreteDistribution::ProbabilityOf(std::size_t i) const {
+  LSI_CHECK(i < probabilities_.size());
+  return probabilities_[i];
+}
+
+void DiscreteDistribution::BuildAliasTable() {
+  const std::size_t n = probabilities_.size();
+  accept_.assign(n, 1.0);
+  alias_.assign(n, 0);
+
+  // Walker's alias construction: partition outcomes into those with
+  // scaled probability below 1 ("small") and at least 1 ("large"), and
+  // pair each small cell with a large donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = probabilities_[i] * static_cast<double>(n);
+  }
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    std::size_t s = small.back();
+    small.pop_back();
+    std::size_t l = large.back();
+    large.pop_back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are numerically 1.
+  for (std::size_t i : small) {
+    accept_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::size_t i : large) {
+    accept_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::size_t DiscreteDistribution::Sample(Rng& rng) const {
+  std::size_t cell =
+      static_cast<std::size_t>(rng.NextUint64Below(probabilities_.size()));
+  return rng.NextDouble() < accept_[cell] ? cell : alias_[cell];
+}
+
+}  // namespace lsi::model

@@ -1,0 +1,53 @@
+#ifndef LSI_MODEL_DISCRETE_DISTRIBUTION_H_
+#define LSI_MODEL_DISCRETE_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace lsi::model {
+
+/// A discrete probability distribution over {0, ..., n-1} with O(1)
+/// sampling via Walker's alias method.
+///
+/// Topics (Definition 2) and style rows (Definition 3) are both instances
+/// of this class; document generation samples it once per term occurrence,
+/// so constant-time sampling matters.
+class DiscreteDistribution {
+ public:
+  /// Builds the distribution from nonnegative weights (normalized
+  /// internally). Returns InvalidArgument if `weights` is empty, contains
+  /// a negative/non-finite entry, or sums to zero.
+  static Result<DiscreteDistribution> FromWeights(
+      const std::vector<double>& weights);
+
+  /// The uniform distribution on {0, ..., n-1}. Requires n >= 1.
+  static Result<DiscreteDistribution> Uniform(std::size_t n);
+
+  /// Number of outcomes.
+  std::size_t size() const { return probabilities_.size(); }
+
+  /// Normalized probability of outcome i.
+  double ProbabilityOf(std::size_t i) const;
+
+  /// The full normalized probability vector.
+  const std::vector<double>& probabilities() const { return probabilities_; }
+
+  /// Draws one sample in O(1).
+  std::size_t Sample(Rng& rng) const;
+
+ private:
+  DiscreteDistribution() = default;
+
+  void BuildAliasTable();
+
+  std::vector<double> probabilities_;  // Normalized.
+  std::vector<double> accept_;         // Alias acceptance thresholds.
+  std::vector<std::size_t> alias_;     // Alias targets.
+};
+
+}  // namespace lsi::model
+
+#endif  // LSI_MODEL_DISCRETE_DISTRIBUTION_H_

@@ -1,0 +1,46 @@
+#include "model/graph_model.h"
+
+namespace lsi::model {
+
+Result<GraphCorpus> GenerateBlockGraph(const GraphCorpusParams& params,
+                                       Rng& rng) {
+  if (params.num_blocks == 0 || params.vertices_per_block == 0) {
+    return Status::InvalidArgument(
+        "GenerateBlockGraph: need at least one block and one vertex");
+  }
+  if (params.intra_edge_probability < 0.0 ||
+      params.intra_edge_probability > 1.0 ||
+      params.cross_edge_probability < 0.0 ||
+      params.cross_edge_probability > 1.0) {
+    return Status::InvalidArgument(
+        "GenerateBlockGraph: edge probabilities must be in [0, 1]");
+  }
+  if (params.edge_weight <= 0.0) {
+    return Status::InvalidArgument(
+        "GenerateBlockGraph: edge_weight must be positive");
+  }
+
+  const std::size_t n = params.num_blocks * params.vertices_per_block;
+  GraphCorpus out{linalg::SparseMatrix(n, n), {}};
+  out.block_of_vertex.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out.block_of_vertex[v] = v / params.vertices_per_block;
+  }
+
+  linalg::SparseMatrixBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double p = (out.block_of_vertex[i] == out.block_of_vertex[j])
+                     ? params.intra_edge_probability
+                     : params.cross_edge_probability;
+      if (rng.Bernoulli(p)) {
+        builder.Add(i, j, params.edge_weight);
+        builder.Add(j, i, params.edge_weight);
+      }
+    }
+  }
+  out.adjacency = builder.Build();
+  return out;
+}
+
+}  // namespace lsi::model

@@ -1,0 +1,47 @@
+#ifndef LSI_MODEL_GRAPH_MODEL_H_
+#define LSI_MODEL_GRAPH_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::model {
+
+/// Parameters of the graph-theoretic corpus model of §6: documents are
+/// nodes, edge weights capture conceptual proximity, and a topic is a
+/// planted subgraph with high conductance, joined to the rest by edges of
+/// small total weight per vertex (the ε fraction of Theorem 6).
+struct GraphCorpusParams {
+  std::size_t num_blocks = 4;
+  std::size_t vertices_per_block = 50;
+  /// Probability of an edge between two vertices of the same block.
+  /// High values give high conductance within the block.
+  double intra_edge_probability = 0.5;
+  /// Probability of an edge between vertices of different blocks; the
+  /// expected cross weight per vertex should stay below an ε fraction of
+  /// its intra weight for Theorem 6's regime.
+  double cross_edge_probability = 0.01;
+  /// Weight placed on each present edge.
+  double edge_weight = 1.0;
+};
+
+/// A generated graph corpus: symmetric weighted adjacency matrix plus the
+/// planted block labels.
+struct GraphCorpus {
+  linalg::SparseMatrix adjacency;
+  std::vector<std::size_t> block_of_vertex;
+
+  std::size_t NumVertices() const { return block_of_vertex.size(); }
+};
+
+/// Samples a planted-partition graph per `params`. The diagonal is zero;
+/// the matrix is exactly symmetric.
+Result<GraphCorpus> GenerateBlockGraph(const GraphCorpusParams& params,
+                                       Rng& rng);
+
+}  // namespace lsi::model
+
+#endif  // LSI_MODEL_GRAPH_MODEL_H_

@@ -1,0 +1,101 @@
+#include "model/separable_model.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsi::model {
+namespace {
+
+Result<std::vector<Topic>> BuildSeparableTopics(
+    const SeparableModelParams& params, std::size_t universe_size) {
+  std::vector<Topic> topics;
+  topics.reserve(params.num_topics);
+  for (std::size_t i = 0; i < params.num_topics; ++i) {
+    std::vector<text::TermId> primary(params.terms_per_topic);
+    for (std::size_t j = 0; j < params.terms_per_topic; ++j) {
+      primary[j] = static_cast<text::TermId>(i * params.terms_per_topic + j);
+    }
+    LSI_ASSIGN_OR_RETURN(
+        Topic topic, Topic::Separable("topic" + std::to_string(i),
+                                      universe_size, primary, params.epsilon));
+    topics.push_back(std::move(topic));
+  }
+  return topics;
+}
+
+Status ValidateParams(const SeparableModelParams& params) {
+  if (params.num_topics == 0 || params.terms_per_topic == 0) {
+    return Status::InvalidArgument(
+        "SeparableModelParams: need at least one topic and one term per topic");
+  }
+  if (params.epsilon < 0.0 || params.epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "SeparableModelParams: epsilon must be in [0, 1)");
+  }
+  if (params.min_document_length == 0 ||
+      params.min_document_length > params.max_document_length) {
+    return Status::InvalidArgument(
+        "SeparableModelParams: need 1 <= min_document_length <= "
+        "max_document_length");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SeparableModelParams PaperExperimentParams() {
+  SeparableModelParams params;
+  params.num_topics = 20;
+  params.terms_per_topic = 100;
+  params.extra_terms = 0;
+  params.epsilon = 0.05;
+  params.min_document_length = 50;
+  params.max_document_length = 100;
+  return params;
+}
+
+Result<CorpusModel> BuildSeparableModel(const SeparableModelParams& params) {
+  LSI_RETURN_IF_ERROR(ValidateParams(params));
+  const std::size_t universe_size =
+      params.num_topics * params.terms_per_topic + params.extra_terms;
+  LSI_ASSIGN_OR_RETURN(std::vector<Topic> topics,
+                       BuildSeparableTopics(params, universe_size));
+  auto sampler = std::make_shared<PureDocumentSampler>(
+      params.num_topics, params.min_document_length,
+      params.max_document_length);
+  return CorpusModel::Create(universe_size, std::move(topics), {},
+                             std::move(sampler));
+}
+
+Result<CorpusModel> BuildSeparableModelWithStyle(
+    const SeparableModelParams& params, Style style, double style_weight) {
+  LSI_RETURN_IF_ERROR(ValidateParams(params));
+  if (style_weight < 0.0 || style_weight > 1.0) {
+    return Status::InvalidArgument("style_weight must be in [0, 1]");
+  }
+  const std::size_t universe_size =
+      params.num_topics * params.terms_per_topic + params.extra_terms;
+  if (style.UniverseSize() != universe_size) {
+    return Status::InvalidArgument(
+        "style universe size must match the model universe");
+  }
+  LSI_ASSIGN_OR_RETURN(std::vector<Topic> topics,
+                       BuildSeparableTopics(params, universe_size));
+
+  std::vector<Style> styles;
+  styles.push_back(std::move(style));                          // index 0
+  styles.push_back(Style::Identity("identity", universe_size));  // index 1
+
+  auto sampler = std::make_shared<PureDocumentSampler>(
+      params.num_topics, params.min_document_length,
+      params.max_document_length);
+  Mixture style_mixture;
+  style_mixture.components = {{0, style_weight}, {1, 1.0 - style_weight}};
+  sampler->SetStyleMixture(std::move(style_mixture));
+
+  return CorpusModel::Create(universe_size, std::move(topics),
+                             std::move(styles), std::move(sampler));
+}
+
+}  // namespace lsi::model

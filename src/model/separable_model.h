@@ -1,0 +1,45 @@
+#ifndef LSI_MODEL_SEPARABLE_MODEL_H_
+#define LSI_MODEL_SEPARABLE_MODEL_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "model/corpus_model.h"
+
+namespace lsi::model {
+
+/// Parameters of a pure, ε-separable corpus model (§4): k topics with
+/// disjoint primary term sets, each topic placing 1-ε of its mass
+/// uniformly on its primary set and ε uniformly on the whole universe.
+struct SeparableModelParams {
+  std::size_t num_topics = 20;
+  std::size_t terms_per_topic = 100;
+  /// Terms in the universe belonging to no topic's primary set
+  /// (universe size = num_topics * terms_per_topic + extra_terms).
+  std::size_t extra_terms = 0;
+  /// The ε of ε-separability: mass each topic spreads over the whole
+  /// universe. 0 gives the 0-separable model of Theorem 2.
+  double epsilon = 0.05;
+  std::size_t min_document_length = 50;
+  std::size_t max_document_length = 100;
+};
+
+/// The exact configuration of the paper's §4 experiment: 2000 terms,
+/// 20 topics, 100 primary terms each, 0.05-separable, document lengths
+/// uniform in [50, 100].
+SeparableModelParams PaperExperimentParams();
+
+/// Builds the pure, style-free, ε-separable CorpusModel described by
+/// `params`. Topic i's primary set is the id range
+/// [i * terms_per_topic, (i+1) * terms_per_topic).
+Result<CorpusModel> BuildSeparableModel(const SeparableModelParams& params);
+
+/// Like BuildSeparableModel but applies `style` to every document with
+/// weight `style_weight` (identity otherwise) — used by the synonymy and
+/// style-robustness experiments.
+Result<CorpusModel> BuildSeparableModelWithStyle(
+    const SeparableModelParams& params, Style style, double style_weight);
+
+}  // namespace lsi::model
+
+#endif  // LSI_MODEL_SEPARABLE_MODEL_H_

@@ -1,0 +1,64 @@
+#include "model/style.h"
+
+namespace lsi::model {
+
+Style Style::Identity(std::string name, std::size_t universe_size) {
+  return Style(std::move(name), universe_size);
+}
+
+Result<Style> Style::SynonymSubstitution(
+    std::string name, std::size_t universe_size,
+    const std::vector<std::pair<text::TermId, text::TermId>>& substitutions,
+    double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    return Status::InvalidArgument(
+        "SynonymSubstitution probability must be in [0, 1]");
+  }
+  Style style(std::move(name), universe_size);
+  for (const auto& [from, to] : substitutions) {
+    if (from >= universe_size || to >= universe_size) {
+      return Status::InvalidArgument(
+          "SynonymSubstitution: term id outside the universe");
+    }
+    std::vector<double> weights(universe_size, 0.0);
+    weights[from] = 1.0 - probability;
+    weights[to] += probability;
+    LSI_ASSIGN_OR_RETURN(DiscreteDistribution dist,
+                         DiscreteDistribution::FromWeights(weights));
+    style.rows_.insert_or_assign(from, std::move(dist));
+  }
+  return style;
+}
+
+Result<Style> Style::FromRows(
+    std::string name, std::size_t universe_size,
+    const std::unordered_map<text::TermId, std::vector<double>>& rows) {
+  Style style(std::move(name), universe_size);
+  for (const auto& [term, weights] : rows) {
+    if (term >= universe_size) {
+      return Status::InvalidArgument("Style::FromRows: row id outside universe");
+    }
+    if (weights.size() != universe_size) {
+      return Status::InvalidArgument(
+          "Style::FromRows: each row needs universe_size weights");
+    }
+    LSI_ASSIGN_OR_RETURN(DiscreteDistribution dist,
+                         DiscreteDistribution::FromWeights(weights));
+    style.rows_.insert_or_assign(term, std::move(dist));
+  }
+  return style;
+}
+
+text::TermId Style::Apply(text::TermId term, Rng& rng) const {
+  auto it = rows_.find(term);
+  if (it == rows_.end()) return term;  // Identity row.
+  return static_cast<text::TermId>(it->second.Sample(rng));
+}
+
+double Style::TransitionProbability(text::TermId from, text::TermId to) const {
+  auto it = rows_.find(from);
+  if (it == rows_.end()) return from == to ? 1.0 : 0.0;
+  return it->second.ProbabilityOf(to);
+}
+
+}  // namespace lsi::model

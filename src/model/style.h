@@ -1,0 +1,67 @@
+#ifndef LSI_MODEL_STYLE_H_
+#define LSI_MODEL_STYLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/discrete_distribution.h"
+#include "text/vocabulary.h"
+
+namespace lsi::model {
+
+/// A style of authorship (Definition 3 of the paper): a |U| x |U|
+/// stochastic matrix that rewrites sampled terms. "A 'formal' style may
+/// map 'car' often to 'automobile' and 'vehicle', and seldom to 'car'."
+///
+/// Stored sparsely: rows that equal the identity (term maps to itself
+/// with probability 1) take no space, so the identity style and synonym
+/// styles over large universes are cheap.
+class Style {
+ public:
+  /// The identity style: every term maps to itself.
+  static Style Identity(std::string name, std::size_t universe_size);
+
+  /// A synonym-substitution style: each term `from` in `substitutions`
+  /// is rewritten to `to` with probability `probability` (and kept
+  /// unchanged otherwise). This models the synonymy mechanism of §4.
+  /// Requires 0 <= probability <= 1 and all ids within the universe.
+  static Result<Style> SynonymSubstitution(
+      std::string name, std::size_t universe_size,
+      const std::vector<std::pair<text::TermId, text::TermId>>& substitutions,
+      double probability);
+
+  /// Builds a style from explicit nonidentity rows: row `term` maps to
+  /// outcome j with probability proportional to weights[j]. Rows absent
+  /// from `rows` behave as identity. Each weight vector must have
+  /// universe_size entries.
+  static Result<Style> FromRows(
+      std::string name, std::size_t universe_size,
+      const std::unordered_map<text::TermId, std::vector<double>>& rows);
+
+  const std::string& name() const { return name_; }
+  std::size_t UniverseSize() const { return universe_size_; }
+
+  /// Applies the style to one sampled term occurrence.
+  text::TermId Apply(text::TermId term, Rng& rng) const;
+
+  /// The probability that `from` rewrites to `to`.
+  double TransitionProbability(text::TermId from, text::TermId to) const;
+
+  /// Number of non-identity rows.
+  std::size_t NumModifiedRows() const { return rows_.size(); }
+
+ private:
+  Style(std::string name, std::size_t universe_size)
+      : name_(std::move(name)), universe_size_(universe_size) {}
+
+  std::string name_;
+  std::size_t universe_size_;
+  std::unordered_map<text::TermId, DiscreteDistribution> rows_;
+};
+
+}  // namespace lsi::model
+
+#endif  // LSI_MODEL_STYLE_H_

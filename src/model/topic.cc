@@ -1,0 +1,58 @@
+#include "model/topic.h"
+
+#include <algorithm>
+
+namespace lsi::model {
+
+Topic::Topic(std::string name, DiscreteDistribution distribution,
+             std::vector<text::TermId> primary_terms)
+    : name_(std::move(name)),
+      distribution_(std::move(distribution)),
+      primary_terms_(std::move(primary_terms)) {
+  max_probability_ = 0.0;
+  for (double p : distribution_.probabilities()) {
+    max_probability_ = std::max(max_probability_, p);
+  }
+}
+
+Result<Topic> Topic::FromDenseWeights(std::string name,
+                                      const std::vector<double>& weights) {
+  LSI_ASSIGN_OR_RETURN(DiscreteDistribution dist,
+                       DiscreteDistribution::FromWeights(weights));
+  return Topic(std::move(name), std::move(dist), {});
+}
+
+Result<Topic> Topic::Separable(std::string name, std::size_t universe_size,
+                               const std::vector<text::TermId>& primary_terms,
+                               double epsilon) {
+  if (universe_size == 0) {
+    return Status::InvalidArgument("Topic::Separable: empty universe");
+  }
+  if (primary_terms.empty()) {
+    return Status::InvalidArgument(
+        "Topic::Separable: primary term set must be nonempty");
+  }
+  if (epsilon < 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "Topic::Separable requires 0 <= epsilon < 1");
+  }
+  for (text::TermId t : primary_terms) {
+    if (t >= universe_size) {
+      return Status::InvalidArgument(
+          "Topic::Separable: primary term outside the universe");
+    }
+  }
+  // (1 - eps) uniformly on the primary set, eps uniformly on everything.
+  std::vector<double> weights(universe_size,
+                              epsilon / static_cast<double>(universe_size));
+  double primary_share =
+      (1.0 - epsilon) / static_cast<double>(primary_terms.size());
+  for (text::TermId t : primary_terms) weights[t] += primary_share;
+
+  LSI_ASSIGN_OR_RETURN(DiscreteDistribution dist,
+                       DiscreteDistribution::FromWeights(weights));
+  return Topic(std::move(name), std::move(dist),
+               std::vector<text::TermId>(primary_terms));
+}
+
+}  // namespace lsi::model

@@ -1,0 +1,70 @@
+#ifndef LSI_MODEL_TOPIC_H_
+#define LSI_MODEL_TOPIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/discrete_distribution.h"
+#include "text/vocabulary.h"
+
+namespace lsi::model {
+
+/// A topic (Definition 2 of the paper): a probability distribution on the
+/// universe of terms. "A meaningful topic is very different from the
+/// uniform distribution on U and is concentrated on terms that might be
+/// used to talk about a particular subject."
+class Topic {
+ public:
+  /// Builds a topic from a dense probability vector over the full
+  /// universe (normalized internally). Fails on empty/invalid weights.
+  static Result<Topic> FromDenseWeights(std::string name,
+                                        const std::vector<double>& weights);
+
+  /// Builds the ε-separable topic of §4: probability mass (1 - epsilon)
+  /// spread uniformly over `primary_terms`, and `epsilon` spread
+  /// uniformly over the whole universe [0, universe_size). Requires a
+  /// nonempty primary set within the universe and 0 <= epsilon < 1.
+  static Result<Topic> Separable(std::string name, std::size_t universe_size,
+                                 const std::vector<text::TermId>& primary_terms,
+                                 double epsilon);
+
+  const std::string& name() const { return name_; }
+
+  /// Universe size (number of terms the distribution ranges over).
+  std::size_t UniverseSize() const { return distribution_.size(); }
+
+  /// Probability of sampling `term`.
+  double ProbabilityOf(text::TermId term) const {
+    return distribution_.ProbabilityOf(term);
+  }
+
+  /// Maximum single-term probability (the paper's τ; Theorems 2-3 need
+  /// it "sufficiently small").
+  double MaxTermProbability() const { return max_probability_; }
+
+  /// Draws one term occurrence.
+  text::TermId Sample(Rng& rng) const {
+    return static_cast<text::TermId>(distribution_.Sample(rng));
+  }
+
+  /// The primary term set U_T if this topic was built via Separable()
+  /// (empty otherwise).
+  const std::vector<text::TermId>& primary_terms() const {
+    return primary_terms_;
+  }
+
+ private:
+  Topic(std::string name, DiscreteDistribution distribution,
+        std::vector<text::TermId> primary_terms);
+
+  std::string name_;
+  DiscreteDistribution distribution_;
+  std::vector<text::TermId> primary_terms_;
+  double max_probability_ = 0.0;
+};
+
+}  // namespace lsi::model
+
+#endif  // LSI_MODEL_TOPIC_H_

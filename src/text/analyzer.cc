@@ -1,0 +1,32 @@
+#include "text/analyzer.h"
+
+#include "text/porter_stemmer.h"
+
+namespace lsi::text {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(options),
+      tokenizer_(options.tokenizer),
+      stopwords_(StopwordSet::DefaultEnglish()) {}
+
+Analyzer::Analyzer(AnalyzerOptions options, StopwordSet stopwords)
+    : options_(options),
+      tokenizer_(options.tokenizer),
+      stopwords_(std::move(stopwords)) {}
+
+std::vector<std::string> Analyzer::Analyze(std::string_view text) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (options_.remove_stopwords && stopwords_.Contains(token)) continue;
+    if (options_.stem) {
+      out.push_back(PorterStem(token));
+    } else {
+      out.push_back(std::move(token));
+    }
+  }
+  return out;
+}
+
+}  // namespace lsi::text

@@ -1,0 +1,48 @@
+#ifndef LSI_TEXT_ANALYZER_H_
+#define LSI_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace lsi::text {
+
+/// Options for the full text-analysis pipeline.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  /// Drop stop-words (using the set passed to the constructor).
+  bool remove_stopwords = true;
+  /// Apply the Porter stemmer to surviving tokens.
+  bool stem = true;
+};
+
+/// The standard IR preprocessing pipeline:
+/// tokenize -> stop-word removal -> Porter stemming.
+///
+/// Both documents and queries must run through the same Analyzer so their
+/// term spaces agree.
+class Analyzer {
+ public:
+  /// Uses the default English stop-word list.
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// Uses a caller-provided stop-word list.
+  Analyzer(AnalyzerOptions options, StopwordSet stopwords);
+
+  /// Runs the pipeline on `text`, returning processed tokens in order.
+  std::vector<std::string> Analyze(std::string_view text) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopwordSet stopwords_;
+};
+
+}  // namespace lsi::text
+
+#endif  // LSI_TEXT_ANALYZER_H_

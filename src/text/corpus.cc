@@ -1,0 +1,66 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace lsi::text {
+
+Document::Document(std::string name, std::vector<TermId> term_sequence)
+    : name_(std::move(name)), length_(term_sequence.size()) {
+  std::map<TermId, std::size_t> counting;
+  for (TermId id : term_sequence) counting[id]++;
+  counts_.assign(counting.begin(), counting.end());
+}
+
+std::size_t Document::CountOf(TermId term) const {
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), term,
+      [](const std::pair<TermId, std::size_t>& entry, TermId t) {
+        return entry.first < t;
+      });
+  if (it != counts_.end() && it->first == term) return it->second;
+  return 0;
+}
+
+std::size_t Corpus::AddDocument(std::string name,
+                                const std::vector<std::string>& tokens) {
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    ids.push_back(vocabulary_.GetOrAdd(token));
+  }
+  documents_.emplace_back(std::move(name), std::move(ids));
+  for (const auto& [term, count] : documents_.back().counts()) {
+    document_frequency_[term]++;
+  }
+  return documents_.size() - 1;
+}
+
+Result<std::size_t> Corpus::AddDocumentFromIds(std::string name,
+                                               std::vector<TermId> term_ids) {
+  for (TermId id : term_ids) {
+    if (id >= vocabulary_.size()) {
+      return Status::InvalidArgument(
+          "AddDocumentFromIds: term id exceeds vocabulary size");
+    }
+  }
+  documents_.emplace_back(std::move(name), std::move(term_ids));
+  for (const auto& [term, count] : documents_.back().counts()) {
+    document_frequency_[term]++;
+  }
+  return documents_.size() - 1;
+}
+
+const Document& Corpus::document(std::size_t index) const {
+  LSI_CHECK(index < documents_.size());
+  return documents_[index];
+}
+
+std::size_t Corpus::DocumentFrequency(TermId term) const {
+  auto it = document_frequency_.find(term);
+  return it == document_frequency_.end() ? 0 : it->second;
+}
+
+}  // namespace lsi::text

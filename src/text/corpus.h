@@ -1,0 +1,79 @@
+#ifndef LSI_TEXT_CORPUS_H_
+#define LSI_TEXT_CORPUS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "text/vocabulary.h"
+
+namespace lsi::text {
+
+/// One document as a bag of term ids with counts.
+class Document {
+ public:
+  Document(std::string name, std::vector<TermId> term_sequence);
+
+  const std::string& name() const { return name_; }
+
+  /// Total number of term occurrences (the document "length" of the
+  /// paper's corpus model).
+  std::size_t Length() const { return length_; }
+
+  /// Number of distinct terms.
+  std::size_t DistinctTerms() const { return counts_.size(); }
+
+  /// Occurrences of `term` in this document.
+  std::size_t CountOf(TermId term) const;
+
+  /// (term, count) pairs sorted by term id.
+  const std::vector<std::pair<TermId, std::size_t>>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::string name_;
+  std::size_t length_;
+  std::vector<std::pair<TermId, std::size_t>> counts_;
+};
+
+/// A collection of documents sharing one Vocabulary. This is the "corpus"
+/// of §2 of the paper: the object whose term-document matrix LSI factors.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Adds a document from pre-analyzed tokens. Returns its index.
+  std::size_t AddDocument(std::string name,
+                          const std::vector<std::string>& tokens);
+
+  /// Adds a document directly from term ids (used by the synthetic
+  /// corpus-model generators, which bypass text analysis). All ids must
+  /// already exist in the vocabulary.
+  Result<std::size_t> AddDocumentFromIds(std::string name,
+                                         std::vector<TermId> term_ids);
+
+  /// Pre-registers a term so generators can fix the term space up front.
+  TermId AddTerm(std::string_view term) { return vocabulary_.GetOrAdd(term); }
+
+  std::size_t NumDocuments() const { return documents_.size(); }
+  std::size_t NumTerms() const { return vocabulary_.size(); }
+
+  const Document& document(std::size_t index) const;
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  /// Number of documents containing `term` (document frequency).
+  std::size_t DocumentFrequency(TermId term) const;
+
+ private:
+  Vocabulary vocabulary_;
+  std::vector<Document> documents_;
+  std::unordered_map<TermId, std::size_t> document_frequency_;
+};
+
+}  // namespace lsi::text
+
+#endif  // LSI_TEXT_CORPUS_H_

@@ -1,0 +1,70 @@
+#include "text/corpus_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lsi::text {
+
+Result<std::size_t> AppendCorpusFromFile(const std::string& path,
+                                         const Analyzer& analyzer,
+                                         Corpus& corpus) {
+  std::ifstream input(path);
+  if (!input.is_open()) {
+    return Status::NotFound("cannot open corpus file: " + path);
+  }
+  std::size_t added = 0;
+  std::size_t line_number = 0;
+  std::string line;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::string name;
+    std::string body;
+    std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      name = "line" + std::to_string(line_number);
+      body = line;
+    } else {
+      name = line.substr(0, tab);
+      body = line.substr(tab + 1);
+    }
+    if (name.empty()) name = "line" + std::to_string(line_number);
+    corpus.AddDocument(std::move(name), analyzer.Analyze(body));
+    ++added;
+  }
+  if (input.bad()) {
+    return Status::Internal("I/O error while reading: " + path);
+  }
+  return added;
+}
+
+Result<Corpus> LoadCorpusFromFile(const std::string& path,
+                                  const Analyzer& analyzer) {
+  Corpus corpus;
+  LSI_ASSIGN_OR_RETURN(std::size_t added,
+                       AppendCorpusFromFile(path, analyzer, corpus));
+  if (added == 0) {
+    return Status::InvalidArgument("corpus file has no documents: " + path);
+  }
+  return corpus;
+}
+
+Status WriteCorpusSummary(const Corpus& corpus, const std::string& path) {
+  std::ofstream output(path, std::ios::trunc);
+  if (!output.is_open()) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  output << "name\tlength\tdistinct_terms\n";
+  for (std::size_t d = 0; d < corpus.NumDocuments(); ++d) {
+    const Document& doc = corpus.document(d);
+    output << doc.name() << '\t' << doc.Length() << '\t'
+           << doc.DistinctTerms() << '\n';
+  }
+  if (!output.good()) {
+    return Status::Internal("I/O error while writing: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace lsi::text

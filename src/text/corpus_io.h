@@ -1,0 +1,36 @@
+#ifndef LSI_TEXT_CORPUS_IO_H_
+#define LSI_TEXT_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "text/analyzer.h"
+#include "text/corpus.h"
+
+namespace lsi::text {
+
+/// Loads a corpus from a plain-text file with one document per line:
+///
+///   <document-name> <TAB> <document text ...>
+///
+/// Lines without a TAB are treated as a document whose name is
+/// "line<N>" and whose text is the whole line. Empty lines and lines
+/// starting with '#' are skipped. Every document runs through
+/// `analyzer`, so corpus and query term spaces agree.
+Result<Corpus> LoadCorpusFromFile(const std::string& path,
+                                  const Analyzer& analyzer);
+
+/// Appends the documents of `path` into an existing corpus (same format
+/// as LoadCorpusFromFile). Returns the number of documents added.
+Result<std::size_t> AppendCorpusFromFile(const std::string& path,
+                                         const Analyzer& analyzer,
+                                         Corpus& corpus);
+
+/// Writes a corpus summary (name, length, distinct terms per document)
+/// as tab-separated lines — handy for eyeballing pipelines in tests and
+/// examples.
+Status WriteCorpusSummary(const Corpus& corpus, const std::string& path);
+
+}  // namespace lsi::text
+
+#endif  // LSI_TEXT_CORPUS_IO_H_

@@ -1,0 +1,339 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace lsi::text {
+namespace {
+
+/// Working state for one stemming call: the word buffer plus the two
+/// cursors of Porter's description (k = last index in the current word,
+/// j = end of the stem established by the last suffix match).
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)), k_(b_.size() - 1) {}
+
+  std::string Run() {
+    if (b_.size() <= 2) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, k_ + 1);
+  }
+
+ private:
+  /// True if b_[i] is a consonant (Porter's definition: 'y' counts as a
+  /// consonant exactly when it is word-initial or follows a vowel...
+  /// stated recursively: when the preceding letter is NOT a consonant,
+  /// 'y' is a consonant).
+  bool IsConsonant(std::size_t i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// Porter's measure m of the stem b_[0..j_]: the number of VC
+  /// (vowel-sequence, consonant-sequence) pairs.
+  int Measure() const {
+    int n = 0;
+    std::size_t i = 0;
+    const std::size_t end = j_ + 1;
+    // Skip the initial consonant sequence.
+    for (;; ++i) {
+      if (i >= end) return n;
+      if (!IsConsonant(i)) break;
+    }
+    ++i;
+    for (;;) {
+      // Skip vowels.
+      for (;; ++i) {
+        if (i >= end) return n;
+        if (IsConsonant(i)) break;
+      }
+      ++i;
+      ++n;
+      // Skip consonants.
+      for (;; ++i) {
+        if (i >= end) return n;
+        if (!IsConsonant(i)) break;
+      }
+      ++i;
+    }
+  }
+
+  /// True if the stem b_[0..j_] contains a vowel.
+  bool VowelInStem() const {
+    for (std::size_t i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// True if b_[i-1..i] is a double consonant.
+  bool DoubleConsonant(std::size_t i) const {
+    if (i < 1) return false;
+    if (b_[i] != b_[i - 1]) return false;
+    return IsConsonant(i);
+  }
+
+  /// True if b_[i-2..i] is consonant-vowel-consonant and the final
+  /// consonant is not w, x or y. Used to restore a trailing 'e'
+  /// ("hop" + "-ing" vs "fail").
+  bool CvcEnding(std::size_t i) const {
+    if (i < 2) return false;
+    if (!IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[i];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  /// If the current word ends with `suffix`, sets j_ to the character
+  /// before the suffix and returns true.
+  bool Ends(std::string_view suffix) {
+    if (suffix.size() > k_ + 1) return false;
+    std::size_t offset = k_ + 1 - suffix.size();
+    for (std::size_t i = 0; i < suffix.size(); ++i) {
+      if (b_[offset + i] != suffix[i]) return false;
+    }
+    j_ = offset == 0 ? 0 : offset - 1;
+    // Porter's j points at the last stem character; when the suffix is
+    // the whole word, the stem is empty: encode as j_ wrapping below via
+    // has_stem_.
+    has_stem_ = offset != 0;
+    return true;
+  }
+
+  /// Replaces the matched suffix (b_[j_+1..k_]) with `s`.
+  void SetTo(std::string_view s) {
+    std::size_t base = has_stem_ ? j_ + 1 : 0;
+    b_.replace(base, k_ + 1 - base, s);
+    k_ = base + s.size() - 1;
+  }
+
+  /// SetTo(s) guarded by m > 0.
+  void ReplaceIfMeasure(std::string_view s) {
+    if (MeasureOfStem() > 0) SetTo(s);
+  }
+
+  int MeasureOfStem() const {
+    if (!has_stem_) return 0;
+    return Measure();
+  }
+
+  // Step 1ab: plurals and -ed / -ing.
+  //   caresses -> caress, ponies -> poni, cats -> cat,
+  //   agreed -> agree, plastered -> plaster, motoring -> motor.
+  void Step1ab() {
+    if (b_[k_] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (MeasureOfStem() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && has_stem_ && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char c = b_[k_];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (MeasureAll() == 1 && CvcEnding(k_)) {
+        // j_ must cover the whole remaining word for this check.
+        b_.resize(k_ + 1);
+        b_.push_back('e');
+        ++k_;
+      }
+    }
+  }
+
+  /// Measure computed over the whole current word b_[0..k_].
+  int MeasureAll() {
+    std::size_t saved_j = j_;
+    bool saved_has = has_stem_;
+    j_ = k_;
+    has_stem_ = true;
+    int m = Measure();
+    j_ = saved_j;
+    has_stem_ = saved_has;
+    return m;
+  }
+
+  // Step 1c: terminal y -> i when there is a vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && has_stem_ && VowelInStem()) b_[k_] = 'i';
+  }
+
+  // Step 2: double suffixes mapped to single ones when m > 0.
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfMeasure("ate"); break; }
+        if (Ends("tional")) { ReplaceIfMeasure("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfMeasure("ence"); break; }
+        if (Ends("anci")) { ReplaceIfMeasure("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfMeasure("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfMeasure("ble"); break; }
+        if (Ends("alli")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("entli")) { ReplaceIfMeasure("ent"); break; }
+        if (Ends("eli")) { ReplaceIfMeasure("e"); break; }
+        if (Ends("ousli")) { ReplaceIfMeasure("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfMeasure("ize"); break; }
+        if (Ends("ation")) { ReplaceIfMeasure("ate"); break; }
+        if (Ends("ator")) { ReplaceIfMeasure("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("iveness")) { ReplaceIfMeasure("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfMeasure("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfMeasure("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfMeasure("al"); break; }
+        if (Ends("iviti")) { ReplaceIfMeasure("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfMeasure("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfMeasure("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -icate, -ative, ... when m > 0.
+  void Step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfMeasure("ic"); break; }
+        if (Ends("ative")) { ReplaceIfMeasure(""); break; }
+        if (Ends("alize")) { ReplaceIfMeasure("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfMeasure("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfMeasure("ic"); break; }
+        if (Ends("ful")) { ReplaceIfMeasure(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfMeasure(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: drop -ant, -ence, ... when m > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    bool matched = false;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        matched = Ends("al");
+        break;
+      case 'c':
+        matched = Ends("ance") || Ends("ence");
+        break;
+      case 'e':
+        matched = Ends("er");
+        break;
+      case 'i':
+        matched = Ends("ic");
+        break;
+      case 'l':
+        matched = Ends("able") || Ends("ible");
+        break;
+      case 'n':
+        matched = Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent");
+        break;
+      case 'o':
+        if (Ends("ion")) {
+          matched = has_stem_ && (b_[j_] == 's' || b_[j_] == 't');
+        } else {
+          matched = Ends("ou");
+        }
+        break;
+      case 's':
+        matched = Ends("ism");
+        break;
+      case 't':
+        matched = Ends("ate") || Ends("iti");
+        break;
+      case 'u':
+        matched = Ends("ous");
+        break;
+      case 'v':
+        matched = Ends("ive");
+        break;
+      case 'z':
+        matched = Ends("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && MeasureOfStem() > 1) k_ = j_;
+  }
+
+  // Step 5: tidy terminal -e and double l.
+  void Step5() {
+    // 5a: remove final e if m > 1, or if m == 1 and not *o.
+    j_ = k_;
+    has_stem_ = true;
+    if (b_[k_] == 'e') {
+      int m = MeasureAll();
+      if (m > 1 || (m == 1 && !CvcEnding(k_ - 1))) --k_;
+    }
+    // 5b: ll -> l when m > 1.
+    if (b_[k_] == 'l' && DoubleConsonant(k_) && MeasureAll() > 1) --k_;
+  }
+
+  std::string b_;
+  std::size_t k_;           // Index of the last character of the word.
+  std::size_t j_ = 0;       // Index of the last character of the stem.
+  bool has_stem_ = false;   // False when the matched suffix is the whole word.
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  std::string lower;
+  lower.reserve(word.size());
+  for (char c : word) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower.size() <= 2) return lower;
+  return Stemmer(std::move(lower)).Run();
+}
+
+}  // namespace lsi::text

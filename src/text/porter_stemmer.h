@@ -1,0 +1,20 @@
+#ifndef LSI_TEXT_PORTER_STEMMER_H_
+#define LSI_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace lsi::text {
+
+/// Reduces an English word to its stem with the Porter (1980) algorithm.
+///
+/// The input is expected to be a lowercase token (as produced by
+/// Tokenizer); uppercase letters are folded defensively. Words of length
+/// <= 2 are returned unchanged, matching the reference implementation.
+/// Examples: "caresses" -> "caress", "relational" -> "relat",
+/// "generalization" -> "gener".
+std::string PorterStem(std::string_view word);
+
+}  // namespace lsi::text
+
+#endif  // LSI_TEXT_PORTER_STEMMER_H_

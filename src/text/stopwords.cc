@@ -1,0 +1,49 @@
+#include "text/stopwords.h"
+
+namespace lsi::text {
+namespace {
+
+constexpr const char* kDefaultEnglish[] = {
+    "a",       "about",   "above",  "after",   "again",   "against", "all",
+    "am",      "an",      "and",    "any",     "are",     "as",      "at",
+    "be",      "because", "been",   "before",  "being",   "below",   "between",
+    "both",    "but",     "by",     "can",     "cannot",  "could",   "did",
+    "do",      "does",    "doing",  "down",    "during",  "each",    "few",
+    "for",     "from",    "further", "had",    "has",     "have",    "having",
+    "he",      "her",     "here",   "hers",    "herself", "him",     "himself",
+    "his",     "how",     "i",      "if",      "in",      "into",    "is",
+    "it",      "its",     "itself", "just",    "me",      "more",    "most",
+    "my",      "myself",  "no",     "nor",     "not",     "now",     "of",
+    "off",     "on",      "once",   "only",    "or",      "other",   "ought",
+    "our",     "ours",    "ourselves", "out",  "over",    "own",     "same",
+    "she",     "should",  "so",     "some",    "such",    "than",    "that",
+    "the",     "their",   "theirs", "them",    "themselves", "then", "there",
+    "these",   "they",    "this",   "those",   "through", "to",      "too",
+    "under",   "until",   "up",     "very",    "was",     "we",      "were",
+    "what",    "when",    "where",  "which",   "while",   "who",     "whom",
+    "why",     "will",    "with",   "would",   "you",     "your",    "yours",
+    "yourself", "yourselves",
+};
+
+}  // namespace
+
+StopwordSet::StopwordSet(const std::vector<std::string>& words)
+    : words_(words.begin(), words.end()) {}
+
+StopwordSet StopwordSet::DefaultEnglish() {
+  StopwordSet set;
+  for (const char* word : kDefaultEnglish) set.words_.insert(word);
+  return set;
+}
+
+bool StopwordSet::Contains(std::string_view word) const {
+  return words_.find(std::string(word)) != words_.end();
+}
+
+void StopwordSet::Add(std::string word) { words_.insert(std::move(word)); }
+
+void StopwordSet::Remove(std::string_view word) {
+  words_.erase(std::string(word));
+}
+
+}  // namespace lsi::text

@@ -1,0 +1,40 @@
+#ifndef LSI_TEXT_STOPWORDS_H_
+#define LSI_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace lsi::text {
+
+/// A set of stop-words to drop during analysis.
+///
+/// The paper notes that ε-separability "may be reasonably realistic,
+/// since documents are usually preprocessed to eliminate
+/// commonly-occurring stop-words" (§4) — this class is that
+/// preprocessing step.
+class StopwordSet {
+ public:
+  /// Creates an empty set.
+  StopwordSet() = default;
+
+  /// Creates a set containing `words`.
+  explicit StopwordSet(const std::vector<std::string>& words);
+
+  /// Returns the standard English stop-word list (articles, pronouns,
+  /// auxiliaries, prepositions — ~130 words).
+  static StopwordSet DefaultEnglish();
+
+  bool Contains(std::string_view word) const;
+  void Add(std::string word);
+  void Remove(std::string_view word);
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace lsi::text
+
+#endif  // LSI_TEXT_STOPWORDS_H_

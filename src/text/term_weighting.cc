@@ -1,0 +1,140 @@
+#include "text/term_weighting.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace lsi::text {
+namespace {
+
+/// Per-term global statistics needed by the weighting schemes.
+struct GlobalStats {
+  /// Global occurrence count of each term across the corpus.
+  std::vector<double> global_frequency;
+  /// 1 - normalized entropy of the term's distribution over documents
+  /// (the log-entropy global weight). 1 for terms concentrated in one
+  /// document, ~0 for terms spread evenly over all documents.
+  std::vector<double> entropy_weight;
+};
+
+GlobalStats ComputeGlobalStats(const Corpus& corpus) {
+  const std::size_t n = corpus.NumTerms();
+  const std::size_t m = corpus.NumDocuments();
+  GlobalStats stats;
+  stats.global_frequency.assign(n, 0.0);
+  for (std::size_t d = 0; d < m; ++d) {
+    for (const auto& [term, count] : corpus.document(d).counts()) {
+      stats.global_frequency[term] += static_cast<double>(count);
+    }
+  }
+  stats.entropy_weight.assign(n, 1.0);
+  if (m <= 1) return stats;  // Entropy undefined for a single document.
+  const double log_m = std::log(static_cast<double>(m));
+  std::vector<double> entropy(n, 0.0);
+  for (std::size_t d = 0; d < m; ++d) {
+    for (const auto& [term, count] : corpus.document(d).counts()) {
+      double p = static_cast<double>(count) / stats.global_frequency[term];
+      entropy[term] += p * std::log(p);
+    }
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    stats.entropy_weight[t] = 1.0 + entropy[t] / log_m;
+  }
+  return stats;
+}
+
+double GlobalWeight(WeightingScheme scheme, const Corpus& corpus,
+                    const GlobalStats& stats, TermId term) {
+  switch (scheme) {
+    case WeightingScheme::kBinary:
+    case WeightingScheme::kTermFrequency:
+    case WeightingScheme::kLogTermFrequency:
+      return 1.0;
+    case WeightingScheme::kTfIdf: {
+      std::size_t df = corpus.DocumentFrequency(term);
+      if (df == 0) return 0.0;
+      return std::log(static_cast<double>(corpus.NumDocuments()) /
+                      static_cast<double>(df));
+    }
+    case WeightingScheme::kLogEntropy:
+      return stats.entropy_weight[term];
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Result<linalg::SparseMatrix> BuildTermDocumentMatrix(
+    const Corpus& corpus, const TermDocumentMatrixOptions& options) {
+  if (corpus.NumDocuments() == 0 || corpus.NumTerms() == 0) {
+    return Status::InvalidArgument(
+        "BuildTermDocumentMatrix requires a nonempty corpus");
+  }
+  const std::size_t n = corpus.NumTerms();
+  const std::size_t m = corpus.NumDocuments();
+  GlobalStats stats = ComputeGlobalStats(corpus);
+
+  linalg::SparseMatrixBuilder builder(n, m);
+  for (std::size_t d = 0; d < m; ++d) {
+    // Collect the column first so it can optionally be normalized.
+    std::vector<std::pair<TermId, double>> column;
+    double norm_sq = 0.0;
+    for (const auto& [term, count] : corpus.document(d).counts()) {
+      double w = LocalTermWeight(options.scheme, count) *
+                 GlobalWeight(options.scheme, corpus, stats, term);
+      if (w == 0.0) continue;
+      column.emplace_back(term, w);
+      norm_sq += w * w;
+    }
+    double scale = 1.0;
+    if (options.normalize_columns && norm_sq > 0.0) {
+      scale = 1.0 / std::sqrt(norm_sq);
+    }
+    for (const auto& [term, w] : column) {
+      builder.Add(term, d, w * scale);
+    }
+  }
+  return builder.Build();
+}
+
+double LocalTermWeight(WeightingScheme scheme, std::size_t count) {
+  switch (scheme) {
+    case WeightingScheme::kBinary:
+      return count > 0 ? 1.0 : 0.0;
+    case WeightingScheme::kTermFrequency:
+      return static_cast<double>(count);
+    case WeightingScheme::kLogTermFrequency:
+    case WeightingScheme::kLogEntropy:
+      return count > 0 ? 1.0 + std::log(static_cast<double>(count)) : 0.0;
+    case WeightingScheme::kTfIdf:
+      return static_cast<double>(count);
+  }
+  return 0.0;
+}
+
+std::vector<double> ComputeGlobalWeights(const Corpus& corpus,
+                                         WeightingScheme scheme) {
+  GlobalStats stats = ComputeGlobalStats(corpus);
+  std::vector<double> weights(corpus.NumTerms(), 1.0);
+  for (std::size_t t = 0; t < corpus.NumTerms(); ++t) {
+    weights[t] = GlobalWeight(scheme, corpus, stats,
+                              static_cast<TermId>(t));
+  }
+  return weights;
+}
+
+linalg::DenseVector WeightQueryVector(
+    const Corpus& corpus,
+    const std::vector<std::pair<TermId, std::size_t>>& counts,
+    WeightingScheme scheme) {
+  GlobalStats stats = ComputeGlobalStats(corpus);
+  linalg::DenseVector query(corpus.NumTerms(), 0.0);
+  for (const auto& [term, count] : counts) {
+    if (term >= corpus.NumTerms()) continue;
+    query[term] = LocalTermWeight(scheme, count) *
+                  GlobalWeight(scheme, corpus, stats, term);
+  }
+  return query;
+}
+
+}  // namespace lsi::text

@@ -1,0 +1,66 @@
+#ifndef LSI_TEXT_TERM_WEIGHTING_H_
+#define LSI_TEXT_TERM_WEIGHTING_H_
+
+#include "common/result.h"
+#include "linalg/dense_vector.h"
+#include "linalg/sparse_matrix.h"
+#include "text/corpus.h"
+
+namespace lsi::text {
+
+/// How raw term counts are turned into term-document matrix entries.
+/// The paper (§2) notes "there are several candidates for the right
+/// function to be used here (0-1, frequency, etc.), and the precise
+/// choice does not affect our results" — all the classic candidates are
+/// provided, and E9's ablation measures the (small) effect empirically.
+enum class WeightingScheme {
+  /// 1 if the term occurs, else 0.
+  kBinary,
+  /// Raw occurrence count tf (the paper's corpus-model experiments use
+  /// this: matrix entries are sample counts).
+  kTermFrequency,
+  /// 1 + log(tf) for tf > 0 (dampens long documents).
+  kLogTermFrequency,
+  /// tf * log(m / df): classic tf-idf.
+  kTfIdf,
+  /// (1 + log tf) * (1 - normalized term entropy): the log-entropy
+  /// weighting traditionally paired with LSI.
+  kLogEntropy,
+};
+
+/// Options for matrix construction.
+struct TermDocumentMatrixOptions {
+  WeightingScheme scheme = WeightingScheme::kTermFrequency;
+  /// L2-normalize each document column after weighting.
+  bool normalize_columns = false;
+};
+
+/// Builds the n x m term-document matrix A of the corpus: rows are terms
+/// (vocabulary ids), columns are documents, entries weighted per
+/// `options`. Returns InvalidArgument for an empty corpus.
+Result<linalg::SparseMatrix> BuildTermDocumentMatrix(
+    const Corpus& corpus, const TermDocumentMatrixOptions& options = {});
+
+/// Weights a query's term counts consistently with `scheme` so the query
+/// vector lives in the same space as the matrix columns. `counts` maps a
+/// term id to its count in the query; terms outside the corpus vocabulary
+/// must be filtered by the caller. df/idf statistics come from `corpus`.
+linalg::DenseVector WeightQueryVector(
+    const Corpus& corpus,
+    const std::vector<std::pair<TermId, std::size_t>>& counts,
+    WeightingScheme scheme);
+
+/// The local (within-document) weight of a raw count under `scheme`
+/// (e.g. tf, 1+log tf, or 0/1). Matrix entry = local * global weight.
+double LocalTermWeight(WeightingScheme scheme, std::size_t count);
+
+/// The per-term global weights of `scheme` over `corpus` (idf for
+/// kTfIdf, 1 - normalized entropy for kLogEntropy, 1 otherwise), indexed
+/// by term id. Persist these to weight queries against a saved index
+/// without the original corpus.
+std::vector<double> ComputeGlobalWeights(const Corpus& corpus,
+                                         WeightingScheme scheme);
+
+}  // namespace lsi::text
+
+#endif  // LSI_TEXT_TERM_WEIGHTING_H_

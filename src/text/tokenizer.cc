@@ -1,0 +1,65 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace lsi::text {
+namespace {
+
+bool IsWordChar(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '\'' || c == '-';
+}
+
+bool IsAllDigits(const std::string& token) {
+  for (char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+        c != '\'') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  current.reserve(16);
+
+  auto flush = [&]() {
+    if (current.empty()) return;
+    // Strip leading/trailing apostrophes and hyphens.
+    std::size_t begin = 0;
+    std::size_t end = current.size();
+    while (begin < end && (current[begin] == '\'' || current[begin] == '-')) {
+      ++begin;
+    }
+    while (end > begin && (current[end - 1] == '\'' || current[end - 1] == '-')) {
+      --end;
+    }
+    std::string token = current.substr(begin, end - begin);
+    current.clear();
+    if (token.empty()) return;
+    if (token.size() < options_.min_token_length ||
+        token.size() > options_.max_token_length) {
+      return;
+    }
+    if (!options_.keep_numbers && IsAllDigits(token)) return;
+    tokens.push_back(std::move(token));
+  };
+
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (c < 128 && IsWordChar(c)) {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : raw);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace lsi::text

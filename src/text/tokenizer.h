@@ -1,0 +1,44 @@
+#ifndef LSI_TEXT_TOKENIZER_H_
+#define LSI_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsi::text {
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  /// Lowercase ASCII letters before emitting tokens.
+  bool lowercase = true;
+  /// Keep tokens that consist entirely of digits.
+  bool keep_numbers = false;
+  /// Drop tokens shorter than this (after case folding).
+  std::size_t min_token_length = 1;
+  /// Drop tokens longer than this (guards against pathological inputs).
+  std::size_t max_token_length = 64;
+};
+
+/// Splits raw text into word tokens.
+///
+/// A token is a maximal run of ASCII letters/digits plus embedded
+/// apostrophes and hyphens ("don't", "state-of-the-art" stays one token
+/// only for the inner characters; leading/trailing punctuation is
+/// stripped). Non-ASCII bytes act as separators, which is the classic
+/// IR-benchmark behaviour the paper's era assumed.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenizes `text` and returns the tokens in order of appearance.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace lsi::text
+
+#endif  // LSI_TEXT_TOKENIZER_H_

@@ -1,0 +1,33 @@
+#include "text/vocabulary.h"
+
+#include "common/check.h"
+
+namespace lsi::text {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+Result<TermId> Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  if (it == ids_.end()) {
+    return Status::NotFound("term not in vocabulary: " + std::string(term));
+  }
+  return it->second;
+}
+
+bool Vocabulary::Contains(std::string_view term) const {
+  return ids_.find(std::string(term)) != ids_.end();
+}
+
+const std::string& Vocabulary::TermOf(TermId id) const {
+  LSI_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+}  // namespace lsi::text

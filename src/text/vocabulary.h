@@ -1,0 +1,49 @@
+#ifndef LSI_TEXT_VOCABULARY_H_
+#define LSI_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lsi::text {
+
+/// Dense integer id assigned to each distinct term.
+using TermId = std::uint32_t;
+
+/// Bidirectional term <-> TermId mapping. Ids are dense and assigned in
+/// first-seen order, so they index rows of the term-document matrix
+/// directly.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, inserting it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id of `term`, or NotFound if it has never been added.
+  Result<TermId> Lookup(std::string_view term) const;
+
+  /// Returns true if `term` is present.
+  bool Contains(std::string_view term) const;
+
+  /// Returns the term string for `id`. Requires id < size().
+  const std::string& TermOf(TermId id) const;
+
+  std::size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// All terms in id order.
+  const std::vector<std::string>& terms() const { return terms_; }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace lsi::text
+
+#endif  // LSI_TEXT_VOCABULARY_H_

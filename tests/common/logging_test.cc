@@ -1,0 +1,31 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi {
+namespace {
+
+TEST(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  // Smoke test: streaming multiple types must compile and not crash.
+  SetLogLevel(LogLevel::kError);  // Silence output during the test run.
+  LSI_LOG(Info) << "value=" << 42 << " pi=" << 3.14 << " text=" << "x";
+  LSI_LOG(Warning) << "warn";
+  LSI_LOG(Debug) << "debug";
+  SetLogLevel(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace lsi

@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NumericalError("x").IsNumericalError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status s = Status::NotFound("missing");
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsNumericalError());
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NumericalError("diverged");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kNumericalError);
+  EXPECT_EQ(t.message(), "diverged");
+  // Copy source unchanged.
+  EXPECT_EQ(s.message(), "diverged");
+}
+
+TEST(StatusTest, MoveLeavesValidState) {
+  Status s = Status::Internal("boom");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsInternal());
+}
+
+TEST(StatusTest, OkCodeWithMessageStillOk) {
+  // Constructing with kOk ignores the message (no error rep).
+  Status s(StatusCode::kOk, "irrelevant");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNumericalError),
+               "NumericalError");
+}
+
+Status FailsAtDepth(int depth) {
+  if (depth == 0) return Status::OutOfRange("bottom");
+  LSI_RETURN_IF_ERROR(FailsAtDepth(depth - 1));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = FailsAtDepth(3);
+  EXPECT_TRUE(s.IsOutOfRange());
+  EXPECT_EQ(s.message(), "bottom");
+}
+
+Status NeverFails() {
+  LSI_RETURN_IF_ERROR(Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPassesOk) {
+  EXPECT_TRUE(NeverFails().ok());
+}
+
+}  // namespace
+}  // namespace lsi

@@ -1,0 +1,176 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/lsi_index.h"
+#include "test_util.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SparseMatrix SmallCorpusMatrix() {
+  linalg::SparseMatrixBuilder builder(6, 5);
+  Rng rng(77);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (rng.Bernoulli(0.5)) builder.Add(i, j, rng.Uniform(0.5, 3.0));
+    }
+  }
+  return builder.Build();
+}
+
+LsiIndex BuildSmall() {
+  LsiOptions options;
+  options.rank = 3;
+  options.solver = SvdSolver::kJacobi;
+  return LsiIndex::Build(SmallCorpusMatrix(), options).value();
+}
+
+TEST(LsiIndexFoldInTest, AppendDocumentGrowsIndex) {
+  LsiIndex index = BuildSmall();
+  EXPECT_EQ(index.NumDocuments(), 5u);
+  EXPECT_EQ(index.NumFoldedDocuments(), 0u);
+  DenseVector doc(6, 0.0);
+  doc[0] = 2.0;
+  doc[1] = 1.0;
+  auto appended = index.AppendDocument(doc);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended.value(), 5u);
+  EXPECT_EQ(index.NumDocuments(), 6u);
+  EXPECT_EQ(index.NumFoldedDocuments(), 1u);
+}
+
+TEST(LsiIndexFoldInTest, RejectsWrongDimension) {
+  LsiIndex index = BuildSmall();
+  EXPECT_FALSE(index.AppendDocument(DenseVector(4, 1.0)).ok());
+}
+
+TEST(LsiIndexFoldInTest, FoldedDocumentMatchesFoldInQuery) {
+  LsiIndex index = BuildSmall();
+  DenseVector doc(6, 0.0);
+  doc[2] = 3.0;
+  doc[4] = 1.0;
+  auto folded_query = index.FoldInQuery(doc);
+  auto appended = index.AppendDocument(doc);
+  ASSERT_TRUE(folded_query.ok() && appended.ok());
+  DenseVector stored = index.DocumentVector(appended.value());
+  EXPECT_LT(Distance(stored, folded_query.value()), 1e-12);
+}
+
+TEST(LsiIndexFoldInTest, FoldedDocumentIsSearchable) {
+  LsiIndex index = BuildSmall();
+  // Fold in a document identical to an existing column; it must become
+  // the (or a tied) top hit for a query equal to that column.
+  SparseMatrix matrix = SmallCorpusMatrix();
+  DenseVector column(6, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) column[i] = matrix.At(i, 2);
+  auto appended = index.AppendDocument(column);
+  ASSERT_TRUE(appended.ok());
+  auto results = index.Search(column, 2);
+  ASSERT_TRUE(results.ok());
+  bool found = false;
+  for (const SearchResult& r : results.value()) {
+    if (r.document == appended.value()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LsiIndexPersistenceTest, SaveLoadRoundTrip) {
+  LsiIndex index = BuildSmall();
+  std::string path = TempPath("lsi_index_roundtrip.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = LsiIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rank(), index.rank());
+  EXPECT_EQ(loaded->NumTerms(), index.NumTerms());
+  EXPECT_EQ(loaded->NumDocuments(), index.NumDocuments());
+  for (std::size_t i = 0; i < index.rank(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->SingularValue(i), index.SingularValue(i));
+  }
+  EXPECT_DOUBLE_EQ(linalg::MaxAbsDiff(loaded->document_vectors(),
+                                      index.document_vectors()),
+                   0.0);
+  std::remove(path.c_str());
+}
+
+TEST(LsiIndexPersistenceTest, FoldedDocumentsSurviveSaveLoad) {
+  LsiIndex index = BuildSmall();
+  DenseVector doc(6, 1.0);
+  ASSERT_TRUE(index.AppendDocument(doc).ok());
+  std::string path = TempPath("lsi_index_folded.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = LsiIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumDocuments(), 6u);
+  EXPECT_EQ(loaded->NumFoldedDocuments(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LsiIndexPersistenceTest, SearchEquivalentAfterLoad) {
+  LsiIndex index = BuildSmall();
+  std::string path = TempPath("lsi_index_search.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = LsiIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  DenseVector query(6, 0.0);
+  query[1] = 1.0;
+  query[3] = 2.0;
+  auto original_hits = index.Search(query);
+  auto loaded_hits = loaded->Search(query);
+  ASSERT_TRUE(original_hits.ok() && loaded_hits.ok());
+  ASSERT_EQ(original_hits->size(), loaded_hits->size());
+  for (std::size_t i = 0; i < original_hits->size(); ++i) {
+    EXPECT_EQ((*original_hits)[i].document, (*loaded_hits)[i].document);
+    EXPECT_DOUBLE_EQ((*original_hits)[i].score, (*loaded_hits)[i].score);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LsiIndexPersistenceTest, MissingFileIsNotFound) {
+  auto loaded = LsiIndex::Load(TempPath("no_such_index.bin"));
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+TEST(LsiIndexPersistenceTest, GarbageFileRejected) {
+  std::string path = TempPath("garbage_index.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not an index", f);
+  std::fclose(f);
+  auto loaded = LsiIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(LsiIndexFromSvdTest, ValidatesShapes) {
+  linalg::SvdResult bad;
+  bad.u = linalg::DenseMatrix(4, 2);
+  bad.singular_values = DenseVector(3);  // Mismatch with u.cols().
+  bad.v = linalg::DenseMatrix(5, 3);
+  EXPECT_FALSE(LsiIndex::FromSvd(bad).ok());
+
+  linalg::SvdResult good;
+  good.u = linalg::DenseMatrix(4, 2);
+  good.u(0, 0) = 1.0;
+  good.u(1, 1) = 1.0;
+  good.singular_values = DenseVector{2.0, 1.0};
+  good.v = linalg::DenseMatrix(5, 2);
+  good.v(0, 0) = 1.0;
+  good.v(1, 1) = 1.0;
+  auto index = LsiIndex::FromSvd(good);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->rank(), 2u);
+  EXPECT_EQ(index->NumDocuments(), 5u);
+}
+
+}  // namespace
+}  // namespace lsi::core

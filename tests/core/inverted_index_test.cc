@@ -1,0 +1,156 @@
+#include "core/inverted_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/vector_space_index.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+SparseMatrix SmallMatrix() {
+  // Documents: d0 = (1,1,0), d1 = (0,1,1), d2 = (0,0,2).
+  linalg::SparseMatrixBuilder builder(3, 3);
+  builder.Add(0, 0, 1.0);
+  builder.Add(1, 0, 1.0);
+  builder.Add(1, 1, 1.0);
+  builder.Add(2, 1, 1.0);
+  builder.Add(2, 2, 2.0);
+  return builder.Build();
+}
+
+TEST(InvertedIndexTest, RejectsEmpty) {
+  EXPECT_FALSE(InvertedIndex::Build(SparseMatrix(0, 0)).ok());
+}
+
+TEST(InvertedIndexTest, PostingListsCorrect) {
+  auto index = InvertedIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumTerms(), 3u);
+  EXPECT_EQ(index->NumDocuments(), 3u);
+  auto postings = index->PostingsOf(1);
+  ASSERT_TRUE(postings.ok());
+  ASSERT_EQ((*postings.value()).size(), 2u);
+  EXPECT_EQ((*postings.value())[0].document, 0u);
+  EXPECT_EQ((*postings.value())[1].document, 1u);
+  EXPECT_DOUBLE_EQ((*postings.value())[0].weight, 1.0);
+  EXPECT_FALSE(index->PostingsOf(9).ok());
+}
+
+TEST(InvertedIndexTest, DocumentFrequency) {
+  auto index = InvertedIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->DocumentFrequency(0).value(), 1u);
+  EXPECT_EQ(index->DocumentFrequency(1).value(), 2u);
+  EXPECT_EQ(index->DocumentFrequency(2).value(), 2u);
+  EXPECT_FALSE(index->DocumentFrequency(3).ok());
+}
+
+TEST(InvertedIndexTest, SearchScoresMatchVectorSpaceIndex) {
+  // On matched documents the cosine scores must agree exactly with the
+  // dense vector-space baseline.
+  Rng rng(91);
+  linalg::SparseMatrixBuilder builder(20, 15);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 15; ++j) {
+      if (rng.Bernoulli(0.25)) builder.Add(i, j, rng.Uniform(0.1, 2.0));
+    }
+  }
+  SparseMatrix matrix = builder.Build();
+  auto inverted = InvertedIndex::Build(matrix);
+  auto vsm = VectorSpaceIndex::Build(matrix);
+  ASSERT_TRUE(inverted.ok() && vsm.ok());
+
+  DenseVector query(20, 0.0);
+  query[3] = 1.0;
+  query[7] = 0.5;
+  query[12] = 2.0;
+  auto inv_hits = inverted->Search(query);
+  auto vsm_hits = vsm->Search(query);
+  ASSERT_TRUE(inv_hits.ok() && vsm_hits.ok());
+  for (const SearchResult& hit : inv_hits.value()) {
+    auto expected = vsm->Similarity(query, hit.document);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_NEAR(hit.score, expected.value(), 1e-12) << hit.document;
+  }
+}
+
+TEST(InvertedIndexTest, OnlyMatchedDocumentsReturned) {
+  auto index = InvertedIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  // Term 0 occurs only in d0.
+  std::vector<std::pair<std::size_t, double>> query = {{0, 1.0}};
+  auto hits = index->Search(query);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].document, 0u);
+}
+
+TEST(InvertedIndexTest, SparseQueryValidation) {
+  auto index = InvertedIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  std::vector<std::pair<std::size_t, double>> bad = {{7, 1.0}};
+  EXPECT_FALSE(index->Search(bad).ok());
+  auto empty = index->Search(std::vector<std::pair<std::size_t, double>>{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(InvertedIndexTest, DenseQueryValidation) {
+  auto index = InvertedIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Search(DenseVector(5, 1.0)).ok());
+}
+
+TEST(InvertedIndexTest, TopKLimits) {
+  auto index = InvertedIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  DenseVector query = {0.0, 1.0, 1.0};
+  auto hits = index->Search(query, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  // d1 = (0,1,1) matches the query direction exactly.
+  EXPECT_EQ((*hits)[0].document, 1u);
+  EXPECT_NEAR((*hits)[0].score, 1.0, 1e-12);
+}
+
+TEST(InvertedIndexTest, RankingIsDescendingAndDeterministic) {
+  auto index = InvertedIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  DenseVector query = {1.0, 1.0, 1.0};
+  auto hits = index->Search(query);
+  ASSERT_TRUE(hits.ok());
+  for (std::size_t i = 1; i < hits->size(); ++i) {
+    EXPECT_GE((*hits)[i - 1].score, (*hits)[i].score);
+  }
+  auto again = index->Search(query);
+  ASSERT_TRUE(again.ok());
+  for (std::size_t i = 0; i < hits->size(); ++i) {
+    EXPECT_EQ((*hits)[i].document, (*again)[i].document);
+  }
+}
+
+TEST(InvertedIndexTest, SynonymyBlindnessDemonstrated) {
+  // The motivating failure: the synonym document is absent from the
+  // result list entirely (LSI would rank it).
+  linalg::SparseMatrixBuilder builder(3, 2);
+  builder.Add(0, 0, 1.0);  // d0 uses "car".
+  builder.Add(2, 0, 1.0);
+  builder.Add(1, 1, 1.0);  // d1 uses "automobile".
+  builder.Add(2, 1, 1.0);
+  auto index = InvertedIndex::Build(builder.Build());
+  ASSERT_TRUE(index.ok());
+  std::vector<std::pair<std::size_t, double>> car = {{0, 1.0}};
+  auto hits = index->Search(car);  // Query "car" only.
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].document, 0u);
+}
+
+}  // namespace
+}  // namespace lsi::core

@@ -1,0 +1,117 @@
+#include "core/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::DenseMatrix;
+
+TEST(KMeansTest, Validation) {
+  DenseMatrix points(4, 2, 0.0);
+  EXPECT_FALSE(KMeans(DenseMatrix(), 1).ok());
+  EXPECT_FALSE(KMeans(points, 0).ok());
+  EXPECT_FALSE(KMeans(points, 5).ok());
+}
+
+TEST(KMeansTest, SingleCluster) {
+  DenseMatrix points = {{1.0, 1.0}, {1.1, 0.9}, {0.9, 1.1}};
+  auto result = KMeans(points, 1);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t c : result->cluster_of_point) EXPECT_EQ(c, 0u);
+  EXPECT_NEAR(result->centroids(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(result->centroids(0, 1), 1.0, 1e-9);
+}
+
+TEST(KMeansTest, TwoWellSeparatedClusters) {
+  DenseMatrix points = {{0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1},
+                        {10.0, 10.0}, {10.1, 10.0}, {10.0, 10.1}};
+  auto result = KMeans(points, 2);
+  ASSERT_TRUE(result.ok());
+  // First three points share a cluster; last three share the other.
+  EXPECT_EQ(result->cluster_of_point[0], result->cluster_of_point[1]);
+  EXPECT_EQ(result->cluster_of_point[0], result->cluster_of_point[2]);
+  EXPECT_EQ(result->cluster_of_point[3], result->cluster_of_point[4]);
+  EXPECT_EQ(result->cluster_of_point[3], result->cluster_of_point[5]);
+  EXPECT_NE(result->cluster_of_point[0], result->cluster_of_point[3]);
+  EXPECT_LT(result->inertia, 0.1);
+}
+
+TEST(KMeansTest, KEqualsNZeroInertia) {
+  DenseMatrix points = {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}};
+  auto result = KMeans(points, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+  // All three clusters used.
+  std::vector<bool> used(3, false);
+  for (std::size_t c : result->cluster_of_point) used[c] = true;
+  EXPECT_TRUE(used[0] && used[1] && used[2]);
+}
+
+TEST(KMeansTest, GaussianBlobsRecovered) {
+  Rng rng(501);
+  const std::size_t per_blob = 40;
+  DenseMatrix points(3 * per_blob, 2);
+  double centers[3][2] = {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}};
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      points(b * per_blob + i, 0) = centers[b][0] + rng.Gaussian(0.0, 0.5);
+      points(b * per_blob + i, 1) = centers[b][1] + rng.Gaussian(0.0, 0.5);
+    }
+  }
+  auto result = KMeans(points, 3);
+  ASSERT_TRUE(result.ok());
+  // Every blob is internally consistent.
+  for (std::size_t b = 0; b < 3; ++b) {
+    std::size_t label = result->cluster_of_point[b * per_blob];
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      if (result->cluster_of_point[b * per_blob + i] == label) ++agree;
+    }
+    EXPECT_GE(agree, per_blob - 2) << "blob " << b;
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng(503);
+  DenseMatrix points(20, 3);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) points(i, j) = rng.Uniform(-1, 1);
+  }
+  KMeansOptions options;
+  options.seed = 77;
+  auto r1 = KMeans(points, 4, options);
+  auto r2 = KMeans(points, 4, options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->cluster_of_point, r2->cluster_of_point);
+  EXPECT_DOUBLE_EQ(r1->inertia, r2->inertia);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  Rng rng(505);
+  DenseMatrix points(30, 2);
+  for (std::size_t i = 0; i < 30; ++i) {
+    points(i, 0) = rng.Uniform(0, 10);
+    points(i, 1) = rng.Uniform(0, 10);
+  }
+  KMeansOptions one;
+  one.restarts = 1;
+  KMeansOptions many;
+  many.restarts = 8;
+  auto r1 = KMeans(points, 5, one);
+  auto r8 = KMeans(points, 5, many);
+  ASSERT_TRUE(r1.ok() && r8.ok());
+  EXPECT_LE(r8->inertia, r1->inertia + 1e-9);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  DenseMatrix points(6, 2, 1.0);  // All identical.
+  auto result = KMeans(points, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lsi::core

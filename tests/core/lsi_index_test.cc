@@ -1,0 +1,303 @@
+#include "core/lsi_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/norms.h"
+#include "test_util.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+/// A tiny corpus with two obvious topics: {0,1} use terms {0,1,2},
+/// {2,3} use terms {3,4,5}.
+SparseMatrix TwoTopicMatrix() {
+  linalg::SparseMatrixBuilder builder(6, 4);
+  builder.Add(0, 0, 3.0);
+  builder.Add(1, 0, 2.0);
+  builder.Add(2, 0, 1.0);
+  builder.Add(0, 1, 1.0);
+  builder.Add(1, 1, 3.0);
+  builder.Add(2, 1, 2.0);
+  builder.Add(3, 2, 2.0);
+  builder.Add(4, 2, 3.0);
+  builder.Add(5, 2, 1.0);
+  builder.Add(3, 3, 3.0);
+  builder.Add(4, 3, 1.0);
+  builder.Add(5, 3, 2.0);
+  return builder.Build();
+}
+
+TEST(LsiIndexTest, RejectsBadRank) {
+  SparseMatrix a = TwoTopicMatrix();
+  LsiOptions options;
+  options.rank = 0;
+  EXPECT_FALSE(LsiIndex::Build(a, options).ok());
+  options.rank = 5;  // > min(6, 4).
+  EXPECT_FALSE(LsiIndex::Build(a, options).ok());
+}
+
+TEST(LsiIndexTest, BasicShapes) {
+  SparseMatrix a = TwoTopicMatrix();
+  LsiOptions options;
+  options.rank = 2;
+  auto index = LsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->rank(), 2u);
+  EXPECT_EQ(index->NumTerms(), 6u);
+  EXPECT_EQ(index->NumDocuments(), 4u);
+  EXPECT_EQ(index->document_vectors().rows(), 4u);
+  EXPECT_EQ(index->document_vectors().cols(), 2u);
+  EXPECT_GE(index->SingularValue(0), index->SingularValue(1));
+}
+
+TEST(LsiIndexTest, SolversAgree) {
+  SparseMatrix a = TwoTopicMatrix();
+  for (SvdSolver solver : {SvdSolver::kLanczos, SvdSolver::kRandomized,
+                           SvdSolver::kJacobi, SvdSolver::kGkl}) {
+    LsiOptions options;
+    options.rank = 2;
+    options.solver = solver;
+    auto index = LsiIndex::Build(a, options);
+    ASSERT_TRUE(index.ok()) << static_cast<int>(solver);
+    auto jacobi_svd = linalg::JacobiSvd(a.ToDense());
+    ASSERT_TRUE(jacobi_svd.ok());
+    EXPECT_NEAR(index->SingularValue(0), jacobi_svd->singular_values[0],
+                1e-4 * jacobi_svd->singular_values[0]);
+  }
+}
+
+TEST(LsiIndexTest, DocumentVectorsAreVkDk) {
+  SparseMatrix a = TwoTopicMatrix();
+  LsiOptions options;
+  options.rank = 2;
+  options.solver = SvdSolver::kJacobi;
+  auto index = LsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  const auto& svd = index->svd();
+  for (std::size_t j = 0; j < 4; ++j) {
+    DenseVector dv = index->DocumentVector(j);
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(dv[i], svd.v(j, i) * svd.singular_values[i], 1e-12);
+    }
+  }
+}
+
+TEST(LsiIndexTest, DocumentVectorEqualsFoldedInColumn) {
+  // Row j of V_k D_k must equal U_k^T a_j (the fold-in identity that
+  // justifies processing queries in the latent space).
+  SparseMatrix a = TwoTopicMatrix();
+  LsiOptions options;
+  options.rank = 2;
+  options.solver = SvdSolver::kJacobi;
+  auto index = LsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  DenseMatrix dense = a.ToDense();
+  for (std::size_t j = 0; j < 4; ++j) {
+    auto folded = index->FoldInQuery(dense.Column(j));
+    ASSERT_TRUE(folded.ok());
+    DenseVector dv = index->DocumentVector(j);
+    // Equal up to SVD sign conventions; compare absolute cosines.
+    EXPECT_NEAR(std::fabs(linalg::CosineSimilarity(folded.value(), dv)), 1.0,
+                1e-9);
+    EXPECT_NEAR(folded->Norm(), dv.Norm(), 1e-9);
+  }
+}
+
+TEST(LsiIndexTest, FoldInQueryRejectsWrongDimension) {
+  SparseMatrix a = TwoTopicMatrix();
+  auto index = LsiIndex::Build(a, LsiOptions{.rank = 2});
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->FoldInQuery(DenseVector(5, 0.0)).ok());
+}
+
+TEST(LsiIndexTest, SearchRanksTopicMatesFirst) {
+  SparseMatrix a = TwoTopicMatrix();
+  LsiOptions options;
+  options.rank = 2;
+  options.solver = SvdSolver::kJacobi;
+  auto index = LsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  // Query about topic 1 terms.
+  DenseVector query(6, 0.0);
+  query[3] = 1.0;
+  query[4] = 1.0;
+  auto results = index->Search(query);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 4u);
+  // Top two hits are documents 2 and 3 (order between them unspecified).
+  std::size_t first = (*results)[0].document;
+  std::size_t second = (*results)[1].document;
+  EXPECT_TRUE((first == 2 && second == 3) || (first == 3 && second == 2));
+  EXPECT_GT((*results)[1].score, (*results)[2].score);
+}
+
+TEST(LsiIndexTest, SearchTopKLimits) {
+  SparseMatrix a = TwoTopicMatrix();
+  auto index = LsiIndex::Build(a, LsiOptions{.rank = 2});
+  ASSERT_TRUE(index.ok());
+  DenseVector query(6, 1.0);
+  auto results = index->Search(query, 2);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+}
+
+TEST(LsiIndexTest, TermVectorsShape) {
+  SparseMatrix a = TwoTopicMatrix();
+  auto index = LsiIndex::Build(a, LsiOptions{.rank = 2});
+  ASSERT_TRUE(index.ok());
+  DenseMatrix tv = index->TermVectors();
+  EXPECT_EQ(tv.rows(), 6u);
+  EXPECT_EQ(tv.cols(), 2u);
+}
+
+TEST(LsiIndexTest, TermVectorsClusterByTopic) {
+  SparseMatrix a = TwoTopicMatrix();
+  LsiOptions options;
+  options.rank = 2;
+  options.solver = SvdSolver::kJacobi;
+  auto index = LsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  DenseMatrix tv = index->TermVectors();
+  // Terms 0-2 (topic A) should be closer to each other than to 3-5.
+  double intra = linalg::CosineSimilarity(tv.Row(0), tv.Row(1));
+  double inter = linalg::CosineSimilarity(tv.Row(0), tv.Row(4));
+  EXPECT_GT(intra, inter);
+}
+
+TEST(LsiIndexTest, DenseBuildMatchesSparse) {
+  SparseMatrix a = TwoTopicMatrix();
+  LsiOptions options;
+  options.rank = 2;
+  auto sparse_index = LsiIndex::Build(a, options);
+  auto dense_index = LsiIndex::Build(a.ToDense(), options);
+  ASSERT_TRUE(sparse_index.ok());
+  ASSERT_TRUE(dense_index.ok());
+  EXPECT_NEAR(sparse_index->SingularValue(0), dense_index->SingularValue(0),
+              1e-8);
+  EXPECT_NEAR(sparse_index->SingularValue(1), dense_index->SingularValue(1),
+              1e-8);
+}
+
+TEST(LsiIndexTest, RankKTruncationErrorMatchesTailEnergy) {
+  Rng rng(401);
+  linalg::DenseVector sigma = {8.0, 4.0, 2.0, 1.0};
+  DenseMatrix dense = lsi::testing::MatrixWithSpectrum(20, 15, sigma, rng);
+  SparseMatrix a = SparseMatrix::FromDense(dense);
+  LsiOptions options;
+  options.rank = 2;
+  auto index = LsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  DenseMatrix ak = index->svd().Reconstruct(2);
+  // ||A - A_2||_F = sqrt(4 + 1).
+  EXPECT_NEAR(linalg::FrobeniusDistance(dense, ak), std::sqrt(5.0), 1e-6);
+}
+
+TEST(LsiIndexTest, DocumentsOutsideLatentSubspaceScoreZero) {
+  // Two disjoint topic blocks where block 2 carries more weight: rank-2
+  // LSI keeps only block-2 directions, so block-1 documents fold to
+  // numerically-zero vectors. Their scores must be exactly 0, not
+  // rounding noise masquerading as high cosines (regression test).
+  linalg::SparseMatrixBuilder builder(6, 4);
+  builder.Add(0, 0, 1.0);  // Block 1: docs 0, 1 on terms 0-2.
+  builder.Add(1, 0, 1.0);
+  builder.Add(0, 1, 1.0);
+  builder.Add(2, 1, 1.0);
+  builder.Add(3, 2, 3.0);  // Block 2 (heavier): docs 2, 3 on terms 3-5.
+  builder.Add(4, 2, 3.0);
+  builder.Add(5, 2, 3.0);
+  builder.Add(3, 3, 3.0);
+  builder.Add(4, 3, 3.0);
+  LsiOptions options;
+  options.rank = 2;
+  options.solver = SvdSolver::kJacobi;
+  auto index = LsiIndex::Build(builder.Build(), options);
+  ASSERT_TRUE(index.ok());
+  // Query in block 2 terms.
+  DenseVector query(6, 0.0);
+  query[3] = 1.0;
+  auto results = index->Search(query);
+  ASSERT_TRUE(results.ok());
+  for (const SearchResult& r : results.value()) {
+    if (r.document == 0 || r.document == 1) {
+      EXPECT_DOUBLE_EQ(r.score, 0.0) << "doc " << r.document;
+    }
+  }
+  // Query entirely in block 1 terms: folds to ~zero, everything scores 0.
+  DenseVector dead_query(6, 0.0);
+  dead_query[0] = 1.0;
+  auto dead = index->Search(dead_query);
+  ASSERT_TRUE(dead.ok());
+  for (const SearchResult& r : dead.value()) {
+    EXPECT_DOUBLE_EQ(r.score, 0.0);
+  }
+}
+
+TEST(LsiIndexTest, FullRankLsiReproducesVectorSpaceScores) {
+  // With k = min(n, m) the latent map is an isometry on the column
+  // space, so latent cosines equal raw term-space cosines — LSI at full
+  // rank IS the vector-space model (the paper's Eckart-Young framing).
+  Rng rng(403);
+  linalg::SparseMatrixBuilder builder(12, 8);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (rng.Bernoulli(0.4)) builder.Add(i, j, rng.Uniform(0.2, 2.0));
+    }
+  }
+  SparseMatrix matrix = builder.Build();
+  LsiOptions options;
+  options.rank = 8;
+  options.solver = SvdSolver::kJacobi;
+  auto index = LsiIndex::Build(matrix, options);
+  ASSERT_TRUE(index.ok());
+
+  DenseMatrix dense = matrix.ToDense();
+  DenseVector query(12, 0.0);
+  query[1] = 1.0;
+  query[5] = 2.0;
+  // Project the query onto the column space of A first: fold-in only
+  // sees that component.
+  auto results = index->Search(query);
+  ASSERT_TRUE(results.ok());
+  for (const SearchResult& r : results.value()) {
+    DenseVector column = dense.Column(r.document);
+    // Compare latent score against cosine of (projected query, column).
+    // Compute the projection of the query onto span(U) = column space.
+    DenseVector coeffs = linalg::MultiplyTranspose(index->svd().u, query);
+    DenseVector projected = linalg::Multiply(index->svd().u, coeffs);
+    double expected = linalg::CosineSimilarity(projected, column);
+    EXPECT_NEAR(r.score, expected, 1e-9) << r.document;
+  }
+}
+
+TEST(RankScoresTest, OrdersDescending) {
+  std::vector<double> scores = {0.1, 0.9, 0.5};
+  auto ranked = RankScores(scores, 0);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].document, 1u);
+  EXPECT_EQ(ranked[1].document, 2u);
+  EXPECT_EQ(ranked[2].document, 0u);
+}
+
+TEST(RankScoresTest, StableOnTies) {
+  std::vector<double> scores = {0.5, 0.5, 0.5};
+  auto ranked = RankScores(scores, 0);
+  EXPECT_EQ(ranked[0].document, 0u);
+  EXPECT_EQ(ranked[1].document, 1u);
+  EXPECT_EQ(ranked[2].document, 2u);
+}
+
+TEST(RankScoresTest, TopKClamped) {
+  std::vector<double> scores = {0.1, 0.2};
+  EXPECT_EQ(RankScores(scores, 10).size(), 2u);
+  EXPECT_EQ(RankScores(scores, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace lsi::core

@@ -1,0 +1,177 @@
+#include "core/random_projection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+TEST(RandomProjectionTest, Validation) {
+  EXPECT_FALSE(RandomProjection::Create(0, 0).ok());
+  EXPECT_FALSE(RandomProjection::Create(10, 0).ok());
+  EXPECT_FALSE(RandomProjection::Create(10, 20).ok());
+  EXPECT_TRUE(RandomProjection::Create(10, 10).ok());
+}
+
+TEST(RandomProjectionTest, RecommendedDimensionGrowsWithLogN) {
+  std::size_t l1 = RandomProjection::RecommendedDimension(100, 0.2);
+  std::size_t l2 = RandomProjection::RecommendedDimension(10000, 0.2);
+  EXPECT_GT(l2, l1);
+  EXPECT_LT(l2, 2 * l1 + 10);  // log growth.
+  // Tighter eps needs more dimensions.
+  EXPECT_GT(RandomProjection::RecommendedDimension(1000, 0.1),
+            RandomProjection::RecommendedDimension(1000, 0.5));
+  EXPECT_GE(RandomProjection::RecommendedDimension(1, 0.1), 1u);
+}
+
+TEST(RandomProjectionTest, ProjectDimensions) {
+  auto proj = RandomProjection::Create(50, 10, 1);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->input_dim(), 50u);
+  EXPECT_EQ(proj->output_dim(), 10u);
+  Rng rng(2);
+  DenseVector x = lsi::testing::RandomUnitVector(50, rng);
+  auto y = proj->Project(x);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y->size(), 10u);
+  EXPECT_FALSE(proj->Project(DenseVector(49, 0.0)).ok());
+}
+
+TEST(RandomProjectionTest, OrthonormalScaleIsSqrtNOverL) {
+  auto proj = RandomProjection::Create(64, 16, 3);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_NEAR(proj->scale(), 2.0, 1e-12);  // sqrt(64/16).
+}
+
+TEST(RandomProjectionTest, NormPreservationInExpectation) {
+  // Average ||proj(v)||^2 over seeds ~ ||v||^2 (Lemma 2 with the
+  // sqrt(n/l) scaling).
+  Rng rng(5);
+  DenseVector v = lsi::testing::RandomUnitVector(80, rng);
+  double sum = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    auto proj = RandomProjection::Create(80, 16, 1000 + t);
+    ASSERT_TRUE(proj.ok());
+    sum += proj->Project(v)->SquaredNorm();
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.1);
+}
+
+TEST(RandomProjectionTest, DistancePreservation) {
+  // With l comfortably above the JL bound, all pairwise distances of a
+  // small point set are preserved within 30%.
+  Rng rng(7);
+  const std::size_t n = 200;
+  const std::size_t num_points = 20;
+  std::vector<DenseVector> points;
+  for (std::size_t i = 0; i < num_points; ++i) {
+    points.push_back(lsi::testing::RandomUnitVector(n, rng));
+  }
+  auto proj = RandomProjection::Create(n, 60, 11);
+  ASSERT_TRUE(proj.ok());
+  std::vector<DenseVector> projected;
+  for (const auto& p : points) projected.push_back(proj->Project(p).value());
+  for (std::size_t i = 0; i < num_points; ++i) {
+    for (std::size_t j = i + 1; j < num_points; ++j) {
+      double original = Distance(points[i], points[j]);
+      double reduced = Distance(projected[i], projected[j]);
+      EXPECT_NEAR(reduced, original, 0.3 * original) << i << "," << j;
+    }
+  }
+}
+
+TEST(RandomProjectionTest, InnerProductApproximatelyPreserved) {
+  Rng rng(13);
+  const std::size_t n = 150;
+  DenseVector a = lsi::testing::RandomUnitVector(n, rng);
+  DenseVector b = lsi::testing::RandomUnitVector(n, rng);
+  double true_dot = Dot(a, b);
+  double sum = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    auto proj = RandomProjection::Create(n, 40, 2000 + t);
+    ASSERT_TRUE(proj.ok());
+    sum += Dot(proj->Project(a).value(), proj->Project(b).value());
+  }
+  EXPECT_NEAR(sum / trials, true_dot, 0.05);
+}
+
+TEST(RandomProjectionTest, ProjectColumnsMatchesPerVector) {
+  Rng rng(17);
+  DenseMatrix dense = lsi::testing::RandomMatrix(30, 8, rng);
+  SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  auto proj = RandomProjection::Create(30, 6, 19);
+  ASSERT_TRUE(proj.ok());
+  auto projected = proj->ProjectColumns(sparse);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->rows(), 6u);
+  EXPECT_EQ(projected->cols(), 8u);
+  for (std::size_t j = 0; j < 8; ++j) {
+    auto column = proj->Project(dense.Column(j));
+    ASSERT_TRUE(column.ok());
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR((*projected)(i, j), column.value()[i], 1e-10);
+    }
+  }
+}
+
+TEST(RandomProjectionTest, DenseAndSparseProjectColumnsAgree) {
+  Rng rng(23);
+  DenseMatrix dense = lsi::testing::RandomMatrix(25, 7, rng);
+  SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  auto proj = RandomProjection::Create(25, 5, 29);
+  ASSERT_TRUE(proj.ok());
+  auto from_sparse = proj->ProjectColumns(sparse);
+  auto from_dense = proj->ProjectColumns(dense);
+  ASSERT_TRUE(from_sparse.ok());
+  ASSERT_TRUE(from_dense.ok());
+  EXPECT_LT(MaxAbsDiff(from_sparse.value(), from_dense.value()), 1e-10);
+}
+
+TEST(RandomProjectionTest, ProjectColumnsValidatesShape) {
+  auto proj = RandomProjection::Create(25, 5, 31);
+  ASSERT_TRUE(proj.ok());
+  SparseMatrix wrong(10, 4);
+  EXPECT_FALSE(proj->ProjectColumns(wrong).ok());
+}
+
+TEST(RandomProjectionTest, DeterministicGivenSeed) {
+  auto p1 = RandomProjection::Create(20, 5, 37);
+  auto p2 = RandomProjection::Create(20, 5, 37);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(p1->matrix(), p2->matrix()), 0.0);
+}
+
+class ProjectionKindSweep : public ::testing::TestWithParam<ProjectionKind> {
+};
+
+TEST_P(ProjectionKindSweep, NormRoughlyPreserved) {
+  Rng rng(41);
+  const std::size_t n = 120;
+  DenseVector v = lsi::testing::RandomUnitVector(n, rng);
+  double sum = 0.0;
+  const int trials = 150;
+  for (int t = 0; t < trials; ++t) {
+    auto proj = RandomProjection::Create(n, 30, 3000 + t, GetParam());
+    ASSERT_TRUE(proj.ok());
+    sum += proj->Project(v)->SquaredNorm();
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ProjectionKindSweep,
+                         ::testing::Values(ProjectionKind::kOrthonormal,
+                                           ProjectionKind::kGaussian,
+                                           ProjectionKind::kSign));
+
+}  // namespace
+}  // namespace lsi::core

@@ -1,0 +1,134 @@
+#include "core/retrieval_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::core {
+namespace {
+
+std::vector<SearchResult> Ranking(std::initializer_list<std::size_t> docs) {
+  std::vector<SearchResult> out;
+  double score = 1.0;
+  for (std::size_t d : docs) {
+    out.push_back({d, score});
+    score -= 0.01;
+  }
+  return out;
+}
+
+TEST(PrecisionAtKTest, BasicValues) {
+  auto ranking = Ranking({1, 2, 3, 4});
+  RelevanceSet relevant = {1, 3};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, relevant, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, relevant, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, relevant, 4), 0.5);
+}
+
+TEST(PrecisionAtKTest, EdgeCases) {
+  auto ranking = Ranking({1});
+  RelevanceSet relevant = {1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, relevant, 0), 0.0);
+  // k beyond ranking length: denominator stays k.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, relevant, 3), 0.0);
+}
+
+TEST(RecallAtKTest, BasicValues) {
+  auto ranking = Ranking({1, 2, 3, 4});
+  RelevanceSet relevant = {1, 3, 9};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, relevant, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, relevant, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, relevant, 4), 2.0 / 3.0);
+}
+
+TEST(RecallAtKTest, EmptyRelevance) {
+  EXPECT_DOUBLE_EQ(RecallAtK(Ranking({1}), {}, 1), 0.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  auto ranking = Ranking({1, 2, 3});
+  RelevanceSet relevant = {1, 2};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranking, relevant), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  auto ranking = Ranking({3, 4, 1});
+  RelevanceSet relevant = {1};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranking, relevant), 1.0 / 3.0);
+}
+
+TEST(AveragePrecisionTest, MixedRanking) {
+  // Relevant at positions 1 and 3: AP = (1/1 + 2/3) / 2.
+  auto ranking = Ranking({5, 6, 7, 8});
+  RelevanceSet relevant = {5, 7};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranking, relevant),
+                   (1.0 + 2.0 / 3.0) / 2.0);
+}
+
+TEST(AveragePrecisionTest, MissingRelevantPenalized) {
+  auto ranking = Ranking({5});
+  RelevanceSet relevant = {5, 99};  // 99 never retrieved.
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranking, relevant), 0.5);
+}
+
+TEST(AveragePrecisionTest, EmptyRelevance) {
+  EXPECT_DOUBLE_EQ(AveragePrecision(Ranking({1}), {}), 0.0);
+}
+
+TEST(MeanAveragePrecisionTest, AveragesAcrossQueries) {
+  std::vector<std::vector<SearchResult>> rankings = {Ranking({1, 2}),
+                                                     Ranking({2, 1})};
+  std::vector<RelevanceSet> relevants = {{1}, {1}};
+  // AP(q0) = 1.0; AP(q1) = 0.5.
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(rankings, relevants), 0.75);
+}
+
+TEST(MeanAveragePrecisionTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({}, {}), 0.0);
+}
+
+TEST(F1ScoreTest, Values) {
+  EXPECT_DOUBLE_EQ(F1Score(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(0.5, 1.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(F1Score(1.0, 0.0), 0.0);
+}
+
+TEST(ElevenPointTest, PerfectRankingAllOnes) {
+  auto ranking = Ranking({1, 2});
+  RelevanceSet relevant = {1, 2};
+  auto points = ElevenPointInterpolatedPrecision(ranking, relevant);
+  ASSERT_EQ(points.size(), 11u);
+  for (double p : points) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(ElevenPointTest, MonotoneNonincreasing) {
+  auto ranking = Ranking({1, 9, 2, 8, 3, 7});
+  RelevanceSet relevant = {1, 2, 3};
+  auto points = ElevenPointInterpolatedPrecision(ranking, relevant);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i - 1], points[i]);
+  }
+}
+
+TEST(ElevenPointTest, KnownCurve) {
+  // Ranking: R N R N (R = relevant). Recall levels after each rank:
+  // 0.5, 0.5, 1.0, 1.0; precision: 1, 0.5, 2/3, 0.5.
+  auto ranking = Ranking({1, 9, 2, 8});
+  RelevanceSet relevant = {1, 2};
+  auto points = ElevenPointInterpolatedPrecision(ranking, relevant);
+  // Recall <= 0.5: best precision at recall >= r is 1.0.
+  EXPECT_DOUBLE_EQ(points[0], 1.0);
+  EXPECT_DOUBLE_EQ(points[5], 1.0);
+  // Recall 0.6..1.0: best precision 2/3 (rank 3).
+  EXPECT_DOUBLE_EQ(points[6], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(points[10], 2.0 / 3.0);
+}
+
+TEST(ElevenPointTest, EmptyRelevance) {
+  auto points = ElevenPointInterpolatedPrecision(Ranking({1}), {});
+  for (double p : points) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+}  // namespace
+}  // namespace lsi::core

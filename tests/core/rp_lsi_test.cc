@@ -1,0 +1,177 @@
+#include "core/rp_lsi.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/norms.h"
+#include "model/separable_model.h"
+#include "test_util.h"
+#include "text/term_weighting.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+SparseMatrix SyntheticCorpusMatrix(std::size_t topics, std::size_t docs,
+                                   std::uint64_t seed) {
+  model::SeparableModelParams params;
+  params.num_topics = topics;
+  params.terms_per_topic = 20;
+  params.epsilon = 0.05;
+  params.min_document_length = 30;
+  params.max_document_length = 50;
+  auto m = model::BuildSeparableModel(params);
+  Rng rng(seed);
+  auto corpus = m->GenerateCorpus(docs, rng);
+  return text::BuildTermDocumentMatrix(corpus->corpus).value();
+}
+
+TEST(RpLsiTest, Validation) {
+  SparseMatrix empty(0, 0);
+  EXPECT_FALSE(RpLsiIndex::Build(empty).ok());
+  SparseMatrix a = SyntheticCorpusMatrix(3, 30, 1);
+  RpLsiOptions options;
+  options.rank = 0;
+  EXPECT_FALSE(RpLsiIndex::Build(a, options).ok());
+  options.rank = 3;
+  options.rank_multiplier = 0.5;
+  EXPECT_FALSE(RpLsiIndex::Build(a, options).ok());
+}
+
+TEST(RpLsiTest, ShapesAndRankDoubling) {
+  SparseMatrix a = SyntheticCorpusMatrix(3, 40, 3);
+  RpLsiOptions options;
+  options.rank = 3;
+  options.projection_dim = 30;
+  auto index = RpLsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumTerms(), a.rows());
+  EXPECT_EQ(index->NumDocuments(), 40u);
+  EXPECT_EQ(index->ProjectionDim(), 30u);
+  EXPECT_EQ(index->InnerRank(), 6u);  // 2k.
+  EXPECT_EQ(index->document_vectors().rows(), 40u);
+  EXPECT_EQ(index->document_vectors().cols(), 6u);
+}
+
+TEST(RpLsiTest, AutoProjectionDimension) {
+  SparseMatrix a = SyntheticCorpusMatrix(3, 40, 5);
+  RpLsiOptions options;
+  options.rank = 3;
+  auto index = RpLsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_GE(index->ProjectionDim(), 2 * 3u);
+  EXPECT_LE(index->ProjectionDim(), a.rows());
+}
+
+TEST(RpLsiTest, ProjectionDimClampedToTerms) {
+  SparseMatrix a = SyntheticCorpusMatrix(2, 20, 7);  // 40 terms.
+  RpLsiOptions options;
+  options.rank = 2;
+  options.projection_dim = 500;  // Larger than n.
+  auto index = RpLsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->ProjectionDim(), a.rows());
+}
+
+TEST(RpLsiTest, Theorem5FrobeniusBound) {
+  // ||A - B_2k||_F^2 <= ||A - A_k||_F^2 + 2 eps ||A||_F^2 with
+  // eps shrinking as l grows. Check the bound with a generous eps for a
+  // moderate l.
+  SparseMatrix a = SyntheticCorpusMatrix(4, 60, 9);
+  DenseMatrix dense = a.ToDense();
+  const std::size_t k = 4;
+
+  auto direct = linalg::LanczosSvd(a, k);
+  ASSERT_TRUE(direct.ok());
+  DenseMatrix ak = direct->Reconstruct(k);
+  double direct_err_sq = std::pow(linalg::FrobeniusDistance(dense, ak), 2);
+  double total_sq = std::pow(a.FrobeniusNorm(), 2);
+
+  RpLsiOptions options;
+  options.rank = k;
+  options.projection_dim = 40;
+  auto index = RpLsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+  auto b2k = index->Reconstruct(a);
+  ASSERT_TRUE(b2k.ok());
+  double rp_err_sq =
+      std::pow(linalg::FrobeniusDistance(dense, b2k.value()), 2);
+
+  // eps = 0.5 is amply safe for l = 40 here.
+  EXPECT_LE(rp_err_sq, direct_err_sq + 2.0 * 0.5 * total_sq);
+  // And the RP approximation must capture a nontrivial share of A.
+  EXPECT_LT(rp_err_sq, 0.9 * total_sq);
+}
+
+TEST(RpLsiTest, ReconstructValidatesShape) {
+  SparseMatrix a = SyntheticCorpusMatrix(2, 20, 11);
+  auto index = RpLsiIndex::Build(a, RpLsiOptions{.rank = 2});
+  ASSERT_TRUE(index.ok());
+  SparseMatrix other(3, 3);
+  EXPECT_FALSE(index->Reconstruct(other).ok());
+}
+
+TEST(RpLsiTest, SearchFindsTopicMates) {
+  // Query built from one topic's primary terms retrieves documents of
+  // that topic first.
+  model::SeparableModelParams params;
+  params.num_topics = 4;
+  params.terms_per_topic = 25;
+  params.epsilon = 0.0;
+  params.min_document_length = 40;
+  params.max_document_length = 60;
+  auto m = model::BuildSeparableModel(params);
+  Rng rng(13);
+  auto corpus = m->GenerateCorpus(60, rng);
+  SparseMatrix a = text::BuildTermDocumentMatrix(corpus->corpus).value();
+
+  RpLsiOptions options;
+  options.rank = 4;
+  options.projection_dim = 50;
+  auto index = RpLsiIndex::Build(a, options);
+  ASSERT_TRUE(index.ok());
+
+  DenseVector query(a.rows(), 0.0);
+  for (std::size_t t = 0; t < 25; ++t) query[t] = 1.0;  // Topic 0 terms.
+  auto results = index->Search(query, 10);
+  ASSERT_TRUE(results.ok());
+  std::size_t topic0_hits = 0;
+  for (const SearchResult& r : results.value()) {
+    if (corpus->topic_of_document[r.document] == 0) ++topic0_hits;
+  }
+  EXPECT_GE(topic0_hits, 8u);
+}
+
+TEST(RpLsiTest, DeterministicGivenSeed) {
+  SparseMatrix a = SyntheticCorpusMatrix(3, 30, 17);
+  RpLsiOptions options;
+  options.rank = 3;
+  options.seed = 99;
+  auto i1 = RpLsiIndex::Build(a, options);
+  auto i2 = RpLsiIndex::Build(a, options);
+  ASSERT_TRUE(i1.ok() && i2.ok());
+  EXPECT_DOUBLE_EQ(
+      MaxAbsDiff(i1->document_vectors(), i2->document_vectors()), 0.0);
+}
+
+TEST(RpLsiTest, GaussianAndSignKindsWork) {
+  SparseMatrix a = SyntheticCorpusMatrix(3, 30, 19);
+  for (ProjectionKind kind :
+       {ProjectionKind::kGaussian, ProjectionKind::kSign}) {
+    RpLsiOptions options;
+    options.rank = 3;
+    options.projection_dim = 30;
+    options.projection_kind = kind;
+    auto index = RpLsiIndex::Build(a, options);
+    ASSERT_TRUE(index.ok()) << static_cast<int>(kind);
+    EXPECT_EQ(index->NumDocuments(), 30u);
+  }
+}
+
+}  // namespace
+}  // namespace lsi::core

@@ -1,0 +1,119 @@
+#include "core/skew.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lsi::core {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::SparseMatrix;
+
+TEST(SkewTest, Validation) {
+  DenseMatrix docs(3, 2, 1.0);
+  EXPECT_FALSE(ComputeAngleReport(docs, {0, 1}).ok());  // Size mismatch.
+  DenseMatrix one(1, 2, 1.0);
+  EXPECT_FALSE(ComputeAngleReport(one, {0}).ok());  // Too few docs.
+}
+
+TEST(SkewTest, PerfectlySeparatedCorpus) {
+  // Topic 0 docs on axis x, topic 1 docs on axis y.
+  DenseMatrix docs = {{1.0, 0.0}, {2.0, 0.0}, {0.0, 1.0}, {0.0, 3.0}};
+  std::vector<std::size_t> topics = {0, 0, 1, 1};
+  auto report = ComputeAngleReport(docs, topics);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->intratopic.count, 2u);
+  EXPECT_EQ(report->intertopic.count, 4u);
+  EXPECT_NEAR(report->intratopic.max, 0.0, 1e-7);
+  EXPECT_NEAR(report->intertopic.min, M_PI / 2.0, 1e-7);
+  auto skew = ComputeSkew(docs, topics);
+  ASSERT_TRUE(skew.ok());
+  EXPECT_NEAR(skew.value(), 0.0, 1e-12);
+}
+
+TEST(SkewTest, KnownMixedAngles) {
+  DenseMatrix docs = {{1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  std::vector<std::size_t> topics = {0, 0, 1};
+  auto report = ComputeAngleReport(docs, topics);
+  ASSERT_TRUE(report.ok());
+  // Intratopic: angle(d0, d1) = pi/4.
+  EXPECT_EQ(report->intratopic.count, 1u);
+  EXPECT_NEAR(report->intratopic.mean, M_PI / 4.0, 1e-12);
+  // Intertopic: angle(d0, d2) = pi/2, angle(d1, d2) = pi/4.
+  EXPECT_EQ(report->intertopic.count, 2u);
+  EXPECT_NEAR(report->intertopic.min, M_PI / 4.0, 1e-12);
+  EXPECT_NEAR(report->intertopic.max, M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(report->intertopic.mean, 3.0 * M_PI / 8.0, 1e-12);
+}
+
+TEST(SkewTest, StddevComputation) {
+  DenseMatrix docs = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  std::vector<std::size_t> topics = {0, 0, 0};
+  auto report = ComputeAngleReport(docs, topics);
+  ASSERT_TRUE(report.ok());
+  // Angles: pi/2, pi/4, pi/4. Mean = pi/3.
+  EXPECT_NEAR(report->intratopic.mean, M_PI / 3.0, 1e-12);
+  double expected_var =
+      (std::pow(M_PI / 2 - M_PI / 3, 2) + 2 * std::pow(M_PI / 4 - M_PI / 3, 2)) /
+      3.0;
+  EXPECT_NEAR(report->intratopic.stddev, std::sqrt(expected_var), 1e-12);
+  EXPECT_EQ(report->intertopic.count, 0u);
+}
+
+TEST(SkewTest, SkewDetectsIntratopicSpread) {
+  // Same topic but orthogonal: skew = 1 - cos(pi/2) = 1.
+  DenseMatrix docs = {{1.0, 0.0}, {0.0, 1.0}};
+  auto skew = ComputeSkew(docs, {0, 0});
+  ASSERT_TRUE(skew.ok());
+  EXPECT_NEAR(skew.value(), 1.0, 1e-12);
+}
+
+TEST(SkewTest, SkewDetectsIntertopicCloseness) {
+  // Different topics but parallel: skew = |cos 0| = 1.
+  DenseMatrix docs = {{1.0, 0.0}, {2.0, 0.0}};
+  auto skew = ComputeSkew(docs, {0, 1});
+  ASSERT_TRUE(skew.ok());
+  EXPECT_NEAR(skew.value(), 1.0, 1e-12);
+}
+
+TEST(SkewTest, OriginalSpaceReportFromSparse) {
+  // Column documents: d0 = e0, d1 = e0, d2 = e1.
+  linalg::SparseMatrixBuilder builder(2, 3);
+  builder.Add(0, 0, 1.0);
+  builder.Add(0, 1, 2.0);
+  builder.Add(1, 2, 1.0);
+  SparseMatrix a = builder.Build();
+  auto report = ComputeAngleReportOriginalSpace(a, {0, 0, 1});
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->intratopic.mean, 0.0, 1e-7);
+  EXPECT_NEAR(report->intertopic.mean, M_PI / 2.0, 1e-7);
+}
+
+TEST(SkewTest, NearestNeighborAccuracyPerfect) {
+  DenseMatrix docs = {{1.0, 0.0}, {0.9, 0.1}, {0.0, 1.0}, {0.1, 0.9}};
+  std::vector<std::size_t> topics = {0, 0, 1, 1};
+  auto acc = NearestNeighborTopicAccuracy(docs, topics);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+}
+
+TEST(SkewTest, NearestNeighborAccuracyZero) {
+  // Each document's nearest neighbor belongs to the other topic.
+  DenseMatrix docs = {{1.0, 0.0}, {0.0, 1.0}, {0.99, 0.1}, {0.1, 0.99}};
+  std::vector<std::size_t> topics = {0, 1, 1, 0};
+  auto acc = NearestNeighborTopicAccuracy(docs, topics);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+}
+
+TEST(SkewTest, ZeroVectorsDoNotCrash) {
+  DenseMatrix docs(3, 2, 0.0);
+  docs(0, 0) = 1.0;
+  auto report = ComputeAngleReport(docs, {0, 1, 1});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->intertopic.count, 2u);
+}
+
+}  // namespace
+}  // namespace lsi::core

@@ -1,0 +1,188 @@
+#include "core/spectral_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/graph_model.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::SparseMatrix;
+
+/// Path graph 0-1-2-3 with unit weights.
+SparseMatrix PathGraph4() {
+  linalg::SparseMatrixBuilder builder(4, 4);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    builder.Add(i, i + 1, 1.0);
+    builder.Add(i + 1, i, 1.0);
+  }
+  return builder.Build();
+}
+
+TEST(SetConductanceTest, Validation) {
+  SparseMatrix a = PathGraph4();
+  EXPECT_FALSE(SetConductance(a, {true, true}).ok());  // Size mismatch.
+  EXPECT_FALSE(SetConductance(a, {true, true, true, true}).ok());
+  EXPECT_FALSE(SetConductance(a, {false, false, false, false}).ok());
+  SparseMatrix rect(2, 3);
+  EXPECT_FALSE(SetConductance(rect, {true, false}).ok());
+}
+
+TEST(SetConductanceTest, PathGraphCuts) {
+  SparseMatrix a = PathGraph4();
+  // Cut {0} | {1,2,3}: one edge, min size 1 -> conductance 1.
+  auto c1 = SetConductance(a, {true, false, false, false});
+  ASSERT_TRUE(c1.ok());
+  EXPECT_DOUBLE_EQ(c1.value(), 1.0);
+  // Cut {0,1} | {2,3}: one edge, min size 2 -> 0.5.
+  auto c2 = SetConductance(a, {true, true, false, false});
+  ASSERT_TRUE(c2.ok());
+  EXPECT_DOUBLE_EQ(c2.value(), 0.5);
+  // Cut {0,2} | {1,3}: edges 0-1, 1-2, 2-3 all cross -> 3/2.
+  auto c3 = SetConductance(a, {true, false, true, false});
+  ASSERT_TRUE(c3.ok());
+  EXPECT_DOUBLE_EQ(c3.value(), 1.5);
+}
+
+TEST(SetConductanceTest, DisconnectedBlocksZero) {
+  linalg::SparseMatrixBuilder builder(4, 4);
+  builder.Add(0, 1, 1.0);
+  builder.Add(1, 0, 1.0);
+  builder.Add(2, 3, 1.0);
+  builder.Add(3, 2, 1.0);
+  auto c = SetConductance(builder.Build(), {true, true, false, false});
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(SetConductanceTest, WeightedEdges) {
+  linalg::SparseMatrixBuilder builder(2, 2);
+  builder.Add(0, 1, 2.5);
+  builder.Add(1, 0, 2.5);
+  auto c = SetConductance(builder.Build(), {true, false});
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value(), 2.5);
+}
+
+TEST(SweepConductanceTest, FindsTheWeakCut) {
+  // Two triangles joined by one edge: conductance <= 1/3.
+  linalg::SparseMatrixBuilder builder(6, 6);
+  auto edge = [&](std::size_t u, std::size_t v) {
+    builder.Add(u, v, 1.0);
+    builder.Add(v, u, 1.0);
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(0, 2);
+  edge(3, 4);
+  edge(4, 5);
+  edge(3, 5);
+  edge(2, 3);  // Bridge.
+  auto c = SweepConductance(builder.Build());
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c.value(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(SweepConductanceTest, CompleteGraphIsHigh) {
+  const std::size_t n = 8;
+  linalg::SparseMatrixBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      builder.Add(i, j, 1.0);
+      builder.Add(j, i, 1.0);
+    }
+  }
+  auto c = SweepConductance(builder.Build());
+  ASSERT_TRUE(c.ok());
+  // Balanced cut of K8: 16 edges / 4 = 4.
+  EXPECT_GE(c.value(), 4.0 - 1e-9);
+}
+
+TEST(SweepConductanceTest, DisconnectedGraphIsZero) {
+  linalg::SparseMatrixBuilder builder(6, 6);
+  auto edge = [&](std::size_t u, std::size_t v) {
+    builder.Add(u, v, 1.0);
+    builder.Add(v, u, 1.0);
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(3, 4);
+  edge(4, 5);
+  auto c = SweepConductance(builder.Build());
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c.value(), 0.0, 1e-9);
+}
+
+TEST(SpectralPartitionTest, Validation) {
+  SparseMatrix a = PathGraph4();
+  EXPECT_FALSE(SpectralPartition(a, 0).ok());
+  EXPECT_FALSE(SpectralPartition(a, 9).ok());
+}
+
+TEST(SpectralPartitionTest, RecoversPlantedBlocks) {
+  Rng rng(601);
+  model::GraphCorpusParams params;
+  params.num_blocks = 3;
+  params.vertices_per_block = 30;
+  params.intra_edge_probability = 0.6;
+  params.cross_edge_probability = 0.02;
+  auto graph = model::GenerateBlockGraph(params, rng);
+  ASSERT_TRUE(graph.ok());
+  auto partition = SpectralPartition(graph->adjacency, 3);
+  ASSERT_TRUE(partition.ok());
+  auto accuracy = ClusteringAccuracy(partition->cluster_of_vertex,
+                                     graph->block_of_vertex);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GE(accuracy.value(), 0.95);
+}
+
+TEST(SpectralPartitionTest, EigenvalueGapReflectsBlocks) {
+  Rng rng(603);
+  model::GraphCorpusParams params;
+  params.num_blocks = 2;
+  params.vertices_per_block = 40;
+  params.intra_edge_probability = 0.7;
+  params.cross_edge_probability = 0.01;
+  auto graph = model::GenerateBlockGraph(params, rng);
+  ASSERT_TRUE(graph.ok());
+  auto partition = SpectralPartition(graph->adjacency, 3);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->eigenvalues.size(), 3u);
+  // Top eigenvalue ~1; second close to 1 (two blocks); third clearly
+  // separated (Theorem 6's "second eigenvalue bounded away").
+  EXPECT_GT(partition->eigenvalues[0], 0.9);
+  EXPECT_GT(partition->eigenvalues[1], 0.8);
+  EXPECT_LT(partition->eigenvalues[2], 0.5);
+}
+
+TEST(ClusteringAccuracyTest, Validation) {
+  EXPECT_FALSE(ClusteringAccuracy({0, 1}, {0}).ok());
+  EXPECT_FALSE(ClusteringAccuracy({}, {}).ok());
+}
+
+TEST(ClusteringAccuracyTest, PerfectUnderRelabeling) {
+  // Prediction is a permutation of the truth labels.
+  auto acc = ClusteringAccuracy({1, 1, 0, 0}, {0, 0, 1, 1});
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+}
+
+TEST(ClusteringAccuracyTest, PartialAgreement) {
+  auto acc = ClusteringAccuracy({0, 0, 0, 1}, {0, 0, 1, 1});
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc.value(), 0.75);
+}
+
+TEST(ClusteringAccuracyTest, ManyClustersGreedyPath) {
+  // 10 clusters triggers the greedy matcher; identity labels still score
+  // 1.0.
+  std::vector<std::size_t> labels(20);
+  for (std::size_t i = 0; i < 20; ++i) labels[i] = i / 2;
+  auto acc = ClusteringAccuracy(labels, labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+}
+
+}  // namespace
+}  // namespace lsi::core

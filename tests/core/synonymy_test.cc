@@ -1,0 +1,128 @@
+#include "core/synonymy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/lsi_index.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::SparseMatrix;
+
+/// Corpus where terms 0 and 1 are perfect synonyms by co-occurrence:
+/// identical rows (each appears with terms 2,3 in the same documents),
+/// and a second unrelated topic on terms 4,5.
+SparseMatrix SynonymCorpus() {
+  linalg::SparseMatrixBuilder builder(6, 6);
+  // Topic A documents (0..3). Terms 0 and 1 have identical rows.
+  for (std::size_t d = 0; d < 4; ++d) {
+    builder.Add(0, d, 1.0);
+    builder.Add(1, d, 1.0);
+    builder.Add(2, d, 2.0);
+    builder.Add(3, d, 1.0);
+  }
+  // Topic B documents (4..5).
+  for (std::size_t d = 4; d < 6; ++d) {
+    builder.Add(4, d, 2.0);
+    builder.Add(5, d, 2.0);
+  }
+  return builder.Build();
+}
+
+/// Corpus where terms 0 and 1 NEVER co-occur but share co-occurrence
+/// neighbors ("car" vs "automobile"): docs alternate between using 0 or
+/// 1, always with context terms 2, 3.
+SparseMatrix DisjointSynonymCorpus() {
+  linalg::SparseMatrixBuilder builder(6, 8);
+  for (std::size_t d = 0; d < 8; ++d) {
+    builder.Add(d % 2 == 0 ? 0 : 1, d, 2.0);  // "car" or "automobile".
+    builder.Add(2, d, 1.0);
+    builder.Add(3, d, 1.0);
+  }
+  return builder.Build();
+}
+
+linalg::SvdResult RankK(const SparseMatrix& a, std::size_t k) {
+  LsiOptions options;
+  options.rank = k;
+  options.solver = SvdSolver::kJacobi;
+  return LsiIndex::Build(a, options)->svd();
+}
+
+TEST(SynonymyTest, Validation) {
+  SparseMatrix a = SynonymCorpus();
+  auto svd = RankK(a, 2);
+  EXPECT_FALSE(AnalyzeSynonymPair(a, svd, 0, 0).ok());
+  EXPECT_FALSE(AnalyzeSynonymPair(a, svd, 0, 99).ok());
+  EXPECT_FALSE(AnalyzeSynonymPair(a, svd, 99, 0).ok());
+}
+
+TEST(SynonymyTest, IdenticalRowsAreDetected) {
+  SparseMatrix a = SynonymCorpus();
+  auto svd = RankK(a, 2);
+  auto report = AnalyzeSynonymPair(a, svd, 0, 1);
+  ASSERT_TRUE(report.ok());
+  // Rows identical -> cosine 1, difference eigenvalue 0, and the weak
+  // eigenvector is exactly the difference direction.
+  EXPECT_NEAR(report->row_cosine, 1.0, 1e-12);
+  EXPECT_NEAR(report->difference_eigenvalue, 0.0, 1e-9);
+  EXPECT_GT(report->shared_eigenvalue, 1.0);
+  EXPECT_NEAR(report->difference_alignment, 1.0, 1e-6);
+  EXPECT_NEAR(report->lsi_term_cosine, 1.0, 1e-9);
+}
+
+TEST(SynonymyTest, UnrelatedTermsNotMerged) {
+  SparseMatrix a = SynonymCorpus();
+  auto svd = RankK(a, 2);
+  auto report = AnalyzeSynonymPair(a, svd, 0, 4);
+  ASSERT_TRUE(report.ok());
+  // Terms from different topics: orthogonal rows.
+  EXPECT_NEAR(report->row_cosine, 0.0, 1e-12);
+  EXPECT_LT(report->lsi_term_cosine, 0.1);
+}
+
+TEST(SynonymyTest, DisjointSynonymsMergedByLsi) {
+  // The paper's headline claim: even when two synonymous terms never
+  // co-occur, their similar co-occurrence *patterns* give them nearly
+  // parallel LSI representations.
+  SparseMatrix a = DisjointSynonymCorpus();
+  auto svd = RankK(a, 1);
+  auto report = AnalyzeSynonymPair(a, svd, 0, 1);
+  ASSERT_TRUE(report.ok());
+  // Raw co-occurrence: rows are NOT identical (they never co-occur in
+  // the same docs), but both project onto the same dominant concept.
+  EXPECT_LT(report->row_cosine, 0.5);
+  EXPECT_GT(report->lsi_term_cosine, 0.95);
+}
+
+TEST(SynonymyTest, NearSynonymsIntermediate) {
+  // Perturb one synonym's counts: difference eigenvalue small but
+  // nonzero.
+  linalg::SparseMatrixBuilder builder(4, 4);
+  for (std::size_t d = 0; d < 4; ++d) {
+    builder.Add(0, d, 1.0);
+    builder.Add(1, d, d == 0 ? 1.2 : 1.0);  // Slightly different.
+    builder.Add(2, d, 1.0);
+  }
+  SparseMatrix a = builder.Build();
+  auto svd = RankK(a, 2);
+  auto report = AnalyzeSynonymPair(a, svd, 0, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->row_cosine, 0.99);
+  EXPECT_GT(report->difference_eigenvalue, 0.0);
+  EXPECT_LT(report->difference_eigenvalue, 0.1 * report->shared_eigenvalue);
+}
+
+TEST(SynonymyTest, MismatchedSvdRejected) {
+  SparseMatrix a = SynonymCorpus();  // 6 terms.
+  linalg::SparseMatrixBuilder builder(3, 3);  // 3 terms: wrong shape.
+  builder.Add(0, 0, 1.0);
+  builder.Add(1, 1, 1.0);
+  builder.Add(2, 2, 1.0);
+  auto svd = RankK(builder.Build(), 1);
+  EXPECT_FALSE(AnalyzeSynonymPair(a, svd, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace lsi::core

@@ -1,0 +1,123 @@
+#include "core/vector_space_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lsi::core {
+namespace {
+
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+SparseMatrix SmallMatrix() {
+  // Documents: d0 = (1,1,0), d1 = (0,1,1), d2 = (0,0,2).
+  linalg::SparseMatrixBuilder builder(3, 3);
+  builder.Add(0, 0, 1.0);
+  builder.Add(1, 0, 1.0);
+  builder.Add(1, 1, 1.0);
+  builder.Add(2, 1, 1.0);
+  builder.Add(2, 2, 2.0);
+  return builder.Build();
+}
+
+TEST(VectorSpaceIndexTest, RejectsEmpty) {
+  EXPECT_FALSE(VectorSpaceIndex::Build(SparseMatrix(0, 0)).ok());
+}
+
+TEST(VectorSpaceIndexTest, Shapes) {
+  auto index = VectorSpaceIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumTerms(), 3u);
+  EXPECT_EQ(index->NumDocuments(), 3u);
+}
+
+TEST(VectorSpaceIndexTest, SimilarityExactValues) {
+  auto index = VectorSpaceIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  DenseVector query = {1.0, 0.0, 0.0};  // Only term 0.
+  // cos(q, d0) = 1/sqrt(2); cos(q, d1) = 0; cos(q, d2) = 0.
+  auto s0 = index->Similarity(query, 0);
+  auto s1 = index->Similarity(query, 1);
+  auto s2 = index->Similarity(query, 2);
+  ASSERT_TRUE(s0.ok() && s1.ok() && s2.ok());
+  EXPECT_NEAR(s0.value(), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s1.value(), 0.0, 1e-12);
+  EXPECT_NEAR(s2.value(), 0.0, 1e-12);
+}
+
+TEST(VectorSpaceIndexTest, SimilarityValidation) {
+  auto index = VectorSpaceIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Similarity(DenseVector(2, 1.0), 0).ok());
+  EXPECT_FALSE(index->Similarity(DenseVector(3, 1.0), 5).ok());
+}
+
+TEST(VectorSpaceIndexTest, SearchMatchesSimilarity) {
+  auto index = VectorSpaceIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  DenseVector query = {0.0, 1.0, 1.0};
+  auto results = index->Search(query);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  for (const SearchResult& r : results.value()) {
+    auto expected = index->Similarity(query, r.document);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_NEAR(r.score, expected.value(), 1e-12);
+  }
+  // d1 = (0,1,1) is the exact match.
+  EXPECT_EQ((*results)[0].document, 1u);
+  EXPECT_NEAR((*results)[0].score, 1.0, 1e-12);
+}
+
+TEST(VectorSpaceIndexTest, ZeroQueryScoresZero) {
+  auto index = VectorSpaceIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  auto results = index->Search(DenseVector(3, 0.0));
+  ASSERT_TRUE(results.ok());
+  for (const SearchResult& r : results.value()) {
+    EXPECT_DOUBLE_EQ(r.score, 0.0);
+  }
+}
+
+TEST(VectorSpaceIndexTest, EmptyDocumentScoresZero) {
+  linalg::SparseMatrixBuilder builder(2, 2);
+  builder.Add(0, 0, 1.0);  // d1 has no terms.
+  auto index = VectorSpaceIndex::Build(builder.Build());
+  ASSERT_TRUE(index.ok());
+  DenseVector query = {1.0, 1.0};
+  auto s = index->Similarity(query, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(VectorSpaceIndexTest, SynonymyBlindness) {
+  // The failure mode motivating LSI: a query on term 0 misses a document
+  // using only term 1 even though they are synonyms (co-occur with the
+  // same other terms elsewhere).
+  linalg::SparseMatrixBuilder builder(3, 3);
+  builder.Add(0, 0, 1.0);  // d0 uses "car".
+  builder.Add(2, 0, 1.0);
+  builder.Add(1, 1, 1.0);  // d1 uses "automobile".
+  builder.Add(2, 1, 1.0);
+  builder.Add(2, 2, 1.0);
+  auto index = VectorSpaceIndex::Build(builder.Build());
+  ASSERT_TRUE(index.ok());
+  DenseVector query(3, 0.0);
+  query[0] = 1.0;  // "car" only.
+  auto s = index->Similarity(query, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);  // VSM scores the synonym doc zero.
+}
+
+TEST(VectorSpaceIndexTest, SearchTopK) {
+  auto index = VectorSpaceIndex::Build(SmallMatrix());
+  ASSERT_TRUE(index.ok());
+  DenseVector query = {1.0, 1.0, 1.0};
+  auto results = index->Search(query, 1);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+}  // namespace
+}  // namespace lsi::core

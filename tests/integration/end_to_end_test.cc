@@ -1,0 +1,262 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/lsi_index.h"
+#include "core/retrieval_metrics.h"
+#include "core/rp_lsi.h"
+#include "core/skew.h"
+#include "core/synonymy.h"
+#include "core/vector_space_index.h"
+#include "model/separable_model.h"
+#include "text/analyzer.h"
+#include "text/corpus.h"
+#include "text/term_weighting.h"
+
+namespace lsi {
+namespace {
+
+using core::LsiIndex;
+using core::LsiOptions;
+using core::SvdSolver;
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+// --- Theorem 2 at small scale: 0-separable pure corpora are 0-skewed ---
+
+TEST(EndToEndTest, Theorem2ZeroSeparableIsZeroSkewed) {
+  model::SeparableModelParams params;
+  params.num_topics = 5;
+  params.terms_per_topic = 40;
+  params.epsilon = 0.0;
+  params.min_document_length = 50;
+  params.max_document_length = 80;
+  auto model = model::BuildSeparableModel(params);
+  ASSERT_TRUE(model.ok());
+  Rng rng(701);
+  auto corpus = model->GenerateCorpus(100, rng);
+  ASSERT_TRUE(corpus.ok());
+  auto matrix = text::BuildTermDocumentMatrix(corpus->corpus);
+  ASSERT_TRUE(matrix.ok());
+
+  LsiOptions options;
+  options.rank = 5;
+  auto index = LsiIndex::Build(matrix.value(), options);
+  ASSERT_TRUE(index.ok());
+
+  auto skew = core::ComputeSkew(index->document_vectors(),
+                                corpus->topic_of_document);
+  ASSERT_TRUE(skew.ok());
+  // Theorem 2: exactly 0-skewed in the limit; tiny at this finite size.
+  EXPECT_LT(skew.value(), 0.05);
+
+  auto accuracy = core::NearestNeighborTopicAccuracy(
+      index->document_vectors(), corpus->topic_of_document);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_DOUBLE_EQ(accuracy.value(), 1.0);
+}
+
+// --- Theorem 3 flavor: skew grows with epsilon but stays O(eps) ---
+
+TEST(EndToEndTest, Theorem3SkewScalesWithEpsilon) {
+  double skew_at[2];
+  const double epsilons[2] = {0.02, 0.2};
+  for (int e = 0; e < 2; ++e) {
+    model::SeparableModelParams params;
+    params.num_topics = 4;
+    params.terms_per_topic = 50;
+    params.epsilon = epsilons[e];
+    params.min_document_length = 80;
+    params.max_document_length = 120;
+    auto model = model::BuildSeparableModel(params);
+    ASSERT_TRUE(model.ok());
+    Rng rng(703);
+    auto corpus = model->GenerateCorpus(120, rng);
+    ASSERT_TRUE(corpus.ok());
+    auto matrix = text::BuildTermDocumentMatrix(corpus->corpus);
+    ASSERT_TRUE(matrix.ok());
+    LsiOptions options;
+    options.rank = 4;
+    auto index = LsiIndex::Build(matrix.value(), options);
+    ASSERT_TRUE(index.ok());
+    auto report = core::ComputeAngleReport(index->document_vectors(),
+                                           corpus->topic_of_document);
+    ASSERT_TRUE(report.ok());
+    skew_at[e] = report->intratopic.mean;
+  }
+  // Larger epsilon -> larger intratopic angles (less perfect merging).
+  EXPECT_LT(skew_at[0], skew_at[1]);
+}
+
+// --- The paper's angle-contraction phenomenon on a scaled-down T1 ---
+
+TEST(EndToEndTest, LsiContractsIntratopicAngles) {
+  model::SeparableModelParams params;
+  params.num_topics = 6;
+  params.terms_per_topic = 50;
+  params.epsilon = 0.05;
+  params.min_document_length = 50;
+  params.max_document_length = 100;
+  auto model = model::BuildSeparableModel(params);
+  ASSERT_TRUE(model.ok());
+  Rng rng(705);
+  auto corpus = model->GenerateCorpus(150, rng);
+  ASSERT_TRUE(corpus.ok());
+  auto matrix = text::BuildTermDocumentMatrix(corpus->corpus);
+  ASSERT_TRUE(matrix.ok());
+
+  auto original = core::ComputeAngleReportOriginalSpace(
+      matrix.value(), corpus->topic_of_document);
+  ASSERT_TRUE(original.ok());
+
+  LsiOptions options;
+  options.rank = 6;
+  auto index = LsiIndex::Build(matrix.value(), options);
+  ASSERT_TRUE(index.ok());
+  auto lsi = core::ComputeAngleReport(index->document_vectors(),
+                                      corpus->topic_of_document);
+  ASSERT_TRUE(lsi.ok());
+
+  // The §4 table's qualitative shape: intratopic angles collapse
+  // dramatically, intertopic angles stay near pi/2.
+  EXPECT_LT(lsi->intratopic.mean, 0.25 * original->intratopic.mean);
+  EXPECT_GT(lsi->intertopic.mean, 1.2);  // Close to pi/2 ~ 1.57.
+  EXPECT_GT(original->intratopic.mean, 0.8);
+}
+
+// --- RP+LSI approximates direct LSI for retrieval ---
+
+TEST(EndToEndTest, RpLsiRetrievalComparableToDirectLsi) {
+  model::SeparableModelParams params;
+  params.num_topics = 5;
+  params.terms_per_topic = 40;
+  params.epsilon = 0.05;
+  params.min_document_length = 40;
+  params.max_document_length = 80;
+  auto model = model::BuildSeparableModel(params);
+  ASSERT_TRUE(model.ok());
+  Rng rng(707);
+  auto corpus = model->GenerateCorpus(100, rng);
+  ASSERT_TRUE(corpus.ok());
+  auto matrix = text::BuildTermDocumentMatrix(corpus->corpus);
+  ASSERT_TRUE(matrix.ok());
+
+  LsiOptions direct_options;
+  direct_options.rank = 5;
+  auto direct = LsiIndex::Build(matrix.value(), direct_options);
+  ASSERT_TRUE(direct.ok());
+
+  core::RpLsiOptions rp_options;
+  rp_options.rank = 5;
+  rp_options.projection_dim = 60;
+  auto rp = core::RpLsiIndex::Build(matrix.value(), rp_options);
+  ASSERT_TRUE(rp.ok());
+
+  // Per-topic queries; relevance = documents of the topic.
+  double direct_map = 0.0, rp_map = 0.0;
+  for (std::size_t topic = 0; topic < 5; ++topic) {
+    DenseVector query(matrix->rows(), 0.0);
+    for (std::size_t t = 0; t < 40; ++t) query[topic * 40 + t] = 1.0;
+    core::RelevanceSet relevant;
+    for (std::size_t d = 0; d < 100; ++d) {
+      if (corpus->topic_of_document[d] == topic) relevant.insert(d);
+    }
+    auto direct_results = direct->Search(query);
+    auto rp_results = rp->Search(query);
+    ASSERT_TRUE(direct_results.ok() && rp_results.ok());
+    direct_map += core::AveragePrecision(direct_results.value(), relevant);
+    rp_map += core::AveragePrecision(rp_results.value(), relevant);
+  }
+  direct_map /= 5;
+  rp_map /= 5;
+  EXPECT_GT(direct_map, 0.95);
+  EXPECT_GT(rp_map, 0.9 * direct_map);
+}
+
+// --- Full text pipeline: raw strings to ranked retrieval ---
+
+TEST(EndToEndTest, TextPipelineRetrieval) {
+  text::Analyzer analyzer;
+  text::Corpus corpus;
+  corpus.AddDocument(
+      "space", analyzer.Analyze(
+                   "The starship left the galaxy carrying astronauts toward "
+                   "distant stars and planets in the outer galaxy"));
+  corpus.AddDocument(
+      "cars", analyzer.Analyze(
+                  "The automobile engine roared as the car accelerated down "
+                  "the highway past other vehicles and automobiles"));
+  corpus.AddDocument(
+      "cooking", analyzer.Analyze(
+                     "Simmer the onions and garlic in butter then add the "
+                     "tomatoes and basil to the simmering sauce"));
+  corpus.AddDocument(
+      "space2", analyzer.Analyze(
+                    "Astronauts aboard the station watched stars and planets "
+                    "while orbiting beyond the atmosphere"));
+
+  text::TermDocumentMatrixOptions td_options;
+  td_options.scheme = text::WeightingScheme::kTfIdf;
+  auto matrix = text::BuildTermDocumentMatrix(corpus, td_options);
+  ASSERT_TRUE(matrix.ok());
+
+  LsiOptions options;
+  options.rank = 3;
+  options.solver = SvdSolver::kJacobi;
+  auto index = LsiIndex::Build(matrix.value(), options);
+  ASSERT_TRUE(index.ok());
+
+  // Query "stars planets" should hit the two space documents first.
+  auto tokens = analyzer.Analyze("stars and planets");
+  std::vector<std::pair<text::TermId, std::size_t>> counts;
+  for (const auto& token : tokens) {
+    auto id = corpus.vocabulary().Lookup(token);
+    if (id.ok()) counts.emplace_back(id.value(), 1);
+  }
+  ASSERT_FALSE(counts.empty());
+  DenseVector query = text::WeightQueryVector(
+      corpus, counts, text::WeightingScheme::kTfIdf);
+
+  auto results = index->Search(query, 2);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  std::size_t top0 = (*results)[0].document;
+  std::size_t top1 = (*results)[1].document;
+  EXPECT_TRUE((top0 == 0 && top1 == 3) || (top0 == 3 && top1 == 0));
+}
+
+// --- Synonymy through the style mechanism end to end ---
+
+TEST(EndToEndTest, StyleSynonymsMergedByLsi) {
+  // One topic over 10 terms; a style rewrites term 0 -> term 1 half the
+  // time, making them distributional synonyms.
+  model::SeparableModelParams params;
+  params.num_topics = 2;
+  params.terms_per_topic = 10;
+  params.epsilon = 0.0;
+  params.min_document_length = 60;
+  params.max_document_length = 100;
+  auto style = model::Style::SynonymSubstitution("syn", 20, {{0, 1}}, 0.5);
+  ASSERT_TRUE(style.ok());
+  auto model =
+      model::BuildSeparableModelWithStyle(params, style.value(), 1.0);
+  ASSERT_TRUE(model.ok());
+  Rng rng(709);
+  auto corpus = model->GenerateCorpus(80, rng);
+  ASSERT_TRUE(corpus.ok());
+  auto matrix = text::BuildTermDocumentMatrix(corpus->corpus);
+  ASSERT_TRUE(matrix.ok());
+
+  LsiOptions options;
+  options.rank = 2;
+  auto index = LsiIndex::Build(matrix.value(), options);
+  ASSERT_TRUE(index.ok());
+  auto report =
+      core::AnalyzeSynonymPair(matrix.value(), index->svd(), 0, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->lsi_term_cosine, 0.95);
+}
+
+}  // namespace
+}  // namespace lsi

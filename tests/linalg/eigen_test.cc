@@ -1,0 +1,197 @@
+#include "linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace lsi::linalg {
+namespace {
+
+/// Checks A * v_i = lambda_i * v_i for every eigenpair.
+void ExpectValidEigenpairs(const DenseMatrix& a,
+                           const SymmetricEigenResult& eig, double tol) {
+  for (std::size_t i = 0; i < eig.eigenvalues.size(); ++i) {
+    DenseVector v = eig.eigenvectors.Column(i);
+    DenseVector av = Multiply(a, v);
+    DenseVector lv = Scaled(v, eig.eigenvalues[i]);
+    EXPECT_LT(Distance(av, lv), tol) << "eigenpair " << i;
+  }
+}
+
+TEST(JacobiEigenTest, RejectsNonSquare) {
+  DenseMatrix a(2, 3, 1.0);
+  EXPECT_TRUE(JacobiEigen(a).status().IsInvalidArgument());
+}
+
+TEST(JacobiEigenTest, RejectsEmpty) {
+  EXPECT_FALSE(JacobiEigen(DenseMatrix()).ok());
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  DenseMatrix a = DenseMatrix::Diagonal({3.0, 1.0, 2.0});
+  auto result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->eigenvalues[0], 3.0);
+  EXPECT_DOUBLE_EQ(result->eigenvalues[1], 2.0);
+  EXPECT_DOUBLE_EQ(result->eigenvalues[2], 1.0);
+}
+
+TEST(JacobiEigenTest, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  DenseMatrix a = {{2.0, 1.0}, {1.0, 2.0}};
+  auto result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 1.0, 1e-12);
+  ExpectValidEigenpairs(a, result.value(), 1e-12);
+}
+
+TEST(JacobiEigenTest, ZeroMatrix) {
+  DenseMatrix zero(4, 4, 0.0);
+  auto result = JacobiEigen(zero);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(result->eigenvalues[i], 0.0);
+  }
+  EXPECT_LT(OrthonormalityError(result->eigenvectors), 1e-14);
+}
+
+TEST(JacobiEigenTest, RandomSymmetricEigenpairsValid) {
+  Rng rng(33);
+  DenseMatrix a = testing::RandomSymmetricMatrix(12, rng);
+  auto result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  ExpectValidEigenpairs(a, result.value(), 1e-10);
+  EXPECT_LT(OrthonormalityError(result->eigenvectors), 1e-10);
+}
+
+TEST(JacobiEigenTest, EigenvaluesSortedDescending) {
+  Rng rng(35);
+  DenseMatrix a = testing::RandomSymmetricMatrix(15, rng);
+  auto result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < 15; ++i) {
+    EXPECT_GE(result->eigenvalues[i - 1], result->eigenvalues[i]);
+  }
+}
+
+TEST(JacobiEigenTest, TraceEqualsSumOfEigenvalues) {
+  Rng rng(37);
+  DenseMatrix a = testing::RandomSymmetricMatrix(10, rng);
+  auto result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) trace += a(i, i);
+  EXPECT_NEAR(trace, result->eigenvalues.Sum(), 1e-10);
+}
+
+TEST(JacobiEigenTest, NonSymmetricInputIsSymmetrized) {
+  DenseMatrix a = {{2.0, 3.0}, {-1.0, 2.0}};  // Symmetrized: [[2,1],[1,2]].
+  auto result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, ReconstructionFromEigenpairs) {
+  Rng rng(39);
+  DenseMatrix a = testing::RandomSymmetricMatrix(8, rng);
+  auto result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  // A = V diag(w) V^T.
+  DenseMatrix vw = Multiply(result->eigenvectors,
+                            DenseMatrix::Diagonal(result->eigenvalues));
+  DenseMatrix recon = MultiplyABt(vw, result->eigenvectors);
+  EXPECT_LT(MaxAbsDiff(recon, a), 1e-10);
+}
+
+TEST(TridiagonalEigenTest, RejectsBadSizes) {
+  EXPECT_FALSE(TridiagonalEigen({}, {}).ok());
+  EXPECT_FALSE(TridiagonalEigen({1.0, 2.0}, {}).ok());
+  EXPECT_FALSE(TridiagonalEigen({1.0}, {1.0}).ok());
+}
+
+TEST(TridiagonalEigenTest, SingleElement) {
+  auto result = TridiagonalEigen({5.0}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->eigenvalues[0], 5.0);
+  EXPECT_DOUBLE_EQ(result->eigenvectors(0, 0), 1.0);
+}
+
+TEST(TridiagonalEigenTest, Known2x2) {
+  // [[1, 2], [2, 1]]: eigenvalues 3, -1.
+  auto result = TridiagonalEigen({1.0, 1.0}, {2.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], -1.0, 1e-12);
+}
+
+TEST(TridiagonalEigenTest, DiagonalInput) {
+  auto result = TridiagonalEigen({4.0, 2.0, 7.0}, {0.0, 0.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->eigenvalues[0], 7.0);
+  EXPECT_DOUBLE_EQ(result->eigenvalues[1], 4.0);
+  EXPECT_DOUBLE_EQ(result->eigenvalues[2], 2.0);
+}
+
+TEST(TridiagonalEigenTest, MatchesJacobiOnRandomTridiagonal) {
+  Rng rng(41);
+  const std::size_t n = 20;
+  std::vector<double> diag(n), sub(n - 1);
+  for (auto& d : diag) d = rng.Uniform(-2.0, 2.0);
+  for (auto& s : sub) s = rng.Uniform(-2.0, 2.0);
+
+  DenseMatrix dense(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) dense(i, i) = diag[i];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    dense(i, i + 1) = sub[i];
+    dense(i + 1, i) = sub[i];
+  }
+
+  auto tri = TridiagonalEigen(diag, sub);
+  auto jac = JacobiEigen(dense);
+  ASSERT_TRUE(tri.ok());
+  ASSERT_TRUE(jac.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(tri->eigenvalues[i], jac->eigenvalues[i], 1e-9) << i;
+  }
+}
+
+TEST(TridiagonalEigenTest, EigenvectorsValid) {
+  Rng rng(43);
+  const std::size_t n = 12;
+  std::vector<double> diag(n), sub(n - 1);
+  for (auto& d : diag) d = rng.Uniform(-1.0, 1.0);
+  for (auto& s : sub) s = rng.Uniform(-1.0, 1.0);
+
+  DenseMatrix dense(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) dense(i, i) = diag[i];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    dense(i, i + 1) = sub[i];
+    dense(i + 1, i) = sub[i];
+  }
+  auto result = TridiagonalEigen(diag, sub);
+  ASSERT_TRUE(result.ok());
+  ExpectValidEigenpairs(dense, result.value(), 1e-9);
+  EXPECT_LT(OrthonormalityError(result->eigenvectors), 1e-10);
+}
+
+// Property sweep: Jacobi eigen residuals stay tiny across sizes.
+class JacobiEigenSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(JacobiEigenSizeSweep, ResidualsSmall) {
+  Rng rng(1000 + GetParam());
+  DenseMatrix a = testing::RandomSymmetricMatrix(GetParam(), rng);
+  auto result = JacobiEigen(a);
+  ASSERT_TRUE(result.ok());
+  ExpectValidEigenpairs(a, result.value(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiEigenSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 25, 40));
+
+}  // namespace
+}  // namespace lsi::linalg

@@ -1,0 +1,141 @@
+#include "linalg/gkl_svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/norms.h"
+#include "test_util.h"
+
+namespace lsi::linalg {
+namespace {
+
+TEST(GklSvdTest, RejectsBadInputs) {
+  Rng rng(1);
+  DenseMatrix a = testing::RandomMatrix(6, 4, rng);
+  EXPECT_FALSE(GklSvd(a, 0).ok());
+  EXPECT_FALSE(GklSvd(a, 5).ok());
+  EXPECT_FALSE(GklSvd(DenseMatrix(), 1).ok());
+}
+
+TEST(GklSvdTest, MatchesJacobiTopSingularValues) {
+  Rng rng(3);
+  DenseMatrix a = testing::RandomMatrix(30, 20, rng);
+  auto jac = JacobiSvd(a);
+  auto gkl = GklSvd(a, 5);
+  ASSERT_TRUE(jac.ok());
+  ASSERT_TRUE(gkl.ok());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(gkl->singular_values[i], jac->singular_values[i], 1e-7) << i;
+  }
+}
+
+TEST(GklSvdTest, SingularTripletsValid) {
+  Rng rng(5);
+  DenseVector sigma = {9.0, 6.0, 3.0, 1.0, 0.5};
+  DenseMatrix a = testing::MatrixWithSpectrum(35, 25, sigma, rng);
+  auto gkl = GklSvd(a, 3);
+  ASSERT_TRUE(gkl.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    DenseVector v = gkl->v.Column(i);
+    DenseVector u = gkl->u.Column(i);
+    DenseVector av = Multiply(a, v);
+    DenseVector su = Scaled(u, gkl->singular_values[i]);
+    EXPECT_LT(Distance(av, su), 1e-6) << i;
+  }
+  EXPECT_LT(OrthonormalityError(gkl->u), 1e-8);
+  EXPECT_LT(OrthonormalityError(gkl->v), 1e-8);
+}
+
+TEST(GklSvdTest, WideMatrix) {
+  Rng rng(7);
+  DenseMatrix a = testing::RandomMatrix(10, 40, rng);
+  auto jac = JacobiSvd(a);
+  auto gkl = GklSvd(a, 4);
+  ASSERT_TRUE(jac.ok());
+  ASSERT_TRUE(gkl.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(gkl->singular_values[i], jac->singular_values[i], 1e-7);
+  }
+}
+
+TEST(GklSvdTest, SparseMatchesDense) {
+  Rng rng(9);
+  SparseMatrixBuilder builder(40, 30);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      if (rng.Bernoulli(0.12)) builder.Add(i, j, rng.Uniform(-1.0, 1.0));
+    }
+  }
+  SparseMatrix sparse = builder.Build();
+  auto gkl = GklSvd(sparse, 4);
+  auto jac = JacobiSvd(sparse.ToDense());
+  ASSERT_TRUE(gkl.ok());
+  ASSERT_TRUE(jac.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(gkl->singular_values[i], jac->singular_values[i], 1e-6);
+  }
+}
+
+TEST(GklSvdTest, LowRankBreakdownHandled) {
+  Rng rng(11);
+  DenseVector sigma = {4.0, 2.0};
+  DenseMatrix a = testing::MatrixWithSpectrum(20, 15, sigma, rng);
+  auto gkl = GklSvd(a, 2);
+  ASSERT_TRUE(gkl.ok());
+  EXPECT_NEAR(gkl->singular_values[0], 4.0, 1e-7);
+  EXPECT_NEAR(gkl->singular_values[1], 2.0, 1e-7);
+}
+
+TEST(GklSvdTest, ResolvesSmallSingularValuesBetterThanGramRoute) {
+  // The point of bidiagonalization: it works with A, not A^T A, so tiny
+  // singular values (condition number ~1e8 here, squared to 1e16 by the
+  // Gram route) survive.
+  Rng rng(13);
+  DenseVector sigma = {1.0, 1e-7};
+  DenseMatrix a = testing::MatrixWithSpectrum(25, 20, sigma, rng);
+  GklSvdOptions options;
+  options.tolerance = 1e-14;
+  auto gkl = GklSvd(a, 2, options);
+  ASSERT_TRUE(gkl.ok());
+  EXPECT_NEAR(gkl->singular_values[0], 1.0, 1e-9);
+  EXPECT_NEAR(gkl->singular_values[1], 1e-7, 1e-9);
+}
+
+TEST(GklSvdTest, DegenerateSpectrum) {
+  Rng rng(15);
+  DenseVector sigma = {5.0, 5.0, 5.0, 1.0};
+  DenseMatrix a = testing::MatrixWithSpectrum(30, 30, sigma, rng);
+  auto gkl = GklSvd(a, 3);
+  ASSERT_TRUE(gkl.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(gkl->singular_values[i], 5.0, 1e-6);
+  }
+}
+
+TEST(GklSvdTest, DeterministicGivenSeed) {
+  Rng rng(17);
+  DenseMatrix a = testing::RandomMatrix(20, 15, rng);
+  GklSvdOptions options;
+  options.seed = 999;
+  auto r1 = GklSvd(a, 3, options);
+  auto r2 = GklSvd(a, 3, options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(r1->u, r2->u), 0.0);
+}
+
+TEST(GklSvdTest, AgreesWithLanczosSvd) {
+  Rng rng(19);
+  DenseMatrix a = testing::RandomMatrix(40, 25, rng);
+  auto gkl = GklSvd(a, 6);
+  auto lanczos = LanczosSvd(a, 6);
+  ASSERT_TRUE(gkl.ok());
+  ASSERT_TRUE(lanczos.ok());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(gkl->singular_values[i], lanczos->singular_values[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace lsi::linalg

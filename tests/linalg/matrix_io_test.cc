@@ -1,0 +1,108 @@
+#include "linalg/matrix_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace lsi::linalg {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(MatrixIoTest, DenseRoundTrip) {
+  Rng rng(1);
+  DenseMatrix original = lsi::testing::RandomMatrix(7, 5, rng);
+  std::string path = TempPath("dense_roundtrip.bin");
+  ASSERT_TRUE(SaveDenseMatrix(original, path).ok());
+  auto loaded = LoadDenseMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 7u);
+  EXPECT_EQ(loaded->cols(), 5u);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(original, loaded.value()), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, DenseEmptyMatrix) {
+  DenseMatrix original(0, 0);
+  std::string path = TempPath("dense_empty.bin");
+  ASSERT_TRUE(SaveDenseMatrix(original, path).ok());
+  auto loaded = LoadDenseMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, SparseRoundTrip) {
+  Rng rng(3);
+  SparseMatrixBuilder builder(12, 9);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      if (rng.Bernoulli(0.3)) builder.Add(i, j, rng.Uniform(-2.0, 2.0));
+    }
+  }
+  SparseMatrix original = builder.Build();
+  std::string path = TempPath("sparse_roundtrip.bin");
+  ASSERT_TRUE(SaveSparseMatrix(original, path).ok());
+  auto loaded = LoadSparseMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 12u);
+  EXPECT_EQ(loaded->cols(), 9u);
+  EXPECT_EQ(loaded->NumNonZeros(), original.NumNonZeros());
+  EXPECT_LT(MaxAbsDiff(loaded->ToDense(), original.ToDense()), 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, SparseEmptyMatrix) {
+  SparseMatrix original(4, 6);
+  std::string path = TempPath("sparse_empty.bin");
+  ASSERT_TRUE(SaveSparseMatrix(original, path).ok());
+  auto loaded = LoadSparseMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNonZeros(), 0u);
+  EXPECT_EQ(loaded->rows(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, MissingFileIsNotFound) {
+  auto dense = LoadDenseMatrix(TempPath("does_not_exist.bin"));
+  EXPECT_TRUE(dense.status().IsNotFound());
+  auto sparse = LoadSparseMatrix(TempPath("does_not_exist.bin"));
+  EXPECT_TRUE(sparse.status().IsNotFound());
+}
+
+TEST(MatrixIoTest, WrongMagicRejected) {
+  Rng rng(5);
+  DenseMatrix dense = lsi::testing::RandomMatrix(3, 3, rng);
+  std::string path = TempPath("wrong_magic.bin");
+  ASSERT_TRUE(SaveDenseMatrix(dense, path).ok());
+  auto sparse = LoadSparseMatrix(path);  // Dense file via sparse loader.
+  EXPECT_FALSE(sparse.ok());
+  EXPECT_TRUE(sparse.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, TruncatedFileRejected) {
+  Rng rng(7);
+  DenseMatrix dense = lsi::testing::RandomMatrix(6, 6, rng);
+  std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(SaveDenseMatrix(dense, path).ok());
+  // Truncate the file to half its size.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  auto loaded = LoadDenseMatrix(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsi::linalg

@@ -1,0 +1,86 @@
+#include "linalg/norms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/svd.h"
+#include "test_util.h"
+
+namespace lsi::linalg {
+namespace {
+
+TEST(TwoNormTest, DiagonalMatrix) {
+  DenseMatrix a = DenseMatrix::Diagonal({3.0, 7.0, 2.0});
+  EXPECT_NEAR(TwoNorm(a), 7.0, 1e-8);
+}
+
+TEST(TwoNormTest, ZeroMatrix) {
+  DenseMatrix zero(4, 4, 0.0);
+  EXPECT_DOUBLE_EQ(TwoNorm(zero), 0.0);
+}
+
+TEST(TwoNormTest, MatchesLargestSingularValue) {
+  Rng rng(201);
+  DenseMatrix a = testing::RandomMatrix(15, 10, rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(TwoNorm(a), svd->singular_values[0],
+              1e-6 * svd->singular_values[0]);
+}
+
+TEST(TwoNormTest, PlantedSpectrum) {
+  Rng rng(203);
+  DenseVector sigma = {11.0, 3.0, 1.0};
+  DenseMatrix a = testing::MatrixWithSpectrum(25, 20, sigma, rng);
+  EXPECT_NEAR(TwoNorm(a), 11.0, 1e-6);
+}
+
+TEST(TwoNormTest, SparseMatchesDense) {
+  Rng rng(205);
+  SparseMatrixBuilder builder(20, 25);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 25; ++j) {
+      if (rng.Bernoulli(0.2)) builder.Add(i, j, rng.Uniform(-1.0, 1.0));
+    }
+  }
+  SparseMatrix sparse = builder.Build();
+  EXPECT_NEAR(TwoNorm(sparse), TwoNorm(sparse.ToDense()), 1e-8);
+}
+
+TEST(TwoNormTest, ScalesLinearly) {
+  Rng rng(207);
+  DenseMatrix a = testing::RandomMatrix(10, 10, rng);
+  double norm = TwoNorm(a);
+  a.Scale(3.0);
+  EXPECT_NEAR(TwoNorm(a), 3.0 * norm, 1e-6 * norm);
+}
+
+TEST(TwoNormTest, BoundedByFrobenius) {
+  Rng rng(209);
+  DenseMatrix a = testing::RandomMatrix(12, 9, rng);
+  EXPECT_LE(TwoNorm(a), a.FrobeniusNorm() + 1e-9);
+}
+
+TEST(FrobeniusDistanceTest, ZeroForIdenticalMatrices) {
+  Rng rng(211);
+  DenseMatrix a = testing::RandomMatrix(6, 6, rng);
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, a), 0.0);
+}
+
+TEST(FrobeniusDistanceTest, KnownValue) {
+  DenseMatrix a = {{1.0, 0.0}, {0.0, 1.0}};
+  DenseMatrix b = {{1.0, 3.0}, {4.0, 1.0}};
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, b), 5.0);
+}
+
+TEST(FrobeniusDistanceTest, SymmetricInArguments) {
+  Rng rng(213);
+  DenseMatrix a = testing::RandomMatrix(5, 7, rng);
+  DenseMatrix b = testing::RandomMatrix(5, 7, rng);
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, b), FrobeniusDistance(b, a));
+}
+
+}  // namespace
+}  // namespace lsi::linalg

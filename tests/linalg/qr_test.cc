@@ -1,0 +1,129 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace lsi::linalg {
+namespace {
+
+TEST(QrTest, RejectsWideMatrix) {
+  DenseMatrix wide(2, 5, 1.0);
+  EXPECT_FALSE(HouseholderQr(wide).ok());
+  EXPECT_TRUE(HouseholderQr(wide).status().IsInvalidArgument());
+}
+
+TEST(QrTest, RejectsEmptyMatrix) {
+  DenseMatrix empty;
+  EXPECT_FALSE(HouseholderQr(empty).ok());
+}
+
+TEST(QrTest, IdentityFactorsTrivially) {
+  auto result = HouseholderQr(DenseMatrix::Identity(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(OrthonormalityError(result->q), 1e-13);
+  DenseMatrix recon = Multiply(result->q, result->r);
+  EXPECT_LT(MaxAbsDiff(recon, DenseMatrix::Identity(4)), 1e-13);
+}
+
+TEST(QrTest, ReconstructsSquareMatrix) {
+  Rng rng(21);
+  DenseMatrix a = testing::RandomMatrix(6, 6, rng);
+  auto result = HouseholderQr(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(MaxAbsDiff(Multiply(result->q, result->r), a), 1e-12);
+}
+
+TEST(QrTest, ReconstructsTallMatrix) {
+  Rng rng(23);
+  DenseMatrix a = testing::RandomMatrix(10, 4, rng);
+  auto result = HouseholderQr(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->q.rows(), 10u);
+  EXPECT_EQ(result->q.cols(), 4u);
+  EXPECT_EQ(result->r.rows(), 4u);
+  EXPECT_EQ(result->r.cols(), 4u);
+  EXPECT_LT(MaxAbsDiff(Multiply(result->q, result->r), a), 1e-12);
+}
+
+TEST(QrTest, QHasOrthonormalColumns) {
+  Rng rng(25);
+  DenseMatrix a = testing::RandomMatrix(12, 5, rng);
+  auto result = HouseholderQr(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(OrthonormalityError(result->q), 1e-13);
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  Rng rng(27);
+  DenseMatrix a = testing::RandomMatrix(8, 5, rng);
+  auto result = HouseholderQr(a);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < 5; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_DOUBLE_EQ(result->r(i, j), 0.0);
+    }
+  }
+}
+
+TEST(QrTest, RankDeficientStillOrthonormal) {
+  // Two identical columns -> rank 1.
+  DenseMatrix a(5, 2, 0.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+  }
+  auto result = HouseholderQr(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(OrthonormalityError(result->q), 1e-12);
+  EXPECT_LT(MaxAbsDiff(Multiply(result->q, result->r), a), 1e-12);
+  // R(1,1) should be ~0 (rank deficiency).
+  EXPECT_NEAR(result->r(1, 1), 0.0, 1e-12);
+}
+
+TEST(QrTest, ZeroMatrixHandled) {
+  DenseMatrix zero(4, 2, 0.0);
+  auto result = HouseholderQr(zero);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(MaxAbsDiff(Multiply(result->q, result->r), zero), 1e-15);
+}
+
+TEST(QrTest, SingleColumn) {
+  DenseMatrix a(3, 1, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 0) = 4.0;
+  auto result = HouseholderQr(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(std::fabs(result->r(0, 0)), 5.0, 1e-13);
+  EXPECT_LT(OrthonormalityError(result->q), 1e-14);
+}
+
+TEST(OrthonormalizeTest, MatchesQrQ) {
+  Rng rng(29);
+  DenseMatrix a = testing::RandomMatrix(9, 4, rng);
+  auto q1 = Orthonormalize(a);
+  auto q2 = HouseholderQr(a);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_LT(MaxAbsDiff(q1.value(), q2->q), 1e-14);
+}
+
+TEST(OrthonormalizeTest, SpansSameColumnSpace) {
+  Rng rng(31);
+  DenseMatrix a = testing::RandomMatrix(7, 3, rng);
+  auto q = Orthonormalize(a);
+  ASSERT_TRUE(q.ok());
+  // Projection of each original column onto span(Q) recovers the column.
+  for (std::size_t j = 0; j < 3; ++j) {
+    DenseVector col = a.Column(j);
+    DenseVector coeffs = MultiplyTranspose(q.value(), col);
+    DenseVector recon = Multiply(q.value(), coeffs);
+    EXPECT_LT(Distance(col, recon), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace lsi::linalg

@@ -1,0 +1,108 @@
+#include "linalg/random_matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lsi::linalg {
+namespace {
+
+TEST(GaussianMatrixTest, ShapeAndMoments) {
+  Rng rng(301);
+  DenseMatrix g = GaussianMatrix(100, 50, rng);
+  EXPECT_EQ(g.rows(), 100u);
+  EXPECT_EQ(g.cols(), 50u);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : g.values()) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  double n = 100.0 * 50.0;
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(GaussianMatrixTest, DeterministicGivenRngState) {
+  Rng rng1(303);
+  Rng rng2(303);
+  DenseMatrix a = GaussianMatrix(5, 5, rng1);
+  DenseMatrix b = GaussianMatrix(5, 5, rng2);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 0.0);
+}
+
+TEST(RandomOrthonormalColumnsTest, RejectsBadDims) {
+  Rng rng(305);
+  EXPECT_FALSE(RandomOrthonormalColumns(3, 5, rng).ok());
+  EXPECT_FALSE(RandomOrthonormalColumns(0, 0, rng).ok());
+}
+
+TEST(RandomOrthonormalColumnsTest, ColumnsAreOrthonormal) {
+  Rng rng(307);
+  auto q = RandomOrthonormalColumns(50, 10, rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->rows(), 50u);
+  EXPECT_EQ(q->cols(), 10u);
+  EXPECT_LT(OrthonormalityError(q.value()), 1e-12);
+}
+
+TEST(RandomOrthonormalColumnsTest, FullSquareIsOrthogonal) {
+  Rng rng(309);
+  auto q = RandomOrthonormalColumns(12, 12, rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LT(OrthonormalityError(q.value()), 1e-12);
+}
+
+TEST(RandomOrthonormalColumnsTest, DifferentDraws) {
+  Rng rng(311);
+  auto q1 = RandomOrthonormalColumns(10, 3, rng);
+  auto q2 = RandomOrthonormalColumns(10, 3, rng);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_GT(MaxAbsDiff(q1.value(), q2.value()), 1e-3);
+}
+
+TEST(RandomOrthonormalColumnsTest, ProjectionPreservesNormInExpectation) {
+  // E[||R^T v||^2] = l/n for unit v (Johnson-Lindenstrauss Lemma 2 of the
+  // paper). Average over many draws.
+  Rng rng(313);
+  const std::size_t n = 60;
+  const std::size_t l = 12;
+  DenseVector v(n, 0.0);
+  v[0] = 1.0;  // Any unit vector works; rotation invariance.
+  double sum = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    auto r = RandomOrthonormalColumns(n, l, rng);
+    ASSERT_TRUE(r.ok());
+    DenseVector proj = MultiplyTranspose(r.value(), v);
+    sum += proj.SquaredNorm();
+  }
+  double mean = sum / trials;
+  double expected = static_cast<double>(l) / static_cast<double>(n);
+  EXPECT_NEAR(mean, expected, 0.15 * expected);
+}
+
+TEST(SignMatrixTest, EntriesAreScaledSigns) {
+  Rng rng(315);
+  const std::size_t cols = 16;
+  DenseMatrix s = SignMatrix(8, cols, rng);
+  const double expected = 1.0 / std::sqrt(static_cast<double>(cols));
+  for (double v : s.values()) {
+    EXPECT_NEAR(std::fabs(v), expected, 1e-15);
+  }
+}
+
+TEST(SignMatrixTest, RoughlyBalanced) {
+  Rng rng(317);
+  DenseMatrix s = SignMatrix(50, 40, rng);
+  int pos = 0;
+  for (double v : s.values()) {
+    if (v > 0) ++pos;
+  }
+  EXPECT_NEAR(pos, 1000, 150);  // 2000 entries, expect ~half positive.
+}
+
+}  // namespace
+}  // namespace lsi::linalg

@@ -1,0 +1,130 @@
+#include "linalg/sampled_svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/norms.h"
+#include "test_util.h"
+
+namespace lsi::linalg {
+namespace {
+
+SparseMatrix RandomSparse(std::size_t rows, std::size_t cols, double density,
+                          Rng& rng) {
+  SparseMatrixBuilder builder(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(density)) builder.Add(i, j, rng.Uniform(0.0, 2.0));
+    }
+  }
+  return builder.Build();
+}
+
+TEST(SampledSvdTest, Validation) {
+  Rng rng(1);
+  SparseMatrix a = RandomSparse(10, 8, 0.3, rng);
+  EXPECT_FALSE(SampledSvd(a, 0).ok());
+  EXPECT_FALSE(SampledSvd(a, 9).ok());
+  EXPECT_FALSE(SampledSvd(SparseMatrix(0, 0), 1).ok());
+  EXPECT_FALSE(SampledSvd(SparseMatrix(5, 5), 1).ok());  // Zero matrix.
+}
+
+TEST(SampledSvdTest, ShapesAndOrdering) {
+  Rng rng(3);
+  SparseMatrix a = RandomSparse(30, 40, 0.2, rng);
+  auto result = SampledSvd(a, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->u.rows(), 30u);
+  EXPECT_EQ(result->u.cols(), 5u);
+  EXPECT_EQ(result->v.rows(), 40u);
+  EXPECT_EQ(result->v.cols(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GE(result->singular_values[i], 0.0);
+  }
+  EXPECT_LT(OrthonormalityError(result->u), 1e-8);
+}
+
+TEST(SampledSvdTest, ApproximatesTopSingularValueOnDecayingSpectrum) {
+  Rng rng(5);
+  DenseVector sigma = {20.0, 6.0, 2.0, 1.0};
+  DenseMatrix dense = testing::MatrixWithSpectrum(60, 80, sigma, rng);
+  SparseMatrix a = SparseMatrix::FromDense(dense);
+  SampledSvdOptions options;
+  options.sample_size = 60;
+  auto result = SampledSvd(a, 2, options);
+  ASSERT_TRUE(result.ok());
+  // Monte Carlo method: expect ~5-10% accuracy on the dominant value.
+  EXPECT_NEAR(result->singular_values[0], 20.0, 2.0);
+}
+
+TEST(SampledSvdTest, FkvErrorBound) {
+  // ||A - D||_F <= ||A - A_k||_F + eps ||A||_F for a generous eps.
+  Rng rng(7);
+  DenseVector sigma = {12.0, 8.0, 5.0, 1.0, 0.5};
+  DenseMatrix dense = testing::MatrixWithSpectrum(50, 70, sigma, rng);
+  SparseMatrix a = SparseMatrix::FromDense(dense);
+  const std::size_t k = 3;
+
+  auto exact = JacobiSvd(dense);
+  ASSERT_TRUE(exact.ok());
+  double best_err = FrobeniusDistance(dense, exact->Reconstruct(k));
+
+  SampledSvdOptions options;
+  options.sample_size = 50;
+  auto approx = SampledSvd(a, k, options);
+  ASSERT_TRUE(approx.ok());
+  double approx_err = FrobeniusDistance(dense, approx->Reconstruct(k));
+
+  double total = dense.FrobeniusNorm();
+  EXPECT_LE(approx_err, best_err + 0.5 * total);
+  // And it must capture most of the spectrum's energy.
+  EXPECT_LT(approx_err, 0.5 * total);
+}
+
+TEST(SampledSvdTest, MoreSamplesMoreAccurate) {
+  Rng rng(9);
+  DenseVector sigma = {10.0, 7.0, 3.0, 1.0};
+  DenseMatrix dense = testing::MatrixWithSpectrum(40, 120, sigma, rng);
+  SparseMatrix a = SparseMatrix::FromDense(dense);
+  const std::size_t k = 3;
+
+  double errs[2];
+  std::size_t sizes[2] = {12, 120};
+  for (int i = 0; i < 2; ++i) {
+    SampledSvdOptions options;
+    options.sample_size = sizes[i];
+    options.seed = 2024;
+    auto approx = SampledSvd(a, k, options);
+    ASSERT_TRUE(approx.ok());
+    errs[i] = FrobeniusDistance(dense, approx->Reconstruct(k));
+  }
+  EXPECT_LT(errs[1], errs[0]);
+}
+
+TEST(SampledSvdTest, DeterministicGivenSeed) {
+  Rng rng(11);
+  SparseMatrix a = RandomSparse(25, 30, 0.25, rng);
+  SampledSvdOptions options;
+  options.seed = 31415;
+  auto r1 = SampledSvd(a, 3, options);
+  auto r2 = SampledSvd(a, 3, options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(r1->singular_values[i], r2->singular_values[i]);
+  }
+}
+
+TEST(SampledSvdTest, SampleSizeClampedToColumns) {
+  Rng rng(13);
+  SparseMatrix a = RandomSparse(20, 10, 0.4, rng);
+  SampledSvdOptions options;
+  options.sample_size = 500;  // > m.
+  auto result = SampledSvd(a, 2, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->singular_values[0], 0.0);
+}
+
+}  // namespace
+}  // namespace lsi::linalg

@@ -1,0 +1,110 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace lsi::linalg {
+namespace {
+
+TEST(SolveLinearSystemTest, Validation) {
+  EXPECT_FALSE(SolveLinearSystem(DenseMatrix(2, 3), DenseVector(2)).ok());
+  EXPECT_FALSE(SolveLinearSystem(DenseMatrix(2, 2), DenseVector(3)).ok());
+  EXPECT_FALSE(SolveLinearSystem(DenseMatrix(), DenseVector()).ok());
+}
+
+TEST(SolveLinearSystemTest, IdentitySystem) {
+  DenseMatrix eye = DenseMatrix::Identity(3);
+  DenseVector b = {1.0, -2.0, 3.0};
+  auto x = SolveLinearSystem(eye, b);
+  ASSERT_TRUE(x.ok());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ((*x)[i], b[i]);
+}
+
+TEST(SolveLinearSystemTest, Known2x2) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  DenseMatrix a = {{2.0, 1.0}, {1.0, -1.0}};
+  DenseVector b = {5.0, 1.0};
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Zero on the leading diagonal: naive elimination would divide by 0.
+  DenseMatrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  DenseVector b = {3.0, 7.0};
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularRejected) {
+  DenseMatrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  DenseVector b = {1.0, 2.0};
+  auto x = SolveLinearSystem(a, b);
+  EXPECT_TRUE(x.status().IsNumericalError());
+}
+
+TEST(SolveLinearSystemTest, RandomSystemResidual) {
+  Rng rng(61);
+  for (int trial = 0; trial < 10; ++trial) {
+    DenseMatrix a = testing::RandomMatrix(8, 8, rng);
+    DenseVector b = testing::RandomUnitVector(8, rng);
+    auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    DenseVector residual = Subtract(Multiply(a, x.value()), b);
+    EXPECT_LT(residual.Norm(), 1e-9);
+  }
+}
+
+TEST(SolveLeastSquaresTest, Validation) {
+  EXPECT_FALSE(SolveLeastSquares(DenseMatrix(2, 3), DenseVector(2)).ok());
+  EXPECT_FALSE(SolveLeastSquares(DenseMatrix(3, 2), DenseVector(2)).ok());
+}
+
+TEST(SolveLeastSquaresTest, ExactSystemRecovered) {
+  Rng rng(63);
+  DenseMatrix a = testing::RandomMatrix(10, 4, rng);
+  DenseVector x_true = {1.0, -0.5, 2.0, 0.25};
+  DenseVector b = Multiply(a, x_true);
+  auto x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SolveLeastSquaresTest, ResidualIsOrthogonalToColumns) {
+  Rng rng(65);
+  DenseMatrix a = testing::RandomMatrix(12, 3, rng);
+  DenseVector b = testing::RandomUnitVector(12, rng);
+  auto x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  DenseVector residual = Subtract(Multiply(a, x.value()), b);
+  DenseVector gram_residual = MultiplyTranspose(a, residual);
+  EXPECT_LT(gram_residual.Norm(), 1e-8);
+}
+
+TEST(SolveLeastSquaresTest, RankDeficientWithRidge) {
+  // Two identical columns: the normal equations are singular without
+  // the ridge; the ridge makes the solution well defined.
+  DenseMatrix a(6, 2, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+  }
+  DenseVector b(6, 1.0);
+  auto x = SolveLeastSquares(a, b, 1e-8);
+  ASSERT_TRUE(x.ok());
+  // Split evenly between the duplicate columns.
+  EXPECT_NEAR((*x)[0], (*x)[1], 1e-6);
+}
+
+}  // namespace
+}  // namespace lsi::linalg

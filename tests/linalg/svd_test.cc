@@ -1,0 +1,365 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/norms.h"
+#include "test_util.h"
+
+namespace lsi::linalg {
+namespace {
+
+/// Validates U S V^T == a, with orthonormal U and V, descending
+/// nonnegative singular values.
+void ExpectValidFullSvd(const DenseMatrix& a, const SvdResult& svd,
+                        double tol) {
+  ASSERT_EQ(svd.rank(), std::min(a.rows(), a.cols()));
+  for (std::size_t i = 0; i < svd.rank(); ++i) {
+    EXPECT_GE(svd.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_GE(svd.singular_values[i - 1], svd.singular_values[i]);
+    }
+  }
+  EXPECT_LT(OrthonormalityError(svd.u), tol);
+  EXPECT_LT(OrthonormalityError(svd.v), tol);
+  EXPECT_LT(MaxAbsDiff(svd.Reconstruct(svd.rank()), a), tol);
+}
+
+TEST(JacobiSvdTest, RejectsEmpty) {
+  EXPECT_FALSE(JacobiSvd(DenseMatrix()).ok());
+}
+
+TEST(JacobiSvdTest, DiagonalMatrix) {
+  DenseMatrix a = DenseMatrix::Diagonal({2.0, 5.0, 1.0});
+  auto result = JacobiSvd(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->singular_values[0], 5.0, 1e-12);
+  EXPECT_NEAR(result->singular_values[1], 2.0, 1e-12);
+  EXPECT_NEAR(result->singular_values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiSvdTest, KnownSingularValues) {
+  // [[3, 0], [4, 5]] has singular values sqrt(45) and sqrt(5).
+  DenseMatrix a = {{3.0, 0.0}, {4.0, 5.0}};
+  auto result = JacobiSvd(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->singular_values[0], std::sqrt(45.0), 1e-10);
+  EXPECT_NEAR(result->singular_values[1], std::sqrt(5.0), 1e-10);
+  ExpectValidFullSvd(a, result.value(), 1e-10);
+}
+
+TEST(JacobiSvdTest, TallMatrix) {
+  Rng rng(51);
+  DenseMatrix a = testing::RandomMatrix(12, 5, rng);
+  auto result = JacobiSvd(a);
+  ASSERT_TRUE(result.ok());
+  ExpectValidFullSvd(a, result.value(), 1e-10);
+}
+
+TEST(JacobiSvdTest, WideMatrix) {
+  Rng rng(53);
+  DenseMatrix a = testing::RandomMatrix(4, 11, rng);
+  auto result = JacobiSvd(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->u.rows(), 4u);
+  EXPECT_EQ(result->v.rows(), 11u);
+  ExpectValidFullSvd(a, result.value(), 1e-10);
+}
+
+TEST(JacobiSvdTest, SquareMatrix) {
+  Rng rng(55);
+  DenseMatrix a = testing::RandomMatrix(9, 9, rng);
+  auto result = JacobiSvd(a);
+  ASSERT_TRUE(result.ok());
+  ExpectValidFullSvd(a, result.value(), 1e-9);
+}
+
+TEST(JacobiSvdTest, RecoversPlantedSpectrum) {
+  Rng rng(57);
+  DenseVector sigma = {10.0, 5.0, 2.0, 0.5};
+  DenseMatrix a = testing::MatrixWithSpectrum(20, 15, sigma, rng);
+  auto result = JacobiSvd(a);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result->singular_values[i], sigma[i], 1e-9);
+  }
+  for (std::size_t i = 4; i < result->rank(); ++i) {
+    EXPECT_NEAR(result->singular_values[i], 0.0, 1e-9);
+  }
+}
+
+TEST(JacobiSvdTest, RankDeficientCompletesOrthonormalU) {
+  // Rank-1 matrix: outer product.
+  DenseMatrix a(6, 3, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a(i, j) = static_cast<double>(i + 1) * static_cast<double>(j + 1);
+    }
+  }
+  auto result = JacobiSvd(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->singular_values[0], 0.0);
+  EXPECT_NEAR(result->singular_values[1], 0.0, 1e-9);
+  EXPECT_NEAR(result->singular_values[2], 0.0, 1e-9);
+  EXPECT_LT(OrthonormalityError(result->u), 1e-9);
+  EXPECT_LT(MaxAbsDiff(result->Reconstruct(3), a), 1e-9);
+}
+
+TEST(JacobiSvdTest, ZeroMatrix) {
+  DenseMatrix zero(5, 3, 0.0);
+  auto result = JacobiSvd(zero);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(result->singular_values[i], 0.0);
+  }
+  EXPECT_LT(OrthonormalityError(result->u), 1e-12);
+}
+
+TEST(JacobiSvdTest, SingularValuesSquaredSumToFrobenius) {
+  Rng rng(59);
+  DenseMatrix a = testing::RandomMatrix(8, 6, rng);
+  auto result = JacobiSvd(a);
+  ASSERT_TRUE(result.ok());
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < result->rank(); ++i) {
+    sum_sq += result->singular_values[i] * result->singular_values[i];
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq), a.FrobeniusNorm(), 1e-10);
+}
+
+// --- Eckart-Young (Theorem 1 of the paper) ---
+
+TEST(JacobiSvdTest, EckartYoungOptimality) {
+  // ||A - A_k||_F must not exceed ||A - C||_F for random rank-k C built
+  // from perturbing A_k. Theorem 1 of the paper.
+  Rng rng(61);
+  DenseMatrix a = testing::RandomMatrix(10, 8, rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  const std::size_t k = 3;
+  DenseMatrix ak = svd->Reconstruct(k);
+  double best = FrobeniusDistance(a, ak);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random rank-k matrix: product of random factors.
+    DenseMatrix left = testing::RandomMatrix(10, k, rng);
+    DenseMatrix right = testing::RandomMatrix(k, 8, rng);
+    DenseMatrix c = Multiply(left, right);
+    EXPECT_GE(FrobeniusDistance(a, c), best - 1e-10);
+  }
+}
+
+TEST(JacobiSvdTest, TruncationErrorIsTailEnergy) {
+  Rng rng(63);
+  DenseVector sigma = {6.0, 4.0, 3.0, 2.0, 1.0};
+  DenseMatrix a = testing::MatrixWithSpectrum(12, 10, sigma, rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  const std::size_t k = 2;
+  DenseMatrix ak = svd->Reconstruct(k);
+  // ||A - A_k||_F^2 = sum_{i>k} sigma_i^2 = 9 + 4 + 1 = 14.
+  EXPECT_NEAR(FrobeniusDistance(a, ak), std::sqrt(14.0), 1e-8);
+}
+
+TEST(SvdResultTest, TruncatedKeepsTopTriplets) {
+  Rng rng(65);
+  DenseMatrix a = testing::RandomMatrix(7, 5, rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  SvdResult top2 = svd->Truncated(2);
+  EXPECT_EQ(top2.rank(), 2u);
+  EXPECT_EQ(top2.u.cols(), 2u);
+  EXPECT_EQ(top2.v.cols(), 2u);
+  EXPECT_DOUBLE_EQ(top2.singular_values[0], svd->singular_values[0]);
+  EXPECT_DOUBLE_EQ(top2.singular_values[1], svd->singular_values[1]);
+}
+
+// --- Lanczos SVD ---
+
+TEST(LanczosSvdTest, RejectsBadK) {
+  Rng rng(67);
+  DenseMatrix a = testing::RandomMatrix(6, 4, rng);
+  EXPECT_FALSE(LanczosSvd(a, 0).ok());
+  EXPECT_FALSE(LanczosSvd(a, 5).ok());
+}
+
+TEST(LanczosSvdTest, MatchesJacobiTopSingularValues) {
+  Rng rng(69);
+  DenseMatrix a = testing::RandomMatrix(30, 20, rng);
+  auto jac = JacobiSvd(a);
+  auto lan = LanczosSvd(a, 5);
+  ASSERT_TRUE(jac.ok());
+  ASSERT_TRUE(lan.ok());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(lan->singular_values[i], jac->singular_values[i], 1e-7) << i;
+  }
+}
+
+TEST(LanczosSvdTest, SingularVectorsHaveValidResiduals) {
+  Rng rng(71);
+  DenseVector sigma = {9.0, 7.0, 4.0, 2.0, 1.0, 0.5};
+  DenseMatrix a = testing::MatrixWithSpectrum(40, 25, sigma, rng);
+  auto lan = LanczosSvd(a, 3);
+  ASSERT_TRUE(lan.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    DenseVector v = lan->v.Column(i);
+    DenseVector u = lan->u.Column(i);
+    // A v = sigma u.
+    DenseVector av = Multiply(a, v);
+    DenseVector su = Scaled(u, lan->singular_values[i]);
+    EXPECT_LT(Distance(av, su), 1e-6) << i;
+  }
+}
+
+TEST(LanczosSvdTest, WideMatrixUsesOuterGram) {
+  Rng rng(73);
+  DenseMatrix a = testing::RandomMatrix(8, 50, rng);
+  auto jac = JacobiSvd(a);
+  auto lan = LanczosSvd(a, 4);
+  ASSERT_TRUE(jac.ok());
+  ASSERT_TRUE(lan.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(lan->singular_values[i], jac->singular_values[i], 1e-7);
+  }
+}
+
+TEST(LanczosSvdTest, SparseMatchesDense) {
+  Rng rng(75);
+  // Sparse random matrix: 10% fill.
+  SparseMatrixBuilder builder(40, 30);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      if (rng.Bernoulli(0.1)) builder.Add(i, j, rng.Uniform(-1.0, 1.0));
+    }
+  }
+  SparseMatrix sparse = builder.Build();
+  DenseMatrix dense = sparse.ToDense();
+  auto lan = LanczosSvd(sparse, 5);
+  auto jac = JacobiSvd(dense);
+  ASSERT_TRUE(lan.ok());
+  ASSERT_TRUE(jac.ok());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(lan->singular_values[i], jac->singular_values[i], 1e-6);
+  }
+}
+
+TEST(LanczosSvdTest, OrthonormalFactors) {
+  Rng rng(77);
+  DenseMatrix a = testing::RandomMatrix(25, 18, rng);
+  auto lan = LanczosSvd(a, 6);
+  ASSERT_TRUE(lan.ok());
+  EXPECT_LT(OrthonormalityError(lan->u), 1e-7);
+  EXPECT_LT(OrthonormalityError(lan->v), 1e-7);
+}
+
+TEST(LanczosSvdTest, DegenerateSpectrumStillRecovered) {
+  // k identical dominant singular values (the 0-separable corpus regime).
+  Rng rng(79);
+  DenseVector sigma = {5.0, 5.0, 5.0, 1.0, 0.5};
+  DenseMatrix a = testing::MatrixWithSpectrum(30, 30, sigma, rng);
+  auto lan = LanczosSvd(a, 3);
+  ASSERT_TRUE(lan.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(lan->singular_values[i], 5.0, 1e-6);
+  }
+}
+
+TEST(LanczosSvdTest, LowRankMatrixBreakdownHandled) {
+  // Rank 2 matrix, ask for k = 2: Lanczos hits an invariant subspace.
+  Rng rng(81);
+  DenseVector sigma = {4.0, 2.0};
+  DenseMatrix a = testing::MatrixWithSpectrum(20, 15, sigma, rng);
+  auto lan = LanczosSvd(a, 2);
+  ASSERT_TRUE(lan.ok());
+  EXPECT_NEAR(lan->singular_values[0], 4.0, 1e-7);
+  EXPECT_NEAR(lan->singular_values[1], 2.0, 1e-7);
+}
+
+// --- Randomized SVD ---
+
+TEST(RandomizedSvdTest, RejectsBadK) {
+  Rng rng(83);
+  DenseMatrix a = testing::RandomMatrix(6, 4, rng);
+  EXPECT_FALSE(RandomizedSvd(a, 0).ok());
+  EXPECT_FALSE(RandomizedSvd(a, 9).ok());
+}
+
+TEST(RandomizedSvdTest, MatchesJacobiOnDecayingSpectrum) {
+  Rng rng(85);
+  DenseVector sigma = {20.0, 10.0, 5.0, 2.0, 1.0, 0.2, 0.1};
+  DenseMatrix a = testing::MatrixWithSpectrum(40, 35, sigma, rng);
+  auto jac = JacobiSvd(a);
+  auto rsvd = RandomizedSvd(a, 4);
+  ASSERT_TRUE(jac.ok());
+  ASSERT_TRUE(rsvd.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(rsvd->singular_values[i], jac->singular_values[i], 1e-5);
+  }
+}
+
+TEST(RandomizedSvdTest, OrthonormalFactors) {
+  Rng rng(87);
+  DenseMatrix a = testing::RandomMatrix(30, 22, rng);
+  auto rsvd = RandomizedSvd(a, 5);
+  ASSERT_TRUE(rsvd.ok());
+  EXPECT_LT(OrthonormalityError(rsvd->u), 1e-9);
+  EXPECT_LT(OrthonormalityError(rsvd->v), 1e-9);
+}
+
+TEST(RandomizedSvdTest, SparseInput) {
+  Rng rng(89);
+  SparseMatrixBuilder builder(50, 40);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 40; ++j) {
+      if (rng.Bernoulli(0.15)) builder.Add(i, j, rng.Uniform(0.0, 2.0));
+    }
+  }
+  SparseMatrix sparse = builder.Build();
+  // Random matrices have nearly flat spectra, the hard case for subspace
+  // iteration: use extra power iterations and a 1% tolerance.
+  RandomizedSvdOptions options;
+  options.power_iterations = 6;
+  auto rsvd = RandomizedSvd(sparse, 6, options);
+  auto jac = JacobiSvd(sparse.ToDense());
+  ASSERT_TRUE(rsvd.ok());
+  ASSERT_TRUE(jac.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(rsvd->singular_values[i], jac->singular_values[i],
+                0.01 * jac->singular_values[0]);
+  }
+}
+
+// Property sweep: all three solvers agree on the dominant singular value
+// across shapes.
+struct SvdShape {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class SvdAgreementSweep : public ::testing::TestWithParam<SvdShape> {};
+
+TEST_P(SvdAgreementSweep, SolversAgreeOnSigma1) {
+  Rng rng(91 + GetParam().rows * 131 + GetParam().cols);
+  DenseMatrix a = testing::RandomMatrix(GetParam().rows, GetParam().cols, rng);
+  auto jac = JacobiSvd(a);
+  auto lan = LanczosSvd(a, 1);
+  RandomizedSvdOptions options;
+  options.power_iterations = 8;  // Flat random spectrum: iterate harder.
+  auto rsvd = RandomizedSvd(a, 1, options);
+  ASSERT_TRUE(jac.ok());
+  ASSERT_TRUE(lan.ok());
+  ASSERT_TRUE(rsvd.ok());
+  double s1 = jac->singular_values[0];
+  EXPECT_NEAR(lan->singular_values[0], s1, 1e-6 * s1);
+  EXPECT_NEAR(rsvd->singular_values[0], s1, 1e-2 * s1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdAgreementSweep,
+    ::testing::Values(SvdShape{5, 5}, SvdShape{20, 10}, SvdShape{10, 20},
+                      SvdShape{33, 17}, SvdShape{17, 33}, SvdShape{50, 50}));
+
+}  // namespace
+}  // namespace lsi::linalg

@@ -1,0 +1,223 @@
+#include "model/corpus_model.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "model/separable_model.h"
+
+namespace lsi::model {
+namespace {
+
+Result<CorpusModel> TinyModel() {
+  SeparableModelParams params;
+  params.num_topics = 2;
+  params.terms_per_topic = 5;
+  params.epsilon = 0.0;
+  params.min_document_length = 10;
+  params.max_document_length = 20;
+  return BuildSeparableModel(params);
+}
+
+TEST(MixtureTest, SingleMixture) {
+  Mixture mix = Mixture::Single(3);
+  EXPECT_EQ(mix.DominantComponent(), 3u);
+  EXPECT_DOUBLE_EQ(mix.TotalWeight(), 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(mix.SampleComponent(rng), 3u);
+}
+
+TEST(MixtureTest, DominantComponent) {
+  Mixture mix{{{0, 0.2}, {1, 0.5}, {2, 0.3}}};
+  EXPECT_EQ(mix.DominantComponent(), 1u);
+}
+
+TEST(MixtureTest, SampleFrequencies) {
+  Mixture mix{{{0, 0.25}, {1, 0.75}}};
+  Rng rng(3);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.SampleComponent(rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(PureDocumentSamplerTest, RespectsLengthBounds) {
+  PureDocumentSampler sampler(4, 10, 20);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    DocumentSpec spec = sampler.Sample(rng);
+    EXPECT_GE(spec.length, 10u);
+    EXPECT_LE(spec.length, 20u);
+    ASSERT_EQ(spec.topics.components.size(), 1u);
+    EXPECT_LT(spec.topics.components[0].first, 4u);
+    EXPECT_TRUE(spec.styles.components.empty());
+  }
+}
+
+TEST(PureDocumentSamplerTest, UniformTopicPrior) {
+  PureDocumentSampler sampler(4, 5, 5);
+  Rng rng(7);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    counts[sampler.Sample(rng).topics.components[0].first]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 4, 500);
+}
+
+TEST(MixedDocumentSamplerTest, ProducesConvexCombinations) {
+  MixedDocumentSampler sampler(10, 3, 5, 8);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    DocumentSpec spec = sampler.Sample(rng);
+    EXPECT_EQ(spec.topics.components.size(), 3u);
+    EXPECT_NEAR(spec.topics.TotalWeight(), 1.0, 1e-9);
+    // Distinct topics.
+    EXPECT_NE(spec.topics.components[0].first,
+              spec.topics.components[1].first);
+  }
+}
+
+TEST(CorpusModelTest, CreateValidation) {
+  auto sampler = std::make_shared<PureDocumentSampler>(1, 5, 5);
+  EXPECT_FALSE(CorpusModel::Create(0, {}, {}, sampler).ok());
+  EXPECT_FALSE(CorpusModel::Create(10, {}, {}, sampler).ok());
+
+  auto topic = Topic::Separable("t", 10, {0}, 0.0);
+  ASSERT_TRUE(topic.ok());
+  EXPECT_FALSE(
+      CorpusModel::Create(10, {topic.value()}, {}, nullptr).ok());
+  // Universe mismatch.
+  EXPECT_FALSE(CorpusModel::Create(20, {topic.value()}, {}, sampler).ok());
+  // Style universe mismatch.
+  EXPECT_FALSE(CorpusModel::Create(10, {topic.value()},
+                                   {Style::Identity("id", 5)}, sampler)
+                   .ok());
+  EXPECT_TRUE(CorpusModel::Create(10, {topic.value()},
+                                  {Style::Identity("id", 10)}, sampler)
+                  .ok());
+}
+
+TEST(CorpusModelTest, GenerateDocumentRespectsSpec) {
+  auto model = TinyModel();
+  ASSERT_TRUE(model.ok());
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    auto generated = model->GenerateDocument(rng);
+    ASSERT_TRUE(generated.ok());
+    const auto& [terms, spec] = generated.value();
+    EXPECT_EQ(terms.size(), spec.length);
+    // 0-separable pure: all terms in the topic's primary range.
+    std::size_t topic = spec.topics.components[0].first;
+    for (text::TermId t : terms) {
+      EXPECT_GE(t, topic * 5);
+      EXPECT_LT(t, (topic + 1) * 5);
+    }
+  }
+}
+
+TEST(CorpusModelTest, GenerateCorpusShape) {
+  auto model = TinyModel();
+  ASSERT_TRUE(model.ok());
+  Rng rng(13);
+  auto corpus = model->GenerateCorpus(30, rng);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->corpus.NumDocuments(), 30u);
+  EXPECT_EQ(corpus->corpus.NumTerms(), 10u);  // Universe pre-registered.
+  EXPECT_EQ(corpus->specs.size(), 30u);
+  EXPECT_EQ(corpus->topic_of_document.size(), 30u);
+  for (std::size_t topic : corpus->topic_of_document) EXPECT_LT(topic, 2u);
+}
+
+TEST(CorpusModelTest, GenerateCorpusRejectsZeroDocs) {
+  auto model = TinyModel();
+  ASSERT_TRUE(model.ok());
+  Rng rng(15);
+  EXPECT_FALSE(model->GenerateCorpus(0, rng).ok());
+}
+
+TEST(CorpusModelTest, DeterministicGivenSeed) {
+  auto model = TinyModel();
+  ASSERT_TRUE(model.ok());
+  Rng rng1(17), rng2(17);
+  auto c1 = model->GenerateCorpus(10, rng1);
+  auto c2 = model->GenerateCorpus(10, rng2);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  for (std::size_t d = 0; d < 10; ++d) {
+    EXPECT_EQ(c1->topic_of_document[d], c2->topic_of_document[d]);
+    EXPECT_EQ(c1->corpus.document(d).Length(),
+              c2->corpus.document(d).Length());
+  }
+}
+
+TEST(CorpusModelTest, StyleMixtureAppliesSubstitution) {
+  // One topic on terms {0}, a style that rewrites 0 -> 1 always, applied
+  // with weight 1: every sampled term becomes 1.
+  auto topic = Topic::Separable("t", 2, {0}, 0.0);
+  ASSERT_TRUE(topic.ok());
+  auto style = Style::SynonymSubstitution("s", 2, {{0, 1}}, 1.0);
+  ASSERT_TRUE(style.ok());
+  auto sampler = std::make_shared<PureDocumentSampler>(1, 20, 20);
+  sampler->SetStyleMixture(Mixture::Single(0));
+  auto model = CorpusModel::Create(2, {topic.value()}, {style.value()},
+                                   sampler);
+  ASSERT_TRUE(model.ok());
+  Rng rng(19);
+  auto generated = model->GenerateDocument(rng);
+  ASSERT_TRUE(generated.ok());
+  for (text::TermId t : generated->first) EXPECT_EQ(t, 1u);
+}
+
+TEST(CorpusModelTest, BurstinessValidation) {
+  auto model = TinyModel();
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->SetBurstiness(-0.1).ok());
+  EXPECT_FALSE(model->SetBurstiness(1.0).ok());
+  EXPECT_TRUE(model->SetBurstiness(0.0).ok());
+  EXPECT_TRUE(model->SetBurstiness(0.5).ok());
+  EXPECT_DOUBLE_EQ(model->burstiness(), 0.5);
+}
+
+TEST(CorpusModelTest, BurstinessIncreasesRepetition) {
+  // With high burstiness, documents concentrate on fewer distinct terms
+  // than i.i.d. sampling produces.
+  auto iid = TinyModel();
+  auto bursty = TinyModel();
+  ASSERT_TRUE(iid.ok() && bursty.ok());
+  ASSERT_TRUE(bursty->SetBurstiness(0.8).ok());
+  Rng rng1(71), rng2(71);
+  auto c_iid = iid->GenerateCorpus(50, rng1);
+  auto c_bursty = bursty->GenerateCorpus(50, rng2);
+  ASSERT_TRUE(c_iid.ok() && c_bursty.ok());
+  double distinct_iid = 0.0, distinct_bursty = 0.0;
+  for (std::size_t d = 0; d < 50; ++d) {
+    distinct_iid += static_cast<double>(c_iid->corpus.document(d).DistinctTerms()) /
+                    static_cast<double>(c_iid->corpus.document(d).Length());
+    distinct_bursty +=
+        static_cast<double>(c_bursty->corpus.document(d).DistinctTerms()) /
+        static_cast<double>(c_bursty->corpus.document(d).Length());
+  }
+  EXPECT_LT(distinct_bursty, 0.8 * distinct_iid);
+}
+
+TEST(CorpusModelTest, BurstinessPreservesTopicSupport) {
+  // Pure 0-separable documents still only use their topic's terms.
+  auto model = TinyModel();
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetBurstiness(0.6).ok());
+  Rng rng(73);
+  auto corpus = model->GenerateCorpus(30, rng);
+  ASSERT_TRUE(corpus.ok());
+  for (std::size_t d = 0; d < 30; ++d) {
+    std::size_t topic = corpus->topic_of_document[d];
+    for (const auto& [term, count] : corpus->corpus.document(d).counts()) {
+      EXPECT_GE(term, topic * 5);
+      EXPECT_LT(term, (topic + 1) * 5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsi::model

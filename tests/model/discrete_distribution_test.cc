@@ -1,0 +1,117 @@
+#include "model/discrete_distribution.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lsi::model {
+namespace {
+
+TEST(DiscreteDistributionTest, RejectsInvalidWeights) {
+  EXPECT_FALSE(DiscreteDistribution::FromWeights({}).ok());
+  EXPECT_FALSE(DiscreteDistribution::FromWeights({0.0, 0.0}).ok());
+  EXPECT_FALSE(DiscreteDistribution::FromWeights({1.0, -0.5}).ok());
+  EXPECT_FALSE(DiscreteDistribution::FromWeights(
+                   {1.0, std::nan("")}).ok());
+}
+
+TEST(DiscreteDistributionTest, NormalizesWeights) {
+  auto dist = DiscreteDistribution::FromWeights({2.0, 6.0});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->ProbabilityOf(0), 0.25, 1e-15);
+  EXPECT_NEAR(dist->ProbabilityOf(1), 0.75, 1e-15);
+}
+
+TEST(DiscreteDistributionTest, SingleOutcomeAlwaysSampled) {
+  auto dist = DiscreteDistribution::FromWeights({5.0});
+  ASSERT_TRUE(dist.ok());
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(dist->Sample(rng), 0u);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightOutcomeNeverSampled) {
+  auto dist = DiscreteDistribution::FromWeights({1.0, 0.0, 1.0});
+  ASSERT_TRUE(dist.ok());
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(dist->Sample(rng), 1u);
+}
+
+TEST(DiscreteDistributionTest, UniformFactory) {
+  auto dist = DiscreteDistribution::Uniform(4);
+  ASSERT_TRUE(dist.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(dist->ProbabilityOf(i), 0.25, 1e-15);
+  }
+  EXPECT_FALSE(DiscreteDistribution::Uniform(0).ok());
+}
+
+TEST(DiscreteDistributionTest, SampleFrequenciesMatchProbabilities) {
+  auto dist = DiscreteDistribution::FromWeights({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(dist.ok());
+  Rng rng(5);
+  const int n = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < n; ++i) counts[dist->Sample(rng)]++;
+  for (std::size_t i = 0; i < 4; ++i) {
+    double expected = dist->ProbabilityOf(i);
+    double observed = static_cast<double>(counts[i]) / n;
+    EXPECT_NEAR(observed, expected, 0.01) << i;
+  }
+}
+
+TEST(DiscreteDistributionTest, HighlySkewedDistribution) {
+  auto dist = DiscreteDistribution::FromWeights({1e-6, 1.0});
+  ASSERT_TRUE(dist.ok());
+  Rng rng(7);
+  int rare = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (dist->Sample(rng) == 0) ++rare;
+  }
+  EXPECT_LT(rare, 10);  // Expected ~0.1 hits.
+}
+
+TEST(DiscreteDistributionTest, ChiSquareGoodnessOfFit) {
+  // A stronger distributional test over a larger support.
+  const std::size_t k = 32;
+  std::vector<double> weights(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    weights[i] = 1.0 + static_cast<double>(i % 5);
+  }
+  auto dist = DiscreteDistribution::FromWeights(weights);
+  ASSERT_TRUE(dist.ok());
+  Rng rng(11);
+  const int n = 320000;
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < n; ++i) counts[dist->Sample(rng)]++;
+  double chi_sq = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    double expected = dist->ProbabilityOf(i) * n;
+    double diff = counts[i] - expected;
+    chi_sq += diff * diff / expected;
+  }
+  // 31 degrees of freedom: p=0.001 critical value is ~61.1.
+  EXPECT_LT(chi_sq, 61.1);
+}
+
+TEST(DiscreteDistributionTest, DeterministicGivenSeed) {
+  auto dist = DiscreteDistribution::FromWeights({1.0, 1.0, 1.0});
+  ASSERT_TRUE(dist.ok());
+  Rng rng1(13);
+  Rng rng2(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist->Sample(rng1), dist->Sample(rng2));
+  }
+}
+
+TEST(DiscreteDistributionTest, ProbabilitiesSumToOne) {
+  auto dist = DiscreteDistribution::FromWeights({0.3, 0.5, 7.0, 0.01});
+  ASSERT_TRUE(dist.ok());
+  double sum = 0.0;
+  for (double p : dist->probabilities()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lsi::model

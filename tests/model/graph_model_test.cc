@@ -1,0 +1,125 @@
+#include "model/graph_model.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::model {
+namespace {
+
+TEST(GraphModelTest, Validation) {
+  Rng rng(1);
+  GraphCorpusParams params;
+  params.num_blocks = 0;
+  EXPECT_FALSE(GenerateBlockGraph(params, rng).ok());
+  params = GraphCorpusParams();
+  params.vertices_per_block = 0;
+  EXPECT_FALSE(GenerateBlockGraph(params, rng).ok());
+  params = GraphCorpusParams();
+  params.intra_edge_probability = 1.5;
+  EXPECT_FALSE(GenerateBlockGraph(params, rng).ok());
+  params = GraphCorpusParams();
+  params.edge_weight = 0.0;
+  EXPECT_FALSE(GenerateBlockGraph(params, rng).ok());
+}
+
+TEST(GraphModelTest, ShapeAndLabels) {
+  Rng rng(3);
+  GraphCorpusParams params;
+  params.num_blocks = 3;
+  params.vertices_per_block = 10;
+  auto graph = GenerateBlockGraph(params, rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->NumVertices(), 30u);
+  EXPECT_EQ(graph->adjacency.rows(), 30u);
+  EXPECT_EQ(graph->adjacency.cols(), 30u);
+  EXPECT_EQ(graph->block_of_vertex[0], 0u);
+  EXPECT_EQ(graph->block_of_vertex[10], 1u);
+  EXPECT_EQ(graph->block_of_vertex[29], 2u);
+}
+
+TEST(GraphModelTest, AdjacencyIsSymmetric) {
+  Rng rng(5);
+  GraphCorpusParams params;
+  params.num_blocks = 2;
+  params.vertices_per_block = 20;
+  params.cross_edge_probability = 0.1;
+  auto graph = GenerateBlockGraph(params, rng);
+  ASSERT_TRUE(graph.ok());
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 40; ++j) {
+      EXPECT_DOUBLE_EQ(graph->adjacency.At(i, j), graph->adjacency.At(j, i));
+    }
+  }
+}
+
+TEST(GraphModelTest, DiagonalIsZero) {
+  Rng rng(7);
+  GraphCorpusParams params;
+  params.intra_edge_probability = 1.0;
+  auto graph = GenerateBlockGraph(params, rng);
+  ASSERT_TRUE(graph.ok());
+  for (std::size_t i = 0; i < graph->NumVertices(); ++i) {
+    EXPECT_DOUBLE_EQ(graph->adjacency.At(i, i), 0.0);
+  }
+}
+
+TEST(GraphModelTest, FullIntraZeroCrossIsBlockDiagonal) {
+  Rng rng(9);
+  GraphCorpusParams params;
+  params.num_blocks = 2;
+  params.vertices_per_block = 5;
+  params.intra_edge_probability = 1.0;
+  params.cross_edge_probability = 0.0;
+  auto graph = GenerateBlockGraph(params, rng);
+  ASSERT_TRUE(graph.ok());
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      double expected =
+          (i != j && graph->block_of_vertex[i] == graph->block_of_vertex[j])
+              ? 1.0
+              : 0.0;
+      EXPECT_DOUBLE_EQ(graph->adjacency.At(i, j), expected);
+    }
+  }
+}
+
+TEST(GraphModelTest, EdgeDensitiesMatchProbabilities) {
+  Rng rng(11);
+  GraphCorpusParams params;
+  params.num_blocks = 2;
+  params.vertices_per_block = 60;
+  params.intra_edge_probability = 0.4;
+  params.cross_edge_probability = 0.05;
+  auto graph = GenerateBlockGraph(params, rng);
+  ASSERT_TRUE(graph.ok());
+  std::size_t intra_edges = 0, cross_edges = 0;
+  for (std::size_t i = 0; i < 120; ++i) {
+    for (std::size_t j = i + 1; j < 120; ++j) {
+      if (graph->adjacency.At(i, j) > 0.0) {
+        if (graph->block_of_vertex[i] == graph->block_of_vertex[j]) {
+          ++intra_edges;
+        } else {
+          ++cross_edges;
+        }
+      }
+    }
+  }
+  double intra_pairs = 2.0 * 60 * 59 / 2.0;
+  double cross_pairs = 60.0 * 60.0;
+  EXPECT_NEAR(intra_edges / intra_pairs, 0.4, 0.03);
+  EXPECT_NEAR(cross_edges / cross_pairs, 0.05, 0.015);
+}
+
+TEST(GraphModelTest, EdgeWeightApplied) {
+  Rng rng(13);
+  GraphCorpusParams params;
+  params.num_blocks = 1;
+  params.vertices_per_block = 5;
+  params.intra_edge_probability = 1.0;
+  params.edge_weight = 2.5;
+  auto graph = GenerateBlockGraph(params, rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(graph->adjacency.At(0, 1), 2.5);
+}
+
+}  // namespace
+}  // namespace lsi::model

@@ -1,0 +1,155 @@
+#include "model/separable_model.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::model {
+namespace {
+
+TEST(SeparableModelTest, PaperParamsMatchSection4) {
+  SeparableModelParams params = PaperExperimentParams();
+  EXPECT_EQ(params.num_topics, 20u);
+  EXPECT_EQ(params.terms_per_topic, 100u);
+  EXPECT_EQ(params.extra_terms, 0u);
+  EXPECT_DOUBLE_EQ(params.epsilon, 0.05);
+  EXPECT_EQ(params.min_document_length, 50u);
+  EXPECT_EQ(params.max_document_length, 100u);
+}
+
+TEST(SeparableModelTest, Validation) {
+  SeparableModelParams params;
+  params.num_topics = 0;
+  EXPECT_FALSE(BuildSeparableModel(params).ok());
+  params = SeparableModelParams();
+  params.terms_per_topic = 0;
+  EXPECT_FALSE(BuildSeparableModel(params).ok());
+  params = SeparableModelParams();
+  params.epsilon = 1.0;
+  EXPECT_FALSE(BuildSeparableModel(params).ok());
+  params = SeparableModelParams();
+  params.min_document_length = 10;
+  params.max_document_length = 5;
+  EXPECT_FALSE(BuildSeparableModel(params).ok());
+}
+
+TEST(SeparableModelTest, UniverseSizeAndTopics) {
+  SeparableModelParams params;
+  params.num_topics = 3;
+  params.terms_per_topic = 4;
+  params.extra_terms = 2;
+  auto model = BuildSeparableModel(params);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->UniverseSize(), 14u);
+  EXPECT_EQ(model->NumTopics(), 3u);
+  EXPECT_EQ(model->NumStyles(), 0u);
+}
+
+TEST(SeparableModelTest, PrimarySetsAreDisjointRanges) {
+  SeparableModelParams params;
+  params.num_topics = 3;
+  params.terms_per_topic = 4;
+  auto model = BuildSeparableModel(params);
+  ASSERT_TRUE(model.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& primary = model->topic(i).primary_terms();
+    ASSERT_EQ(primary.size(), 4u);
+    EXPECT_EQ(primary.front(), i * 4);
+    EXPECT_EQ(primary.back(), i * 4 + 3);
+  }
+}
+
+TEST(SeparableModelTest, EpsilonSeparability) {
+  // Verify the paper's definition: each topic assigns >= 1 - eps mass to
+  // its primary set.
+  SeparableModelParams params;
+  params.num_topics = 4;
+  params.terms_per_topic = 10;
+  params.epsilon = 0.1;
+  auto model = BuildSeparableModel(params);
+  ASSERT_TRUE(model.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    double primary_mass = 0.0;
+    for (text::TermId t : model->topic(i).primary_terms()) {
+      primary_mass += model->topic(i).ProbabilityOf(t);
+    }
+    EXPECT_GE(primary_mass, 1.0 - params.epsilon - 1e-12);
+  }
+}
+
+TEST(SeparableModelTest, GeneratedDocumentsStayPure) {
+  SeparableModelParams params;
+  params.num_topics = 2;
+  params.terms_per_topic = 6;
+  params.epsilon = 0.0;
+  params.min_document_length = 30;
+  params.max_document_length = 30;
+  auto model = BuildSeparableModel(params);
+  ASSERT_TRUE(model.ok());
+  Rng rng(23);
+  auto corpus = model->GenerateCorpus(40, rng);
+  ASSERT_TRUE(corpus.ok());
+  for (std::size_t d = 0; d < 40; ++d) {
+    std::size_t topic = corpus->topic_of_document[d];
+    for (const auto& [term, count] : corpus->corpus.document(d).counts()) {
+      EXPECT_GE(term, topic * 6);
+      EXPECT_LT(term, (topic + 1) * 6);
+    }
+  }
+}
+
+TEST(SeparableModelWithStyleTest, Validation) {
+  SeparableModelParams params;
+  params.num_topics = 2;
+  params.terms_per_topic = 3;
+  Style wrong_universe = Style::Identity("id", 5);
+  EXPECT_FALSE(
+      BuildSeparableModelWithStyle(params, wrong_universe, 0.5).ok());
+  Style right = Style::Identity("id", 6);
+  EXPECT_FALSE(BuildSeparableModelWithStyle(params, right, 1.5).ok());
+  EXPECT_TRUE(BuildSeparableModelWithStyle(params, right, 0.5).ok());
+}
+
+TEST(SeparableModelWithStyleTest, StyleChangesTermUsage) {
+  SeparableModelParams params;
+  params.num_topics = 1;
+  params.terms_per_topic = 2;
+  params.epsilon = 0.0;
+  params.min_document_length = 100;
+  params.max_document_length = 100;
+  // Rewrite term 0 -> term 1 always; apply the style to all documents.
+  auto style = Style::SynonymSubstitution("s", 2, {{0, 1}}, 1.0);
+  ASSERT_TRUE(style.ok());
+  auto model = BuildSeparableModelWithStyle(params, style.value(), 1.0);
+  ASSERT_TRUE(model.ok());
+  Rng rng(29);
+  auto corpus = model->GenerateCorpus(5, rng);
+  ASSERT_TRUE(corpus.ok());
+  for (std::size_t d = 0; d < 5; ++d) {
+    EXPECT_EQ(corpus->corpus.document(d).CountOf(0), 0u);
+    EXPECT_EQ(corpus->corpus.document(d).CountOf(1), 100u);
+  }
+}
+
+TEST(SeparableModelWithStyleTest, ZeroWeightLeavesCorpusUnstyled) {
+  SeparableModelParams params;
+  params.num_topics = 1;
+  params.terms_per_topic = 2;
+  params.epsilon = 0.0;
+  params.min_document_length = 50;
+  params.max_document_length = 50;
+  auto style = Style::SynonymSubstitution("s", 2, {{0, 1}}, 1.0);
+  ASSERT_TRUE(style.ok());
+  auto model = BuildSeparableModelWithStyle(params, style.value(), 0.0);
+  ASSERT_TRUE(model.ok());
+  Rng rng(31);
+  auto corpus = model->GenerateCorpus(5, rng);
+  ASSERT_TRUE(corpus.ok());
+  // With weight 0 the substitution never fires; term 0 still appears.
+  std::size_t term0_total = 0;
+  for (std::size_t d = 0; d < 5; ++d) {
+    term0_total += corpus->corpus.document(d).CountOf(0);
+  }
+  EXPECT_GT(term0_total, 0u);
+}
+
+}  // namespace
+}  // namespace lsi::model

@@ -1,0 +1,98 @@
+#include "model/style.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::model {
+namespace {
+
+TEST(StyleTest, IdentityMapsEveryTermToItself) {
+  Style style = Style::Identity("id", 50);
+  EXPECT_EQ(style.UniverseSize(), 50u);
+  EXPECT_EQ(style.NumModifiedRows(), 0u);
+  Rng rng(1);
+  for (text::TermId t = 0; t < 50; ++t) {
+    EXPECT_EQ(style.Apply(t, rng), t);
+    EXPECT_DOUBLE_EQ(style.TransitionProbability(t, t), 1.0);
+    EXPECT_DOUBLE_EQ(style.TransitionProbability(t, (t + 1) % 50), 0.0);
+  }
+}
+
+TEST(StyleTest, SynonymSubstitutionValidation) {
+  EXPECT_FALSE(Style::SynonymSubstitution("s", 10, {{0, 1}}, -0.1).ok());
+  EXPECT_FALSE(Style::SynonymSubstitution("s", 10, {{0, 1}}, 1.1).ok());
+  EXPECT_FALSE(Style::SynonymSubstitution("s", 10, {{0, 15}}, 0.5).ok());
+  EXPECT_FALSE(Style::SynonymSubstitution("s", 10, {{15, 0}}, 0.5).ok());
+}
+
+TEST(StyleTest, SynonymSubstitutionProbabilities) {
+  auto style = Style::SynonymSubstitution("formal", 10, {{2, 7}}, 0.3);
+  ASSERT_TRUE(style.ok());
+  EXPECT_EQ(style->NumModifiedRows(), 1u);
+  EXPECT_NEAR(style->TransitionProbability(2, 2), 0.7, 1e-12);
+  EXPECT_NEAR(style->TransitionProbability(2, 7), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(style->TransitionProbability(3, 3), 1.0);
+}
+
+TEST(StyleTest, SynonymSubstitutionFullReplacement) {
+  auto style = Style::SynonymSubstitution("s", 5, {{0, 1}}, 1.0);
+  ASSERT_TRUE(style.ok());
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(style->Apply(0, rng), 1u);
+}
+
+TEST(StyleTest, SynonymSubstitutionSampleFrequency) {
+  auto style = Style::SynonymSubstitution("s", 5, {{0, 4}}, 0.25);
+  ASSERT_TRUE(style.ok());
+  Rng rng(5);
+  int substituted = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (style->Apply(0, rng) == 4u) ++substituted;
+  }
+  EXPECT_NEAR(static_cast<double>(substituted) / n, 0.25, 0.01);
+}
+
+TEST(StyleTest, SelfSubstitutionDegenerate) {
+  // from == to: the row still sums to 1 and maps to itself.
+  auto style = Style::SynonymSubstitution("s", 5, {{2, 2}}, 0.5);
+  ASSERT_TRUE(style.ok());
+  EXPECT_NEAR(style->TransitionProbability(2, 2), 1.0, 1e-12);
+}
+
+TEST(StyleTest, FromRowsStochastic) {
+  std::unordered_map<text::TermId, std::vector<double>> rows;
+  rows[1] = {0.5, 0.0, 0.5};  // Term 1 maps to 0 or 2 evenly.
+  auto style = Style::FromRows("custom", 3, rows);
+  ASSERT_TRUE(style.ok());
+  EXPECT_NEAR(style->TransitionProbability(1, 0), 0.5, 1e-12);
+  EXPECT_NEAR(style->TransitionProbability(1, 1), 0.0, 1e-12);
+  EXPECT_NEAR(style->TransitionProbability(1, 2), 0.5, 1e-12);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_NE(style->Apply(1, rng), 1u);
+}
+
+TEST(StyleTest, FromRowsValidation) {
+  std::unordered_map<text::TermId, std::vector<double>> bad_size;
+  bad_size[0] = {1.0};  // Wrong length.
+  EXPECT_FALSE(Style::FromRows("s", 3, bad_size).ok());
+
+  std::unordered_map<text::TermId, std::vector<double>> bad_id;
+  bad_id[9] = {1.0, 0.0, 0.0};
+  EXPECT_FALSE(Style::FromRows("s", 3, bad_id).ok());
+}
+
+TEST(StyleTest, RowsAreStochasticByConstruction) {
+  // Every row distribution sums to 1 (Definition 3's stochasticity).
+  auto style = Style::SynonymSubstitution("s", 8, {{1, 2}, {3, 4}}, 0.4);
+  ASSERT_TRUE(style.ok());
+  for (text::TermId from = 0; from < 8; ++from) {
+    double row_sum = 0.0;
+    for (text::TermId to = 0; to < 8; ++to) {
+      row_sum += style->TransitionProbability(from, to);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-12) << "row " << from;
+  }
+}
+
+}  // namespace
+}  // namespace lsi::model

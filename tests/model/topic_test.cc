@@ -1,0 +1,90 @@
+#include "model/topic.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::model {
+namespace {
+
+TEST(TopicTest, FromDenseWeights) {
+  auto topic = Topic::FromDenseWeights("t", {1.0, 3.0});
+  ASSERT_TRUE(topic.ok());
+  EXPECT_EQ(topic->name(), "t");
+  EXPECT_EQ(topic->UniverseSize(), 2u);
+  EXPECT_NEAR(topic->ProbabilityOf(0), 0.25, 1e-15);
+  EXPECT_NEAR(topic->ProbabilityOf(1), 0.75, 1e-15);
+  EXPECT_NEAR(topic->MaxTermProbability(), 0.75, 1e-15);
+}
+
+TEST(TopicTest, FromDenseWeightsRejectsInvalid) {
+  EXPECT_FALSE(Topic::FromDenseWeights("t", {}).ok());
+  EXPECT_FALSE(Topic::FromDenseWeights("t", {0.0}).ok());
+}
+
+TEST(TopicTest, SeparableValidation) {
+  EXPECT_FALSE(Topic::Separable("t", 0, {0}, 0.1).ok());
+  EXPECT_FALSE(Topic::Separable("t", 10, {}, 0.1).ok());
+  EXPECT_FALSE(Topic::Separable("t", 10, {0}, -0.1).ok());
+  EXPECT_FALSE(Topic::Separable("t", 10, {0}, 1.0).ok());
+  EXPECT_FALSE(Topic::Separable("t", 10, {12}, 0.1).ok());
+}
+
+TEST(TopicTest, SeparableMassSplit) {
+  // Universe 10, primary {0, 1}, eps = 0.2: each primary term gets
+  // 0.8/2 + 0.2/10 = 0.42; each other term gets 0.02.
+  auto topic = Topic::Separable("t", 10, {0, 1}, 0.2);
+  ASSERT_TRUE(topic.ok());
+  EXPECT_NEAR(topic->ProbabilityOf(0), 0.42, 1e-12);
+  EXPECT_NEAR(topic->ProbabilityOf(1), 0.42, 1e-12);
+  for (text::TermId t = 2; t < 10; ++t) {
+    EXPECT_NEAR(topic->ProbabilityOf(t), 0.02, 1e-12) << t;
+  }
+}
+
+TEST(TopicTest, ZeroSeparableConcentratesOnPrimary) {
+  auto topic = Topic::Separable("t", 100, {5, 6, 7}, 0.0);
+  ASSERT_TRUE(topic.ok());
+  EXPECT_NEAR(topic->ProbabilityOf(5), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(topic->ProbabilityOf(0), 0.0, 1e-15);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    text::TermId t = topic->Sample(rng);
+    EXPECT_TRUE(t == 5 || t == 6 || t == 7);
+  }
+}
+
+TEST(TopicTest, SeparableSampleFrequencies) {
+  auto topic = Topic::Separable("t", 20, {0, 1, 2, 3}, 0.1);
+  ASSERT_TRUE(topic.ok());
+  Rng rng(3);
+  const int n = 100000;
+  int primary_hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (topic->Sample(rng) < 4) ++primary_hits;
+  }
+  // P(primary) = 0.9 + 0.1 * (4/20) = 0.92.
+  EXPECT_NEAR(static_cast<double>(primary_hits) / n, 0.92, 0.01);
+}
+
+TEST(TopicTest, PrimaryTermsRecorded) {
+  auto topic = Topic::Separable("t", 10, {3, 4}, 0.05);
+  ASSERT_TRUE(topic.ok());
+  ASSERT_EQ(topic->primary_terms().size(), 2u);
+  EXPECT_EQ(topic->primary_terms()[0], 3u);
+  auto dense = Topic::FromDenseWeights("d", {1.0, 1.0});
+  EXPECT_TRUE(dense->primary_terms().empty());
+}
+
+TEST(TopicTest, PaperTopicTau) {
+  // The paper's experiment: 2000-term universe, 100 primary terms,
+  // eps = 0.05 -> max term probability 0.95/100 + 0.05/2000 = 0.009525.
+  std::vector<text::TermId> primary(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    primary[i] = static_cast<text::TermId>(i);
+  }
+  auto topic = Topic::Separable("t0", 2000, primary, 0.05);
+  ASSERT_TRUE(topic.ok());
+  EXPECT_NEAR(topic->MaxTermProbability(), 0.95 / 100 + 0.05 / 2000, 1e-12);
+}
+
+}  // namespace
+}  // namespace lsi::model

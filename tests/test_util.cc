@@ -1,0 +1,28 @@
+#include "test_util.h"
+
+#include "common/check.h"
+#include "linalg/random_matrix.h"
+
+namespace lsi::testing {
+
+linalg::DenseMatrix MatrixWithSpectrum(std::size_t rows, std::size_t cols,
+                                       const linalg::DenseVector& sigma,
+                                       Rng& rng) {
+  const std::size_t k = sigma.size();
+  LSI_CHECK(k <= rows && k <= cols);
+  auto u = linalg::RandomOrthonormalColumns(rows, k, rng);
+  auto v = linalg::RandomOrthonormalColumns(cols, k, rng);
+  LSI_CHECK(u.ok() && v.ok());
+  linalg::DenseMatrix out(rows, cols, 0.0);
+  for (std::size_t t = 0; t < k; ++t) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      double us = u.value()(i, t) * sigma[t];
+      if (us == 0.0) continue;
+      double* row = out.RowPtr(i);
+      for (std::size_t j = 0; j < cols; ++j) row[j] += us * v.value()(j, t);
+    }
+  }
+  return out;
+}
+
+}  // namespace lsi::testing

@@ -1,0 +1,49 @@
+#ifndef LSI_TESTS_TEST_UTIL_H_
+#define LSI_TESTS_TEST_UTIL_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+
+namespace lsi::testing {
+
+/// Returns a rows x cols matrix with i.i.d. Uniform(-1, 1) entries.
+inline linalg::DenseMatrix RandomMatrix(std::size_t rows, std::size_t cols,
+                                        Rng& rng) {
+  linalg::DenseMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+/// Returns a random symmetric matrix (A + A^T)/2.
+inline linalg::DenseMatrix RandomSymmetricMatrix(std::size_t n, Rng& rng) {
+  linalg::DenseMatrix a = RandomMatrix(n, n, rng);
+  linalg::DenseMatrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+  }
+  return s;
+}
+
+/// Returns a random unit vector of dimension n.
+inline linalg::DenseVector RandomUnitVector(std::size_t n, Rng& rng) {
+  linalg::DenseVector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.NextGaussian();
+  v.Normalize();
+  return v;
+}
+
+/// Builds a matrix with a prescribed spectrum: U diag(sigma) V^T where U/V
+/// are random orthonormal (from QR of Gaussian). Requires
+/// sigma.size() <= min(rows, cols).
+linalg::DenseMatrix MatrixWithSpectrum(std::size_t rows, std::size_t cols,
+                                       const linalg::DenseVector& sigma,
+                                       Rng& rng);
+
+}  // namespace lsi::testing
+
+#endif  // LSI_TESTS_TEST_UTIL_H_

@@ -1,0 +1,75 @@
+#include "text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::text {
+namespace {
+
+TEST(AnalyzerTest, FullPipeline) {
+  Analyzer analyzer;
+  auto tokens = analyzer.Analyze("The cats were running quickly");
+  // "the", "were" are stop-words; "cats" -> "cat", "running" -> "run",
+  // "quickly" -> "quickli".
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "cat");
+  EXPECT_EQ(tokens[1], "run");
+  EXPECT_EQ(tokens[2], "quickli");
+}
+
+TEST(AnalyzerTest, StopwordsOnly) {
+  Analyzer analyzer;
+  EXPECT_TRUE(analyzer.Analyze("the and of to").empty());
+}
+
+TEST(AnalyzerTest, NoStemmingOption) {
+  AnalyzerOptions options;
+  options.stem = false;
+  Analyzer analyzer(options);
+  auto tokens = analyzer.Analyze("cats running");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cats");
+  EXPECT_EQ(tokens[1], "running");
+}
+
+TEST(AnalyzerTest, NoStopwordRemovalOption) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  Analyzer analyzer(options);
+  auto tokens = analyzer.Analyze("the cat");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "the");
+}
+
+TEST(AnalyzerTest, CustomStopwords) {
+  AnalyzerOptions options;
+  options.stem = false;
+  Analyzer analyzer(options, StopwordSet({"foo"}));
+  auto tokens = analyzer.Analyze("foo bar the");
+  // Custom set drops "foo" but keeps "the" (not in the custom set).
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "bar");
+  EXPECT_EQ(tokens[1], "the");
+}
+
+TEST(AnalyzerTest, QueryAndDocumentAgree) {
+  // The synonymy-critical property: a query using an inflected form maps
+  // to the same term as the document.
+  Analyzer analyzer;
+  auto doc = analyzer.Analyze("connection");
+  auto query = analyzer.Analyze("connected");
+  ASSERT_EQ(doc.size(), 1u);
+  ASSERT_EQ(query.size(), 1u);
+  EXPECT_EQ(doc[0], query[0]);
+}
+
+TEST(AnalyzerTest, StemmingAppliesAfterStopwordRemoval) {
+  // "was" is a stop-word; make sure it is dropped, not stemmed to "wa".
+  Analyzer analyzer;
+  auto tokens = analyzer.Analyze("was walking");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "walk");
+}
+
+}  // namespace
+}  // namespace lsi::text

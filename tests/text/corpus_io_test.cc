@@ -1,0 +1,122 @@
+#include "text/corpus_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lsi::text {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
+Analyzer PlainAnalyzer() {
+  AnalyzerOptions options;
+  options.stem = false;
+  options.remove_stopwords = false;
+  return Analyzer(options);
+}
+
+TEST(CorpusIoTest, MissingFileIsNotFound) {
+  auto corpus =
+      LoadCorpusFromFile(TempPath("nope.tsv"), PlainAnalyzer());
+  EXPECT_TRUE(corpus.status().IsNotFound());
+}
+
+TEST(CorpusIoTest, LoadsNamedDocuments) {
+  std::string path = TempPath("named.tsv");
+  WriteFile(path, "doc_a\tapple banana\ndoc_b\tbanana cherry cherry\n");
+  auto corpus = LoadCorpusFromFile(path, PlainAnalyzer());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->NumDocuments(), 2u);
+  EXPECT_EQ(corpus->document(0).name(), "doc_a");
+  EXPECT_EQ(corpus->document(1).name(), "doc_b");
+  EXPECT_EQ(corpus->document(1).Length(), 3u);
+  EXPECT_TRUE(corpus->vocabulary().Contains("cherry"));
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, UnnamedLinesGetLineNames) {
+  std::string path = TempPath("unnamed.txt");
+  WriteFile(path, "just some words\nmore words here\n");
+  auto corpus = LoadCorpusFromFile(path, PlainAnalyzer());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->NumDocuments(), 2u);
+  EXPECT_EQ(corpus->document(0).name(), "line1");
+  EXPECT_EQ(corpus->document(1).name(), "line2");
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, SkipsCommentsAndBlankLines) {
+  std::string path = TempPath("comments.tsv");
+  WriteFile(path, "# header comment\n\nd1\talpha beta\n\n# trailing\n");
+  auto corpus = LoadCorpusFromFile(path, PlainAnalyzer());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->NumDocuments(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, EmptyFileRejected) {
+  std::string path = TempPath("empty.tsv");
+  WriteFile(path, "# only a comment\n");
+  auto corpus = LoadCorpusFromFile(path, PlainAnalyzer());
+  EXPECT_TRUE(corpus.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, AnalyzerPipelineApplies) {
+  std::string path = TempPath("analyzed.tsv");
+  WriteFile(path, "d\tThe cats were running\n");
+  Analyzer full;  // Stopwords + stemming on.
+  auto corpus = LoadCorpusFromFile(path, full);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_TRUE(corpus->vocabulary().Contains("cat"));
+  EXPECT_TRUE(corpus->vocabulary().Contains("run"));
+  EXPECT_FALSE(corpus->vocabulary().Contains("the"));
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, AppendIntoExistingCorpus) {
+  std::string path1 = TempPath("part1.tsv");
+  std::string path2 = TempPath("part2.tsv");
+  WriteFile(path1, "a\tshared alpha\n");
+  WriteFile(path2, "b\tshared beta\n");
+  Analyzer analyzer = PlainAnalyzer();
+  Corpus corpus;
+  auto added1 = AppendCorpusFromFile(path1, analyzer, corpus);
+  auto added2 = AppendCorpusFromFile(path2, analyzer, corpus);
+  ASSERT_TRUE(added1.ok() && added2.ok());
+  EXPECT_EQ(added1.value(), 1u);
+  EXPECT_EQ(added2.value(), 1u);
+  EXPECT_EQ(corpus.NumDocuments(), 2u);
+  // Shared vocabulary across files.
+  TermId shared = corpus.vocabulary().Lookup("shared").value();
+  EXPECT_EQ(corpus.DocumentFrequency(shared), 2u);
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(CorpusIoTest, WriteSummary) {
+  Corpus corpus;
+  corpus.AddDocument("d0", {"x", "y", "x"});
+  std::string path = TempPath("summary.tsv");
+  ASSERT_TRUE(WriteCorpusSummary(corpus, path).ok());
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "name\tlength\tdistinct_terms");
+  EXPECT_EQ(row, "d0\t3\t2");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsi::text

@@ -1,0 +1,95 @@
+#include "text/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::text {
+namespace {
+
+TEST(DocumentTest, CountsAggregated) {
+  Document doc("d1", {0, 1, 0, 2, 0});
+  EXPECT_EQ(doc.name(), "d1");
+  EXPECT_EQ(doc.Length(), 5u);
+  EXPECT_EQ(doc.DistinctTerms(), 3u);
+  EXPECT_EQ(doc.CountOf(0), 3u);
+  EXPECT_EQ(doc.CountOf(1), 1u);
+  EXPECT_EQ(doc.CountOf(2), 1u);
+  EXPECT_EQ(doc.CountOf(9), 0u);
+}
+
+TEST(DocumentTest, CountsSortedByTermId) {
+  Document doc("d", {5, 3, 5, 1});
+  const auto& counts = doc.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0].first, 1u);
+  EXPECT_EQ(counts[1].first, 3u);
+  EXPECT_EQ(counts[2].first, 5u);
+  EXPECT_EQ(counts[2].second, 2u);
+}
+
+TEST(DocumentTest, EmptyDocument) {
+  Document doc("empty", {});
+  EXPECT_EQ(doc.Length(), 0u);
+  EXPECT_EQ(doc.DistinctTerms(), 0u);
+}
+
+TEST(CorpusTest, AddDocumentBuildsVocabulary) {
+  Corpus corpus;
+  corpus.AddDocument("d0", {"apple", "banana", "apple"});
+  corpus.AddDocument("d1", {"banana", "cherry"});
+  EXPECT_EQ(corpus.NumDocuments(), 2u);
+  EXPECT_EQ(corpus.NumTerms(), 3u);
+  EXPECT_TRUE(corpus.vocabulary().Contains("cherry"));
+}
+
+TEST(CorpusTest, DocumentCountsCorrect) {
+  Corpus corpus;
+  std::size_t index = corpus.AddDocument("d0", {"x", "y", "x", "x"});
+  const Document& doc = corpus.document(index);
+  TermId x = corpus.vocabulary().Lookup("x").value();
+  EXPECT_EQ(doc.CountOf(x), 3u);
+  EXPECT_EQ(doc.Length(), 4u);
+}
+
+TEST(CorpusTest, DocumentFrequency) {
+  Corpus corpus;
+  corpus.AddDocument("d0", {"shared", "only0"});
+  corpus.AddDocument("d1", {"shared", "only1", "shared"});
+  corpus.AddDocument("d2", {"only2"});
+  TermId shared = corpus.vocabulary().Lookup("shared").value();
+  TermId only0 = corpus.vocabulary().Lookup("only0").value();
+  EXPECT_EQ(corpus.DocumentFrequency(shared), 2u);
+  EXPECT_EQ(corpus.DocumentFrequency(only0), 1u);
+}
+
+TEST(CorpusTest, AddDocumentFromIdsValidates) {
+  Corpus corpus;
+  corpus.AddTerm("a");
+  corpus.AddTerm("b");
+  auto ok = corpus.AddDocumentFromIds("d0", {0, 1, 1});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 0u);
+  auto bad = corpus.AddDocumentFromIds("d1", {0, 7});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(CorpusTest, AddTermPreRegisters) {
+  Corpus corpus;
+  TermId a = corpus.AddTerm("pre");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(corpus.NumTerms(), 1u);
+  EXPECT_EQ(corpus.NumDocuments(), 0u);
+}
+
+TEST(CorpusTest, SharedVocabularyAcrossDocuments) {
+  Corpus corpus;
+  corpus.AddDocument("d0", {"term"});
+  corpus.AddDocument("d1", {"term"});
+  EXPECT_EQ(corpus.NumTerms(), 1u);
+  TermId id = corpus.vocabulary().Lookup("term").value();
+  EXPECT_EQ(corpus.document(0).CountOf(id), 1u);
+  EXPECT_EQ(corpus.document(1).CountOf(id), 1u);
+}
+
+}  // namespace
+}  // namespace lsi::text

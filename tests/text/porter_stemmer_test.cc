@@ -1,0 +1,143 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::text {
+namespace {
+
+// Vectors from Porter's 1980 paper, step by step.
+
+TEST(PorterStemmerTest, Step1aPlurals) {
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("ties"), "ti");
+  EXPECT_EQ(PorterStem("caress"), "caress");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+}
+
+TEST(PorterStemmerTest, Step1bEdIng) {
+  EXPECT_EQ(PorterStem("feed"), "feed");
+  EXPECT_EQ(PorterStem("agreed"), "agre");
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("bled"), "bled");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("sing"), "sing");
+}
+
+TEST(PorterStemmerTest, Step1bCleanup) {
+  EXPECT_EQ(PorterStem("conflated"), "conflat");
+  EXPECT_EQ(PorterStem("troubled"), "troubl");
+  EXPECT_EQ(PorterStem("sized"), "size");
+  EXPECT_EQ(PorterStem("hopping"), "hop");
+  EXPECT_EQ(PorterStem("tanned"), "tan");
+  EXPECT_EQ(PorterStem("falling"), "fall");
+  EXPECT_EQ(PorterStem("hissing"), "hiss");
+  EXPECT_EQ(PorterStem("fizzed"), "fizz");
+  EXPECT_EQ(PorterStem("failing"), "fail");
+  EXPECT_EQ(PorterStem("filing"), "file");
+}
+
+TEST(PorterStemmerTest, Step1cYToI) {
+  EXPECT_EQ(PorterStem("happy"), "happi");
+  EXPECT_EQ(PorterStem("sky"), "sky");
+}
+
+TEST(PorterStemmerTest, Step2DoubleSuffixes) {
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("conditional"), "condit");
+  EXPECT_EQ(PorterStem("rational"), "ration");
+  EXPECT_EQ(PorterStem("valenci"), "valenc");
+  EXPECT_EQ(PorterStem("hesitanci"), "hesit");
+  EXPECT_EQ(PorterStem("digitizer"), "digit");
+  EXPECT_EQ(PorterStem("conformabli"), "conform");
+  EXPECT_EQ(PorterStem("radicalli"), "radic");
+  EXPECT_EQ(PorterStem("differentli"), "differ");
+  EXPECT_EQ(PorterStem("vileli"), "vile");
+  EXPECT_EQ(PorterStem("analogousli"), "analog");
+  EXPECT_EQ(PorterStem("vietnamization"), "vietnam");
+  EXPECT_EQ(PorterStem("predication"), "predic");
+  EXPECT_EQ(PorterStem("operator"), "oper");
+  EXPECT_EQ(PorterStem("feudalism"), "feudal");
+  EXPECT_EQ(PorterStem("decisiveness"), "decis");
+  EXPECT_EQ(PorterStem("hopefulness"), "hope");
+  EXPECT_EQ(PorterStem("callousness"), "callous");
+  EXPECT_EQ(PorterStem("formaliti"), "formal");
+  EXPECT_EQ(PorterStem("sensitiviti"), "sensit");
+  EXPECT_EQ(PorterStem("sensibiliti"), "sensibl");
+}
+
+TEST(PorterStemmerTest, Step3) {
+  EXPECT_EQ(PorterStem("triplicate"), "triplic");
+  EXPECT_EQ(PorterStem("formative"), "form");
+  EXPECT_EQ(PorterStem("formalize"), "formal");
+  EXPECT_EQ(PorterStem("electriciti"), "electr");
+  EXPECT_EQ(PorterStem("electrical"), "electr");
+  EXPECT_EQ(PorterStem("hopeful"), "hope");
+  EXPECT_EQ(PorterStem("goodness"), "good");
+}
+
+TEST(PorterStemmerTest, Step4) {
+  EXPECT_EQ(PorterStem("revival"), "reviv");
+  EXPECT_EQ(PorterStem("allowance"), "allow");
+  EXPECT_EQ(PorterStem("inference"), "infer");
+  EXPECT_EQ(PorterStem("airliner"), "airlin");
+  EXPECT_EQ(PorterStem("gyroscopic"), "gyroscop");
+  EXPECT_EQ(PorterStem("adjustable"), "adjust");
+  EXPECT_EQ(PorterStem("defensible"), "defens");
+  EXPECT_EQ(PorterStem("irritant"), "irrit");
+  EXPECT_EQ(PorterStem("replacement"), "replac");
+  EXPECT_EQ(PorterStem("adjustment"), "adjust");
+  EXPECT_EQ(PorterStem("dependent"), "depend");
+  EXPECT_EQ(PorterStem("adoption"), "adopt");
+  EXPECT_EQ(PorterStem("homologou"), "homolog");
+  EXPECT_EQ(PorterStem("communism"), "commun");
+  EXPECT_EQ(PorterStem("activate"), "activ");
+  EXPECT_EQ(PorterStem("angulariti"), "angular");
+  EXPECT_EQ(PorterStem("homologous"), "homolog");
+  EXPECT_EQ(PorterStem("effective"), "effect");
+  EXPECT_EQ(PorterStem("bowdlerize"), "bowdler");
+}
+
+TEST(PorterStemmerTest, Step5) {
+  EXPECT_EQ(PorterStem("probate"), "probat");
+  EXPECT_EQ(PorterStem("rate"), "rate");
+  EXPECT_EQ(PorterStem("cease"), "ceas");
+  EXPECT_EQ(PorterStem("controll"), "control");
+  EXPECT_EQ(PorterStem("roll"), "roll");
+}
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem("be"), "be");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, FoldsCase) {
+  EXPECT_EQ(PorterStem("RELATIONAL"), "relat");
+  EXPECT_EQ(PorterStem("Motoring"), "motor");
+}
+
+TEST(PorterStemmerTest, SynonymousFormsShareStems) {
+  // The property LSI preprocessing relies on: inflected forms collapse.
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connected"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connecting"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connection"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connections"));
+}
+
+TEST(PorterStemmerTest, ClassicExamples) {
+  EXPECT_EQ(PorterStem("generalization"), "gener");
+  EXPECT_EQ(PorterStem("oscillators"), "oscil");
+}
+
+TEST(PorterStemmerTest, IdempotentOnCommonWords) {
+  // Stemming a stem should not keep shrinking common vocabulary.
+  for (const char* word : {"run", "walk", "tree", "matrix", "graph"}) {
+    std::string once = PorterStem(word);
+    EXPECT_EQ(PorterStem(once), once) << word;
+  }
+}
+
+}  // namespace
+}  // namespace lsi::text

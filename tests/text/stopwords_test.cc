@@ -1,0 +1,61 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::text {
+namespace {
+
+TEST(StopwordSetTest, EmptyByDefault) {
+  StopwordSet set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains("the"));
+}
+
+TEST(StopwordSetTest, DefaultEnglishContainsCommonWords) {
+  StopwordSet set = StopwordSet::DefaultEnglish();
+  EXPECT_GT(set.size(), 100u);
+  for (const char* w : {"the", "a", "an", "and", "or", "is", "was", "of",
+                        "to", "in", "it", "that", "with"}) {
+    EXPECT_TRUE(set.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordSetTest, DefaultEnglishExcludesContentWords) {
+  StopwordSet set = StopwordSet::DefaultEnglish();
+  for (const char* w : {"galaxy", "starship", "automobile", "matrix",
+                        "retrieval"}) {
+    EXPECT_FALSE(set.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordSetTest, ConstructFromVector) {
+  StopwordSet set({"foo", "bar"});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains("foo"));
+  EXPECT_FALSE(set.Contains("baz"));
+}
+
+TEST(StopwordSetTest, AddAndRemove) {
+  StopwordSet set;
+  set.Add("custom");
+  EXPECT_TRUE(set.Contains("custom"));
+  set.Remove("custom");
+  EXPECT_FALSE(set.Contains("custom"));
+}
+
+TEST(StopwordSetTest, RemoveMissingIsNoop) {
+  StopwordSet set({"foo"});
+  set.Remove("bar");
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(StopwordSetTest, CaseSensitive) {
+  // Stop-word filtering runs after lowercasing, so the set itself is
+  // case-sensitive by design.
+  StopwordSet set = StopwordSet::DefaultEnglish();
+  EXPECT_TRUE(set.Contains("the"));
+  EXPECT_FALSE(set.Contains("The"));
+}
+
+}  // namespace
+}  // namespace lsi::text

@@ -1,0 +1,139 @@
+#include "text/term_weighting.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lsi::text {
+namespace {
+
+Corpus MakeCorpus() {
+  Corpus corpus;
+  // d0: a a a b; d1: a c; d2: c c c c.
+  corpus.AddDocument("d0", {"a", "a", "a", "b"});
+  corpus.AddDocument("d1", {"a", "c"});
+  corpus.AddDocument("d2", {"c", "c", "c", "c"});
+  return corpus;
+}
+
+TEST(TermWeightingTest, RejectsEmptyCorpus) {
+  Corpus corpus;
+  EXPECT_FALSE(BuildTermDocumentMatrix(corpus).ok());
+}
+
+TEST(TermWeightingTest, TermFrequencyEntries) {
+  Corpus corpus = MakeCorpus();
+  auto matrix = BuildTermDocumentMatrix(corpus);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->rows(), 3u);  // a, b, c.
+  EXPECT_EQ(matrix->cols(), 3u);
+  TermId a = corpus.vocabulary().Lookup("a").value();
+  TermId b = corpus.vocabulary().Lookup("b").value();
+  TermId c = corpus.vocabulary().Lookup("c").value();
+  EXPECT_DOUBLE_EQ(matrix->At(a, 0), 3.0);
+  EXPECT_DOUBLE_EQ(matrix->At(b, 0), 1.0);
+  EXPECT_DOUBLE_EQ(matrix->At(c, 0), 0.0);
+  EXPECT_DOUBLE_EQ(matrix->At(c, 2), 4.0);
+}
+
+TEST(TermWeightingTest, BinaryEntries) {
+  Corpus corpus = MakeCorpus();
+  TermDocumentMatrixOptions options;
+  options.scheme = WeightingScheme::kBinary;
+  auto matrix = BuildTermDocumentMatrix(corpus, options);
+  ASSERT_TRUE(matrix.ok());
+  TermId a = corpus.vocabulary().Lookup("a").value();
+  TermId c = corpus.vocabulary().Lookup("c").value();
+  EXPECT_DOUBLE_EQ(matrix->At(a, 0), 1.0);
+  EXPECT_DOUBLE_EQ(matrix->At(c, 2), 1.0);
+}
+
+TEST(TermWeightingTest, LogTfEntries) {
+  Corpus corpus = MakeCorpus();
+  TermDocumentMatrixOptions options;
+  options.scheme = WeightingScheme::kLogTermFrequency;
+  auto matrix = BuildTermDocumentMatrix(corpus, options);
+  ASSERT_TRUE(matrix.ok());
+  TermId a = corpus.vocabulary().Lookup("a").value();
+  EXPECT_NEAR(matrix->At(a, 0), 1.0 + std::log(3.0), 1e-12);
+  EXPECT_NEAR(matrix->At(a, 1), 1.0, 1e-12);
+}
+
+TEST(TermWeightingTest, TfIdfDownweightsCommonTerms) {
+  Corpus corpus = MakeCorpus();
+  TermDocumentMatrixOptions options;
+  options.scheme = WeightingScheme::kTfIdf;
+  auto matrix = BuildTermDocumentMatrix(corpus, options);
+  ASSERT_TRUE(matrix.ok());
+  TermId a = corpus.vocabulary().Lookup("a").value();  // df=2.
+  TermId b = corpus.vocabulary().Lookup("b").value();  // df=1.
+  // idf(a) = ln(3/2); idf(b) = ln(3).
+  EXPECT_NEAR(matrix->At(a, 0), 3.0 * std::log(1.5), 1e-12);
+  EXPECT_NEAR(matrix->At(b, 0), 1.0 * std::log(3.0), 1e-12);
+}
+
+TEST(TermWeightingTest, TfIdfZeroForUbiquitousTerm) {
+  Corpus corpus;
+  corpus.AddDocument("d0", {"common", "rare"});
+  corpus.AddDocument("d1", {"common"});
+  TermDocumentMatrixOptions options;
+  options.scheme = WeightingScheme::kTfIdf;
+  auto matrix = BuildTermDocumentMatrix(corpus, options);
+  ASSERT_TRUE(matrix.ok());
+  TermId common = corpus.vocabulary().Lookup("common").value();
+  EXPECT_NEAR(matrix->At(common, 0), 0.0, 1e-12);  // log(2/2) = 0.
+}
+
+TEST(TermWeightingTest, LogEntropyConcentratedTermGetsFullWeight) {
+  Corpus corpus;
+  corpus.AddDocument("d0", {"focused", "spread"});
+  corpus.AddDocument("d1", {"spread"});
+  corpus.AddDocument("d2", {"spread"});
+  TermDocumentMatrixOptions options;
+  options.scheme = WeightingScheme::kLogEntropy;
+  auto matrix = BuildTermDocumentMatrix(corpus, options);
+  ASSERT_TRUE(matrix.ok());
+  TermId focused = corpus.vocabulary().Lookup("focused").value();
+  TermId spread = corpus.vocabulary().Lookup("spread").value();
+  // "focused" occurs in one document: entropy weight 1. "spread" is
+  // uniform over all 3 documents: entropy weight 0.
+  EXPECT_NEAR(matrix->At(focused, 0), 1.0, 1e-12);
+  EXPECT_NEAR(matrix->At(spread, 0), 0.0, 1e-12);
+}
+
+TEST(TermWeightingTest, ColumnNormalization) {
+  Corpus corpus = MakeCorpus();
+  TermDocumentMatrixOptions options;
+  options.normalize_columns = true;
+  auto matrix = BuildTermDocumentMatrix(corpus, options);
+  ASSERT_TRUE(matrix.ok());
+  for (std::size_t j = 0; j < matrix->cols(); ++j) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < matrix->rows(); ++i) {
+      double v = matrix->At(i, j);
+      norm_sq += v * v;
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-12) << "column " << j;
+  }
+}
+
+TEST(TermWeightingTest, QueryVectorMatchesScheme) {
+  Corpus corpus = MakeCorpus();
+  TermId a = corpus.vocabulary().Lookup("a").value();
+  TermId b = corpus.vocabulary().Lookup("b").value();
+  linalg::DenseVector query =
+      WeightQueryVector(corpus, {{a, 2}, {b, 1}}, WeightingScheme::kTfIdf);
+  ASSERT_EQ(query.size(), 3u);
+  EXPECT_NEAR(query[a], 2.0 * std::log(1.5), 1e-12);
+  EXPECT_NEAR(query[b], 1.0 * std::log(3.0), 1e-12);
+}
+
+TEST(TermWeightingTest, QueryVectorIgnoresUnknownIds) {
+  Corpus corpus = MakeCorpus();
+  linalg::DenseVector query =
+      WeightQueryVector(corpus, {{999, 4}}, WeightingScheme::kTermFrequency);
+  EXPECT_DOUBLE_EQ(query.Sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace lsi::text

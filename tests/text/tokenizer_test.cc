@@ -1,0 +1,133 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::text {
+namespace {
+
+using ::testing::Test;
+
+std::vector<std::string> Tok(std::string_view s, TokenizerOptions opts = {}) {
+  return Tokenizer(opts).Tokenize(s);
+}
+
+TEST(TokenizerTest, SimpleSentence) {
+  auto tokens = Tok("The quick brown fox");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "quick");
+  EXPECT_EQ(tokens[2], "brown");
+  EXPECT_EQ(tokens[3], "fox");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tok("").empty());
+  EXPECT_TRUE(Tok("   \t\n  ").empty());
+  EXPECT_TRUE(Tok("!!! ... ???").empty());
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  auto tokens = Tok("hello,world;foo.bar");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[3], "bar");
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  auto tokens = Tok("LaTeNt SEMANTIC Indexing");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "latent");
+  EXPECT_EQ(tokens[1], "semantic");
+  EXPECT_EQ(tokens[2], "indexing");
+}
+
+TEST(TokenizerTest, CasePreservingOption) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  auto tokens = Tok("Hello World", opts);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "Hello");
+}
+
+TEST(TokenizerTest, ApostropheKeptInside) {
+  auto tokens = Tok("don't o'clock");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "don't");
+  EXPECT_EQ(tokens[1], "o'clock");
+}
+
+TEST(TokenizerTest, LeadingTrailingApostrophesStripped) {
+  auto tokens = Tok("'quoted' ''double''");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "quoted");
+  EXPECT_EQ(tokens[1], "double");
+}
+
+TEST(TokenizerTest, HyphenKeptInside) {
+  auto tokens = Tok("state-of-the-art --dashes--");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "state-of-the-art");
+  EXPECT_EQ(tokens[1], "dashes");
+}
+
+TEST(TokenizerTest, NumbersDroppedByDefault) {
+  auto tokens = Tok("chapter 42 section 7");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "chapter");
+  EXPECT_EQ(tokens[1], "section");
+}
+
+TEST(TokenizerTest, NumbersKeptWhenRequested) {
+  TokenizerOptions opts;
+  opts.keep_numbers = true;
+  auto tokens = Tok("chapter 42", opts);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1], "42");
+}
+
+TEST(TokenizerTest, AlphanumericMixedTokensKept) {
+  auto tokens = Tok("b2b model3");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "b2b");
+  EXPECT_EQ(tokens[1], "model3");
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  auto tokens = Tok("a an the cat jumped", opts);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "cat");
+}
+
+TEST(TokenizerTest, MaxTokenLength) {
+  TokenizerOptions opts;
+  opts.max_token_length = 5;
+  auto tokens = Tok("short verylongtoken ok", opts);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "short");
+  EXPECT_EQ(tokens[1], "ok");
+}
+
+TEST(TokenizerTest, NonAsciiActsAsSeparator) {
+  // UTF-8 bytes >= 128 split tokens.
+  auto tokens = Tok("caf\xc3\xa9 bar");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "caf");
+  EXPECT_EQ(tokens[1], "bar");
+}
+
+TEST(TokenizerTest, NewlinesAndTabs) {
+  auto tokens = Tok("one\ntwo\tthree\r\nfour");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[3], "four");
+}
+
+TEST(TokenizerTest, PureHyphenTokenDropped) {
+  auto tokens = Tok("a -- b - c");
+  ASSERT_EQ(tokens.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lsi::text

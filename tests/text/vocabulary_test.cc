@@ -1,0 +1,83 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::text {
+namespace {
+
+TEST(VocabularyTest, StartsEmpty) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.empty());
+  EXPECT_EQ(vocab.size(), 0u);
+}
+
+TEST(VocabularyTest, GetOrAddAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(vocab.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(vocab.GetOrAdd("gamma"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, GetOrAddIdempotent) {
+  Vocabulary vocab;
+  TermId id = vocab.GetOrAdd("alpha");
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), id);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupFindsExisting) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  vocab.GetOrAdd("beta");
+  auto result = vocab.Lookup("beta");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 1u);
+}
+
+TEST(VocabularyTest, LookupMissingIsNotFound) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  auto result = vocab.Lookup("omega");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(VocabularyTest, Contains) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  EXPECT_TRUE(vocab.Contains("alpha"));
+  EXPECT_FALSE(vocab.Contains("beta"));
+}
+
+TEST(VocabularyTest, TermOfRoundTrips) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  vocab.GetOrAdd("beta");
+  EXPECT_EQ(vocab.TermOf(0), "alpha");
+  EXPECT_EQ(vocab.TermOf(1), "beta");
+}
+
+TEST(VocabularyTest, TermsInIdOrder) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("c");
+  vocab.GetOrAdd("a");
+  vocab.GetOrAdd("b");
+  const auto& terms = vocab.terms();
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "c");
+  EXPECT_EQ(terms[1], "a");
+  EXPECT_EQ(terms[2], "b");
+}
+
+TEST(VocabularyTest, ManyTerms) {
+  Vocabulary vocab;
+  for (int i = 0; i < 1000; ++i) {
+    vocab.GetOrAdd("term" + std::to_string(i));
+  }
+  EXPECT_EQ(vocab.size(), 1000u);
+  EXPECT_EQ(vocab.Lookup("term500").value(), 500u);
+}
+
+}  // namespace
+}  // namespace lsi::text

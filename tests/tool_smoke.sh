@@ -1,0 +1,39 @@
+#!/bin/sh
+# Smoke test for the lsi_tool CLI: index a corpus, inspect it, query it,
+# and ask for similar documents. Arguments: $1 = lsi_tool binary,
+# $2 = corpus TSV. Exits nonzero on any failure.
+set -e
+
+TOOL="$1"
+CORPUS="$2"
+ENGINE="$(mktemp -u)/smoke.engine"
+mkdir -p "$(dirname "$ENGINE")"
+trap 'rm -f "$ENGINE" "$ENGINE.index"' EXIT
+
+"$TOOL" index "$CORPUS" "$ENGINE" 10 tfidf | grep -q "indexed 45 documents"
+
+"$TOOL" info "$ENGINE" | grep -q "documents: 45"
+
+# A topical query must return astro documents on top.
+"$TOOL" query "$ENGINE" galaxies and planets | head -3 | grep -q "astro"
+
+# Similar-documents lookup runs and prints the header.
+"$TOOL" similar "$ENGINE" 0 | grep -q "similar to #0"
+
+# Related-terms lookup surfaces latent neighbors.
+"$TOOL" related "$ENGINE" galaxy | grep -q "related to"
+
+# Unknown-term query reports no hits instead of failing.
+"$TOOL" query "$ENGINE" zzzqqq | grep -q "no hits"
+
+# Error paths exit nonzero.
+if "$TOOL" query /nonexistent.engine foo 2>/dev/null; then
+  echo "expected failure on missing engine" >&2
+  exit 1
+fi
+if "$TOOL" frobnicate 2>/dev/null; then
+  echo "expected usage failure on bad subcommand" >&2
+  exit 1
+fi
+
+echo "lsi_tool smoke: OK"

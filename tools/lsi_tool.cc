@@ -1,0 +1,176 @@
+// lsi_tool — command-line front end for the LSI engine.
+//
+//   lsi_tool index <corpus.tsv> <engine.bin> [rank] [weighting]
+//       Builds an engine from a TSV corpus (name<TAB>text per line) and
+//       saves it. weighting: tf | binary | logtf | tfidf | logentropy
+//       (default tfidf); rank defaults to 100 (clamped to the corpus).
+//
+//   lsi_tool query <engine.bin> <query text...>
+//       Loads an engine and prints the top 10 hits.
+//
+//   lsi_tool similar <engine.bin> <document-index>
+//       Prints the 10 documents most similar to an indexed document.
+//
+//   lsi_tool info <engine.bin>
+//       Prints engine dimensions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "text/corpus_io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lsi_tool index <corpus.tsv> <engine.bin> [rank] "
+               "[tf|binary|logtf|tfidf|logentropy]\n"
+               "  lsi_tool query <engine.bin> <query text...>\n"
+               "  lsi_tool similar <engine.bin> <document-index>\n"
+               "  lsi_tool related <engine.bin> <term>\n"
+               "  lsi_tool info <engine.bin>\n");
+  return 2;
+}
+
+bool ParseWeighting(const char* name, lsi::text::WeightingScheme* out) {
+  if (std::strcmp(name, "tf") == 0) {
+    *out = lsi::text::WeightingScheme::kTermFrequency;
+  } else if (std::strcmp(name, "binary") == 0) {
+    *out = lsi::text::WeightingScheme::kBinary;
+  } else if (std::strcmp(name, "logtf") == 0) {
+    *out = lsi::text::WeightingScheme::kLogTermFrequency;
+  } else if (std::strcmp(name, "tfidf") == 0) {
+    *out = lsi::text::WeightingScheme::kTfIdf;
+  } else if (std::strcmp(name, "logentropy") == 0) {
+    *out = lsi::text::WeightingScheme::kLogEntropy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int CommandIndex(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  lsi::core::LsiEngineOptions options;
+  options.rank = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 100;
+  if (argc > 5 && !ParseWeighting(argv[5], &options.weighting)) {
+    std::fprintf(stderr, "unknown weighting: %s\n", argv[5]);
+    return 2;
+  }
+  lsi::text::Analyzer analyzer;
+  auto corpus = lsi::text::LoadCorpusFromFile(argv[2], analyzer);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = lsi::core::LsiEngine::Build(corpus.value(), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (auto saved = engine->Save(argv[3]); !saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu documents (%zu terms) at rank %zu -> %s\n",
+              engine->NumDocuments(), engine->NumTerms(), engine->rank(),
+              argv[3]);
+  return 0;
+}
+
+int CommandQuery(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto engine = lsi::core::LsiEngine::Load(argv[2]);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::string query;
+  for (int i = 3; i < argc; ++i) {
+    if (!query.empty()) query += ' ';
+    query += argv[i];
+  }
+  auto hits = engine->Query(query, 10);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "query: %s\n", hits.status().ToString().c_str());
+    return 1;
+  }
+  if (hits->empty()) {
+    std::printf("no hits (no query term occurs in the corpus)\n");
+    return 0;
+  }
+  for (const lsi::core::EngineHit& hit : hits.value()) {
+    std::printf("%8.4f  %s\n", hit.score, hit.document_name.c_str());
+  }
+  return 0;
+}
+
+int CommandSimilar(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto engine = lsi::core::LsiEngine::Load(argv[2]);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::size_t document = std::strtoul(argv[3], nullptr, 10);
+  auto hits = engine->MoreLikeThis(document, 10);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "similar: %s\n", hits.status().ToString().c_str());
+    return 1;
+  }
+  auto name = engine->DocumentName(document);
+  std::printf("documents similar to #%zu (%s):\n", document,
+              name.ok() ? name->c_str() : "?");
+  for (const lsi::core::EngineHit& hit : hits.value()) {
+    std::printf("%8.4f  %s\n", hit.score, hit.document_name.c_str());
+  }
+  return 0;
+}
+
+int CommandRelated(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto engine = lsi::core::LsiEngine::Load(argv[2]);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  auto related = engine->RelatedTerms(argv[3], 10);
+  if (!related.ok()) {
+    std::fprintf(stderr, "related: %s\n",
+                 related.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("terms related to \"%s\":\n", argv[3]);
+  for (const lsi::core::RelatedTerm& r : related.value()) {
+    std::printf("%8.4f  %s\n", r.score, r.term.c_str());
+  }
+  return 0;
+}
+
+int CommandInfo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto engine = lsi::core::LsiEngine::Load(argv[2]);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("documents: %zu\nterms:     %zu\nrank:      %zu\n",
+              engine->NumDocuments(), engine->NumTerms(), engine->rank());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "index") == 0) return CommandIndex(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return CommandQuery(argc, argv);
+  if (std::strcmp(argv[1], "similar") == 0) return CommandSimilar(argc, argv);
+  if (std::strcmp(argv[1], "related") == 0) return CommandRelated(argc, argv);
+  if (std::strcmp(argv[1], "info") == 0) return CommandInfo(argc, argv);
+  return Usage();
+}
