@@ -86,4 +86,14 @@ BENCHMARK(BM_JacobiSvd)->Arg(100)->Arg(200)
 BENCHMARK(BM_LanczosSteps)->Arg(30)->Arg(40)->Arg(60)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN: after the timing runs, snapshot the metrics
+// registry so each ablation run ships its solver convergence telemetry
+// (iterations, reorthogonalizations, matvecs, residuals per backend).
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  lsi::bench::WriteMetricsSnapshot("e10_svd_ablation");
+  return 0;
+}

@@ -3,11 +3,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "common/rng.h"
 #include "linalg/sparse_matrix.h"
 #include "model/corpus_model.h"
 #include "model/separable_model.h"
+#include "obs/export.h"
 #include "text/term_weighting.h"
 
 namespace lsi::bench {
@@ -56,6 +58,23 @@ T Unwrap(Result<T> result, const char* what) {
     std::abort();
   }
   return std::move(result).value();
+}
+
+/// Snapshots the global metrics registry (solver convergence counters,
+/// span timings) into `BENCH_<experiment>_metrics.json`, alongside the
+/// experiment's own BENCH_*.json trajectory output, so every run's
+/// telemetry travels with its results. Call once at the end of main().
+inline void WriteMetricsSnapshot(const std::string& experiment) {
+  const std::string path = "BENCH_" + experiment + "_metrics.json";
+  const std::string json = obs::ExportJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench metrics: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), file);
+  std::fclose(file);
+  std::fprintf(stderr, "bench metrics: wrote %s\n", path.c_str());
 }
 
 }  // namespace lsi::bench

@@ -1,13 +1,47 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace lsi {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+/// Parses LSI_LOG_LEVEL. Unset or unrecognized values fall back to kInfo.
+int InitialLevel() {
+  const char* env = std::getenv("LSI_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  std::string value;
+  for (const char* p = env; *p != '\0'; ++p) {
+    value.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (value == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (value == "info") return static_cast<int>(LogLevel::kInfo);
+  if (value == "warn" || value == "warning") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (value == "error") return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+/// Thread-safe lazy init: the environment is consulted once, at first use.
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level{InitialLevel()};
+  return level;
+}
+
+/// Serializes the final write so concurrent threads cannot interleave
+/// partial lines.
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,11 +65,16 @@ const char* Basename(const char* path) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  MinLevel().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(MinLevel().load(std::memory_order_relaxed));
+}
+
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         MinLevel().load(std::memory_order_relaxed);
 }
 
 namespace internal_logging {
@@ -47,12 +86,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) <
-      g_min_level.load(std::memory_order_relaxed)) {
-    return;
-  }
+  if (!LogLevelEnabled(level_)) return;
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fputs(line.c_str(), stderr);
 }
 
 }  // namespace internal_logging

@@ -9,9 +9,15 @@ namespace lsi {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the global minimum level; messages below it are dropped.
-/// Defaults to kInfo.
+/// Defaults to kInfo, or to the LSI_LOG_LEVEL environment variable
+/// (debug|info|warn|error, case-insensitive) when it is set at first use.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// True when messages at `level` would be emitted. One relaxed atomic
+/// load; the LSI_LOG macro uses this to skip formatting entirely for
+/// suppressed levels.
+bool LogLevelEnabled(LogLevel level);
 
 namespace internal_logging {
 
@@ -35,11 +41,23 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Lowers a LogMessage expression to void so it can sit in the middle of
+/// a ternary against (void)0. operator& binds looser than << and tighter
+/// than ?:, which is exactly the precedence the macro needs.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
 }  // namespace internal_logging
 
-#define LSI_LOG(level)                                                 \
-  ::lsi::internal_logging::LogMessage(::lsi::LogLevel::k##level,       \
-                                      __FILE__, __LINE__)
+/// Suppressed levels pay one atomic load: the streamed operands are never
+/// evaluated and no LogMessage is constructed.
+#define LSI_LOG(level)                                                   \
+  !::lsi::LogLevelEnabled(::lsi::LogLevel::k##level)                     \
+      ? (void)0                                                          \
+      : ::lsi::internal_logging::LogMessageVoidify() &                   \
+            ::lsi::internal_logging::LogMessage(::lsi::LogLevel::k##level, \
+                                                __FILE__, __LINE__)
 
 }  // namespace lsi
 

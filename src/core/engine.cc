@@ -5,7 +5,10 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/timer.h"
 #include "linalg/matrix_io.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace lsi::core {
 namespace {
@@ -57,11 +60,19 @@ Result<LsiEngine> LsiEngine::Build(const text::Corpus& corpus,
   if (corpus.NumDocuments() == 0 || corpus.NumTerms() == 0) {
     return Status::InvalidArgument("LsiEngine: empty corpus");
   }
-  text::TermDocumentMatrixOptions matrix_options;
-  matrix_options.scheme = options.weighting;
-  LSI_ASSIGN_OR_RETURN(linalg::SparseMatrix matrix,
-                       text::BuildTermDocumentMatrix(corpus, matrix_options));
+  obs::ScopedSpan build_span("engine.build");
+  obs::MetricsRegistry::Global().GetCounter("lsi.engine.builds").Increment();
 
+  linalg::SparseMatrix matrix(0, 0);
+  {
+    obs::ScopedSpan span("weight");
+    text::TermDocumentMatrixOptions matrix_options;
+    matrix_options.scheme = options.weighting;
+    LSI_ASSIGN_OR_RETURN(matrix,
+                         text::BuildTermDocumentMatrix(corpus, matrix_options));
+  }
+
+  // LsiIndex::Build opens the "factor" and "project" child spans.
   LsiOptions lsi_options;
   lsi_options.rank = std::max<std::size_t>(
       1, std::min(options.rank, std::min(matrix.rows(), matrix.cols())));
@@ -95,24 +106,44 @@ Result<std::vector<EngineHit>> LsiEngine::ToHits(
 
 Result<std::vector<EngineHit>> LsiEngine::Query(std::string_view query_text,
                                                 std::size_t top_k) const {
-  std::vector<std::string> tokens = analyzer_.Analyze(query_text);
-  std::map<std::size_t, std::size_t> counts;
-  for (const std::string& token : tokens) {
-    auto it = term_ids_.find(token);
-    if (it != term_ids_.end()) counts[it->second]++;
-  }
-  if (counts.empty()) return std::vector<EngineHit>{};
+  Timer latency;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("lsi.engine.queries").Increment();
+  obs::ScopedSpan query_span("engine.query");
 
-  linalg::DenseVector query(NumTerms(), 0.0);
-  for (const auto& [term, count] : counts) {
-    query[term] =
-        text::LocalTermWeight(weighting_, count) * global_weights_[term];
+  std::map<std::size_t, std::size_t> counts;
+  {
+    obs::ScopedSpan span("analyze");
+    for (const std::string& token : analyzer_.Analyze(query_text)) {
+      auto it = term_ids_.find(token);
+      if (it != term_ids_.end()) counts[it->second]++;
+    }
   }
-  return ToHits(index_.Search(query, top_k));
+
+  Result<std::vector<EngineHit>> hits = std::vector<EngineHit>{};
+  if (!counts.empty()) {
+    linalg::DenseVector query(NumTerms(), 0.0);
+    {
+      obs::ScopedSpan span("weight");
+      for (const auto& [term, count] : counts) {
+        query[term] =
+            text::LocalTermWeight(weighting_, count) * global_weights_[term];
+      }
+    }
+    // LsiIndex::Search opens the "score" child span.
+    hits = ToHits(index_.Search(query, top_k));
+  }
+  registry.GetHistogram("lsi.engine.query.latency_ms")
+      .Observe(latency.ElapsedMillis());
+  return hits;
 }
 
 Result<std::vector<EngineHit>> LsiEngine::MoreLikeThis(
     std::size_t document, std::size_t top_k) const {
+  obs::ScopedSpan span("engine.more_like_this");
+  obs::MetricsRegistry::Global()
+      .GetCounter("lsi.engine.more_like_this_calls")
+      .Increment();
   if (document >= NumDocuments()) {
     return Status::OutOfRange("MoreLikeThis: document index out of range");
   }
@@ -148,6 +179,10 @@ Result<std::vector<EngineHit>> LsiEngine::MoreLikeThis(
 
 Result<std::vector<RelatedTerm>> LsiEngine::RelatedTerms(
     std::string_view term, std::size_t top_k) const {
+  obs::ScopedSpan span("engine.related_terms");
+  obs::MetricsRegistry::Global()
+      .GetCounter("lsi.engine.related_terms_calls")
+      .Increment();
   std::vector<std::string> analyzed = analyzer_.Analyze(term);
   if (analyzed.size() != 1) {
     return Status::InvalidArgument(

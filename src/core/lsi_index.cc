@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "linalg/operators.h"
+#include "obs/span.h"
 
 namespace lsi::core {
 namespace {
@@ -42,6 +43,7 @@ Result<linalg::SvdResult> ComputeJacobi(const linalg::DenseMatrix& dense,
 }  // namespace
 
 LsiIndex::LsiIndex(linalg::SvdResult svd) : svd_(std::move(svd)) {
+  obs::ScopedSpan span("project");
   // Document vectors: V_k D_k (row j = sigma-weighted coordinates of
   // document j in the latent space).
   const std::size_t m = svd_.v.rows();
@@ -73,24 +75,39 @@ void LsiIndex::RecomputeDocumentNorms() {
 Result<LsiIndex> LsiIndex::Build(const linalg::SparseMatrix& term_document,
                                  const LsiOptions& options) {
   if (options.solver == SvdSolver::kJacobi) {
-    LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd,
-                         ComputeJacobi(term_document.ToDense(), options.rank));
+    linalg::SvdResult svd;
+    {
+      obs::ScopedSpan span("factor");
+      LSI_ASSIGN_OR_RETURN(
+          svd, ComputeJacobi(term_document.ToDense(), options.rank));
+    }
     return LsiIndex(std::move(svd));
   }
   linalg::SparseOperator op(term_document);
-  LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd, ComputeTruncatedSvd(op, options));
+  linalg::SvdResult svd;
+  {
+    obs::ScopedSpan span("factor");
+    LSI_ASSIGN_OR_RETURN(svd, ComputeTruncatedSvd(op, options));
+  }
   return LsiIndex(std::move(svd));
 }
 
 Result<LsiIndex> LsiIndex::Build(const linalg::DenseMatrix& term_document,
                                  const LsiOptions& options) {
   if (options.solver == SvdSolver::kJacobi) {
-    LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd,
-                         ComputeJacobi(term_document, options.rank));
+    linalg::SvdResult svd;
+    {
+      obs::ScopedSpan span("factor");
+      LSI_ASSIGN_OR_RETURN(svd, ComputeJacobi(term_document, options.rank));
+    }
     return LsiIndex(std::move(svd));
   }
   linalg::DenseOperator op(term_document);
-  LSI_ASSIGN_OR_RETURN(linalg::SvdResult svd, ComputeTruncatedSvd(op, options));
+  linalg::SvdResult svd;
+  {
+    obs::ScopedSpan span("factor");
+    LSI_ASSIGN_OR_RETURN(svd, ComputeTruncatedSvd(op, options));
+  }
   return LsiIndex(std::move(svd));
 }
 
@@ -150,6 +167,7 @@ Result<linalg::DenseVector> LsiIndex::FoldInQuery(
 
 Result<std::vector<SearchResult>> LsiIndex::Search(
     const linalg::DenseVector& query, std::size_t top_k) const {
+  obs::ScopedSpan span("score");
   LSI_ASSIGN_OR_RETURN(linalg::DenseVector folded, FoldInQuery(query));
   const std::size_t m = NumDocuments();
   std::vector<double> scores(m, 0.0);

@@ -5,29 +5,34 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "linalg/svd_telemetry.h"
 
 namespace lsi::linalg {
 namespace {
 
 /// Two passes of classical Gram-Schmidt against the collected basis.
-void Reorthogonalize(const std::vector<DenseVector>& basis, DenseVector& w) {
+/// `reorth_passes` accumulates telemetry.
+void Reorthogonalize(const std::vector<DenseVector>& basis, DenseVector& w,
+                     std::size_t& reorth_passes) {
   for (int pass = 0; pass < 2; ++pass) {
     for (const DenseVector& q : basis) {
       double d = Dot(q, w);
       if (d != 0.0) w.Axpy(-d, q);
     }
   }
+  reorth_passes += 2;
 }
 
 /// Draws a random unit vector orthogonal to `basis`; returns false if
 /// the space is exhausted.
 bool FreshDirection(std::size_t dim, const std::vector<DenseVector>& basis,
-                    double tolerance, Rng& rng, DenseVector& out) {
+                    double tolerance, Rng& rng, DenseVector& out,
+                    std::size_t& reorth_passes) {
   if (basis.size() >= dim) return false;
   for (int attempt = 0; attempt < 4; ++attempt) {
     out = DenseVector(dim);
     for (std::size_t i = 0; i < dim; ++i) out[i] = rng.NextGaussian();
-    Reorthogonalize(basis, out);
+    Reorthogonalize(basis, out, reorth_passes);
     if (out.Normalize() > tolerance) return true;
   }
   return false;
@@ -66,6 +71,8 @@ Result<SvdResult> GklSvd(const LinearOperator& a, std::size_t k,
   }
 
   Rng rng(options.seed);
+  CountingOperator counted(a);
+  std::size_t reorth_passes = 0;
   std::vector<DenseVector> us, vs;
   std::vector<double> alphas;  // alphas[j] = ||A v_j - beta_{j-1} u_{j-1}||
   std::vector<double> betas;   // betas[j] couples steps j and j+1.
@@ -77,16 +84,17 @@ Result<SvdResult> GklSvd(const LinearOperator& a, std::size_t k,
   for (std::size_t j = 0; j < steps; ++j) {
     vs.push_back(v);
     // u_j = A v_j - beta_{j-1} u_{j-1}, orthogonalized against prior u's.
-    DenseVector u = a.Apply(v);
+    DenseVector u = counted.Apply(v);
     if (j > 0 && betas[j - 1] != 0.0) u.Axpy(-betas[j - 1], us[j - 1]);
-    Reorthogonalize(us, u);
+    Reorthogonalize(us, u, reorth_passes);
     double alpha = u.Normalize();
     if (alpha <= options.tolerance) {
       // u collapsed: A maps the fresh v into the explored range. Restart
       // with a new direction if one exists, recording alpha = 0.
       alphas.push_back(0.0);
       DenseVector fresh_u;
-      if (!FreshDirection(n, us, options.tolerance, rng, fresh_u)) {
+      if (!FreshDirection(n, us, options.tolerance, rng, fresh_u,
+                          reorth_passes)) {
         vs.pop_back();
         alphas.pop_back();
         break;
@@ -99,14 +107,15 @@ Result<SvdResult> GklSvd(const LinearOperator& a, std::size_t k,
     if (j + 1 == steps) break;
 
     // v_{j+1} = A^T u_j - alpha_j v_j, orthogonalized against prior v's.
-    DenseVector next_v = a.ApplyTranspose(u);
+    DenseVector next_v = counted.ApplyTranspose(u);
     next_v.Axpy(-alphas[j], v);
-    Reorthogonalize(vs, next_v);
+    Reorthogonalize(vs, next_v, reorth_passes);
     double beta = next_v.Normalize();
     if (beta <= options.tolerance) {
       // Invariant subspace: restart with a fresh right direction.
       DenseVector fresh_v;
-      if (!FreshDirection(m, vs, options.tolerance, rng, fresh_v)) {
+      if (!FreshDirection(m, vs, options.tolerance, rng, fresh_v,
+                          reorth_passes)) {
         break;
       }
       betas.push_back(0.0);
@@ -153,6 +162,13 @@ Result<SvdResult> GklSvd(const LinearOperator& a, std::size_t k,
     for (std::size_t r = 0; r < n; ++r) out.u(r, i) = ucol[r];
     for (std::size_t r = 0; r < m; ++r) out.v(r, i) = vcol[r];
   }
+
+  obs::SolverStats stats;
+  stats.solver = "gkl";
+  stats.iterations = t;
+  stats.reorth_passes = reorth_passes;
+  stats.matvecs = counted.matvecs();
+  internal::FinishSolverStats(a, out, std::move(stats), options.stats);
   return out;
 }
 

@@ -9,6 +9,10 @@
 #include "linalg/sparse_matrix.h"
 #include "linalg/svd.h"
 
+namespace lsi::obs {
+struct SolverStats;
+}
+
 namespace lsi::linalg {
 
 /// Options for Golub-Kahan-Lanczos bidiagonalization.
@@ -18,6 +22,9 @@ struct GklSvdOptions {
   /// Breakdown threshold on the residual norms.
   double tolerance = 1e-10;
   std::uint64_t seed = 42;
+  /// Optional convergence-telemetry out-param. Every solve also
+  /// publishes to the global registry under lsi.svd.gkl.*.
+  obs::SolverStats* stats = nullptr;
 };
 
 /// Top-k SVD by Golub-Kahan-Lanczos bidiagonalization with full

@@ -5,15 +5,19 @@
 
 #include "common/check.h"
 #include "linalg/svd.h"
+#include "linalg/svd_telemetry.h"
 
 namespace lsi::linalg {
 namespace {
 
 /// One-sided Jacobi on a tall matrix (rows >= cols). Rotates column pairs
 /// of W until all pairs are numerically orthogonal; then W = U * diag(s)
-/// and the accumulated rotations form V.
+/// and the accumulated rotations form V. `sweeps`/`rotations` report how
+/// much work convergence took.
 Result<SvdResult> JacobiSvdTall(const DenseMatrix& a,
-                                const JacobiSvdOptions& options) {
+                                const JacobiSvdOptions& options,
+                                std::size_t& sweeps_used,
+                                std::size_t& rotations) {
   const std::size_t n = a.rows();
   const std::size_t m = a.cols();
   LSI_CHECK(n >= m);
@@ -41,6 +45,7 @@ Result<SvdResult> JacobiSvdTall(const DenseMatrix& a,
   for (std::size_t sweep = 0; sweep < options.max_sweeps && !converged;
        ++sweep) {
     converged = true;
+    ++sweeps_used;
     for (std::size_t p = 0; p + 1 < m; ++p) {
       for (std::size_t q = p + 1; q < m; ++q) {
         double alpha = 0.0, beta = 0.0, gamma = 0.0;
@@ -57,6 +62,7 @@ Result<SvdResult> JacobiSvdTall(const DenseMatrix& a,
           continue;
         }
         converged = false;
+        ++rotations;
         // Rotation that orthogonalizes columns p and q.
         double zeta = (beta - alpha) / (2.0 * gamma);
         double t;
@@ -158,17 +164,32 @@ Result<SvdResult> JacobiSvd(const DenseMatrix& a,
   if (a.rows() == 0 || a.cols() == 0) {
     return Status::InvalidArgument("JacobiSvd requires a nonempty matrix");
   }
+  std::size_t sweeps = 0;
+  std::size_t rotations = 0;
+  SvdResult out;
   if (a.rows() >= a.cols()) {
-    return JacobiSvdTall(a, options);
+    auto result = JacobiSvdTall(a, options, sweeps, rotations);
+    if (!result.ok()) return result.status();
+    out = std::move(result).value();
+  } else {
+    // Wide matrix: factor the transpose and swap U <-> V.
+    auto result = JacobiSvdTall(a.Transposed(), options, sweeps, rotations);
+    if (!result.ok()) return result.status();
+    out.u = std::move(result.value().v);
+    out.v = std::move(result.value().u);
+    out.singular_values = std::move(result.value().singular_values);
   }
-  // Wide matrix: factor the transpose and swap U <-> V.
-  auto result = JacobiSvdTall(a.Transposed(), options);
-  if (!result.ok()) return result.status();
-  SvdResult swapped;
-  swapped.u = std::move(result.value().v);
-  swapped.v = std::move(result.value().u);
-  swapped.singular_values = std::move(result.value().singular_values);
-  return swapped;
+
+  obs::SolverStats stats;
+  stats.solver = "jacobi";
+  stats.iterations = sweeps;
+  // One-sided Jacobi has no reorthogonalization or matvec phases; report
+  // the rotation count in the reorthogonalization slot (each rotation is
+  // a two-column orthogonalization).
+  stats.reorth_passes = rotations;
+  DenseOperator op(a);
+  internal::FinishSolverStats(op, out, std::move(stats), options.stats);
+  return out;
 }
 
 }  // namespace lsi::linalg

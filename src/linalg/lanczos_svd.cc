@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "linalg/eigen.h"
 #include "linalg/svd.h"
+#include "linalg/svd_telemetry.h"
 
 namespace lsi::linalg {
 namespace {
@@ -17,6 +18,7 @@ struct LanczosBasis {
   std::vector<DenseVector> q;
   std::vector<double> alpha;
   std::vector<double> beta;  // beta[j] couples q[j] and q[j+1].
+  std::size_t reorth_passes = 0;
 };
 
 /// Full (two-pass classical Gram-Schmidt) reorthogonalization of w against
@@ -47,6 +49,7 @@ LanczosBasis RunLanczos(const LinearOperator& g, std::size_t steps,
     w.Axpy(-alpha, basis.q[j]);
     if (j > 0) w.Axpy(-basis.beta[j - 1], basis.q[j - 1]);
     Reorthogonalize(basis.q, w);
+    basis.reorth_passes += 2;
     double beta = w.Norm();
     if (j + 1 == steps) break;  // The last beta is not needed.
     if (beta <= tolerance) {
@@ -58,6 +61,7 @@ LanczosBasis RunLanczos(const LinearOperator& g, std::size_t steps,
       DenseVector fresh(dim);
       for (std::size_t i = 0; i < dim; ++i) fresh[i] = rng.NextGaussian();
       Reorthogonalize(basis.q, fresh);
+      basis.reorth_passes += 2;
       double norm = fresh.Normalize();
       if (norm <= tolerance) break;
       basis.beta.push_back(0.0);
@@ -87,10 +91,13 @@ Result<SvdResult> LanczosSvd(const LinearOperator& a, std::size_t k,
   }
 
   // Work on the Gram operator of the smaller side, so the Lanczos basis
-  // vectors are as short as possible.
+  // vectors are as short as possible. The counting wrapper sits between
+  // the Gram operators and the user's matrix, so every underlying
+  // product (two per Gram application) lands in the matvec telemetry.
+  CountingOperator counted(a);
   const bool use_outer = (n <= m);  // A A^T is n x n.
-  GramOperator gram(a);             // A^T A, m x m.
-  OuterGramOperator outer(a);       // A A^T, n x n.
+  GramOperator gram(counted);       // A^T A, m x m.
+  OuterGramOperator outer(counted);  // A A^T, n x n.
   const LinearOperator& g = use_outer
                                 ? static_cast<const LinearOperator&>(outer)
                                 : static_cast<const LinearOperator&>(gram);
@@ -139,7 +146,7 @@ Result<SvdResult> LanczosSvd(const LinearOperator& a, std::size_t k,
       // y is a left singular vector; v = A^T u / sigma.
       for (std::size_t r = 0; r < n; ++r) out.u(r, i) = y[r];
       if (sigma > 0.0) {
-        DenseVector vcol = a.ApplyTranspose(y);
+        DenseVector vcol = counted.ApplyTranspose(y);
         vcol.Scale(1.0 / sigma);
         vcol.Normalize();
         for (std::size_t r = 0; r < m; ++r) out.v(r, i) = vcol[r];
@@ -148,13 +155,20 @@ Result<SvdResult> LanczosSvd(const LinearOperator& a, std::size_t k,
       // y is a right singular vector; u = A v / sigma.
       for (std::size_t r = 0; r < m; ++r) out.v(r, i) = y[r];
       if (sigma > 0.0) {
-        DenseVector ucol = a.Apply(y);
+        DenseVector ucol = counted.Apply(y);
         ucol.Scale(1.0 / sigma);
         ucol.Normalize();
         for (std::size_t r = 0; r < n; ++r) out.u(r, i) = ucol[r];
       }
     }
   }
+
+  obs::SolverStats stats;
+  stats.solver = "lanczos";
+  stats.iterations = t;
+  stats.reorth_passes = basis.reorth_passes;
+  stats.matvecs = counted.matvecs();
+  internal::FinishSolverStats(a, out, std::move(stats), options.stats);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef LSI_LINALG_OPERATORS_H_
 #define LSI_LINALG_OPERATORS_H_
 
+#include <atomic>
 #include <cstddef>
 
 #include "linalg/dense_matrix.h"
@@ -81,6 +82,41 @@ class TransposedOperator final : public LinearOperator {
 
  private:
   const LinearOperator& base_;
+};
+
+/// Counts matrix-vector products flowing through a base operator (not
+/// owned). The SVD backends wrap their input with this to report matvec
+/// telemetry; counts are relaxed atomics, so a shared operator can be
+/// applied from several threads.
+class CountingOperator final : public LinearOperator {
+ public:
+  explicit CountingOperator(const LinearOperator& base) : base_(base) {}
+
+  std::size_t rows() const override { return base_.rows(); }
+  std::size_t cols() const override { return base_.cols(); }
+  DenseVector Apply(const DenseVector& x) const override {
+    applies_.fetch_add(1, std::memory_order_relaxed);
+    return base_.Apply(x);
+  }
+  DenseVector ApplyTranspose(const DenseVector& x) const override {
+    transposes_.fetch_add(1, std::memory_order_relaxed);
+    return base_.ApplyTranspose(x);
+  }
+
+  std::size_t applies() const {
+    return applies_.load(std::memory_order_relaxed);
+  }
+  std::size_t transposes() const {
+    return transposes_.load(std::memory_order_relaxed);
+  }
+
+  /// Total products, A x and A^T x combined.
+  std::size_t matvecs() const { return applies() + transposes(); }
+
+ private:
+  const LinearOperator& base_;
+  mutable std::atomic<std::size_t> applies_{0};
+  mutable std::atomic<std::size_t> transposes_{0};
 };
 
 /// The symmetric positive semidefinite Gram operator G = A^T A of a base

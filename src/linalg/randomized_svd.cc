@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "linalg/qr.h"
 #include "linalg/svd.h"
+#include "linalg/svd_telemetry.h"
 
 namespace lsi::linalg {
 namespace {
@@ -48,6 +49,8 @@ Result<SvdResult> RandomizedSvd(const LinearOperator& a, std::size_t k,
   const std::size_t sample = std::min(k + options.oversample, min_dim);
 
   Rng rng(options.seed);
+  CountingOperator counted(a);
+  std::size_t reorth_passes = 0;
   // Gaussian test matrix Omega: m x sample.
   DenseMatrix omega(m, sample);
   for (std::size_t i = 0; i < m; ++i) {
@@ -56,17 +59,19 @@ Result<SvdResult> RandomizedSvd(const LinearOperator& a, std::size_t k,
 
   // Range sampling Y = A * Omega, with power iterations
   // Y <- A (A^T Y) and re-orthonormalization for stability.
-  DenseMatrix y = ApplyToColumns(a, omega);
+  DenseMatrix y = ApplyToColumns(counted, omega);
   LSI_ASSIGN_OR_RETURN(DenseMatrix q, Orthonormalize(y));
+  ++reorth_passes;
   for (std::size_t it = 0; it < options.power_iterations; ++it) {
-    DenseMatrix z = ApplyTransposeToColumns(a, q);
+    DenseMatrix z = ApplyTransposeToColumns(counted, q);
     LSI_ASSIGN_OR_RETURN(DenseMatrix qz, Orthonormalize(z));
-    DenseMatrix y2 = ApplyToColumns(a, qz);
+    DenseMatrix y2 = ApplyToColumns(counted, qz);
     LSI_ASSIGN_OR_RETURN(q, Orthonormalize(y2));
+    reorth_passes += 2;
   }
 
   // Project: B = Q^T A, computed as (A^T Q)^T, sized sample x m.
-  DenseMatrix at_q = ApplyTransposeToColumns(a, q);  // m x sample
+  DenseMatrix at_q = ApplyTransposeToColumns(counted, q);  // m x sample
   DenseMatrix b = at_q.Transposed();                 // sample x m
 
   LSI_ASSIGN_OR_RETURN(SvdResult small, JacobiSvd(b));
@@ -80,6 +85,13 @@ Result<SvdResult> RandomizedSvd(const LinearOperator& a, std::size_t k,
   DenseMatrix ub = small.u.LeftColumns(k);
   out.u = Multiply(q, ub);
   out.v = small.v.LeftColumns(k);
+
+  obs::SolverStats stats;
+  stats.solver = "randomized";
+  stats.iterations = options.power_iterations;
+  stats.reorth_passes = reorth_passes;
+  stats.matvecs = counted.matvecs();
+  internal::FinishSolverStats(a, out, std::move(stats), options.stats);
   return out;
 }
 

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "linalg/svd_telemetry.h"
+#include "obs/metrics.h"
 
 namespace lsi::linalg {
 
@@ -79,8 +81,13 @@ Result<SvdResult> SampledSvd(const SparseMatrix& a, std::size_t k,
     }
   }
 
-  // Top-k left singular vectors of the small matrix C.
-  LSI_ASSIGN_OR_RETURN(SvdResult small, LanczosSvd(c, k));
+  // Top-k left singular vectors of the small matrix C. The inner
+  // Lanczos solve reports its own telemetry; capture it so the sampled
+  // backend's counters reflect the real iteration work.
+  obs::SolverStats inner_stats;
+  LanczosSvdOptions inner_options;
+  inner_options.stats = &inner_stats;
+  LSI_ASSIGN_OR_RETURN(SvdResult small, LanczosSvd(c, k, inner_options));
 
   // Complete the triplets against A: sigma_i = |A^T u_i|,
   // v_i = A^T u_i / sigma_i.
@@ -96,6 +103,18 @@ Result<SvdResult> SampledSvd(const SparseMatrix& a, std::size_t k,
       for (std::size_t j = 0; j < m; ++j) out.v(j, i) = atu[j] / sigma;
     }
   }
+
+  obs::MetricsRegistry::Global()
+      .GetGauge("lsi.svd.sampled.sample_size")
+      .Set(static_cast<double>(s));
+  obs::SolverStats stats;
+  stats.solver = "sampled";
+  stats.iterations = inner_stats.iterations;
+  stats.reorth_passes = inner_stats.reorth_passes;
+  // Inner-solve products on C plus the k completions A^T u_i above.
+  stats.matvecs = inner_stats.matvecs + k;
+  SparseOperator op(a);
+  internal::FinishSolverStats(op, out, std::move(stats), options.stats);
   return out;
 }
 

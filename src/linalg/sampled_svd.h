@@ -8,6 +8,10 @@
 #include "linalg/sparse_matrix.h"
 #include "linalg/svd.h"
 
+namespace lsi::obs {
+struct SolverStats;
+}
+
 namespace lsi::linalg {
 
 /// Options for the sampling-based Monte Carlo low-rank approximation.
@@ -16,6 +20,10 @@ struct SampledSvdOptions {
   /// probabilities). 0 means automatic: max(4k + 20, 50), clamped to m.
   std::size_t sample_size = 0;
   std::uint64_t seed = 42;
+  /// Optional convergence-telemetry out-param (includes the inner
+  /// Lanczos solve's iteration counts). Every solve also publishes to
+  /// the global registry under lsi.svd.sampled.*.
+  obs::SolverStats* stats = nullptr;
 };
 
 /// The Frieze–Kannan–Vempala Monte Carlo low-rank approximation the

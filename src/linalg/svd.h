@@ -10,6 +10,10 @@
 #include "linalg/operators.h"
 #include "linalg/sparse_matrix.h"
 
+namespace lsi::obs {
+struct SolverStats;
+}
+
 namespace lsi::linalg {
 
 /// A (possibly truncated) singular value decomposition A ~= U S V^T of an
@@ -39,6 +43,10 @@ struct JacobiSvdOptions {
   /// tolerance * ||w_p|| * ||w_q||.
   double tolerance = 1e-12;
   std::size_t max_sweeps = 64;
+  /// Optional convergence-telemetry out-param (sweeps, rotations,
+  /// residual). Every solve also publishes to the global registry under
+  /// lsi.svd.jacobi.*.
+  obs::SolverStats* stats = nullptr;
 };
 
 /// Full SVD of a dense matrix by the one-sided Jacobi (Hestenes) method.
@@ -58,6 +66,10 @@ struct LanczosSvdOptions {
   double tolerance = 1e-10;
   /// Seed for the random start vector.
   std::uint64_t seed = 42;
+  /// Optional convergence-telemetry out-param (iterations, reorth
+  /// passes, matvecs, residual). Every solve also publishes to the
+  /// global registry under lsi.svd.lanczos.*.
+  obs::SolverStats* stats = nullptr;
 };
 
 /// Top-k SVD of a (typically sparse) matrix via symmetric Lanczos with
@@ -81,6 +93,9 @@ struct RandomizedSvdOptions {
   /// Power iterations; 2 is enough for rapidly decaying spectra.
   std::size_t power_iterations = 2;
   std::uint64_t seed = 42;
+  /// Optional convergence-telemetry out-param. Every solve also
+  /// publishes to the global registry under lsi.svd.randomized.*.
+  obs::SolverStats* stats = nullptr;
 };
 
 /// Top-k SVD by Gaussian range sampling + power iteration + small dense

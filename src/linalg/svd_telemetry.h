@@ -1,0 +1,42 @@
+#ifndef LSI_LINALG_SVD_TELEMETRY_H_
+#define LSI_LINALG_SVD_TELEMETRY_H_
+
+#include <cstddef>
+
+#include "linalg/operators.h"
+#include "linalg/svd.h"
+#include "obs/solver_stats.h"
+
+namespace lsi::linalg::internal {
+
+/// Relative-residual threshold below which a solve is reported converged.
+inline constexpr double kConvergedRelativeResidual = 1e-6;
+
+/// Completes a SolverStats from a finished truncated SVD: computes the
+/// residual ||A v_k - sigma_k u_k|| of the last (least converged)
+/// retained triplet, derives the convergence flag, publishes to the
+/// global registry, and copies to the caller's out-param when one was
+/// passed through the options struct. The residual costs one extra
+/// matvec against `a`, which is intentionally not counted in
+/// stats.matvecs.
+inline void FinishSolverStats(const LinearOperator& a, const SvdResult& svd,
+                              obs::SolverStats stats,
+                              obs::SolverStats* out) {
+  const std::size_t k = svd.rank();
+  if (k > 0) {
+    const std::size_t last = k - 1;
+    DenseVector residual = a.Apply(svd.v.Column(last));
+    residual.Axpy(-svd.singular_values[last], svd.u.Column(last));
+    stats.residual = residual.Norm();
+    const double sigma1 = svd.singular_values[0];
+    stats.relative_residual =
+        sigma1 > 0.0 ? stats.residual / sigma1 : stats.residual;
+    stats.converged = stats.relative_residual <= kConvergedRelativeResidual;
+  }
+  stats.Publish();
+  if (out != nullptr) *out = stats;
+}
+
+}  // namespace lsi::linalg::internal
+
+#endif  // LSI_LINALG_SVD_TELEMETRY_H_

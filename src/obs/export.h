@@ -1,0 +1,56 @@
+#ifndef LSI_OBS_EXPORT_H_
+#define LSI_OBS_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace lsi::obs {
+
+/// Wire formats the registry can be rendered to.
+enum class ExportFormat {
+  kNone,
+  kJson,
+  kPrometheus,
+};
+
+/// Parses "json" / "prom" / "prometheus" (case-insensitive); anything
+/// else — including "off" — maps to kNone.
+ExportFormat ParseExportFormat(std::string_view value);
+
+/// Reads the LSI_METRICS environment variable ("json" | "prom"); kNone
+/// when unset or unrecognized.
+ExportFormat FormatFromEnv();
+
+/// Renders metrics + spans as one JSON document:
+///   {
+///     "counters":   {"name": 42, ...},
+///     "gauges":     {"name": 1.5, ...},
+///     "histograms": {"name": {"count": n, "sum": s,
+///                             "buckets": [{"le": 1, "count": 2}, ...]}},
+///     "spans":      {"path": {"count": n, "total_ms": t}, ...}
+///   }
+/// The document is stable (keys sorted) so trajectory files diff cleanly.
+std::string ExportJson(const MetricsRegistry& metrics = MetricsRegistry::Global(),
+                       const SpanRegistry& spans = SpanRegistry::Global());
+
+/// Renders metrics + spans in the Prometheus text exposition format.
+/// Dotted names become underscore-separated; spans are exported as
+/// lsi_span_count_total / lsi_span_seconds_total with a `path` label.
+std::string ExportPrometheus(
+    const MetricsRegistry& metrics = MetricsRegistry::Global(),
+    const SpanRegistry& spans = SpanRegistry::Global());
+
+/// Renders the global registry in `format` (empty string for kNone).
+std::string Export(ExportFormat format);
+
+/// Writes the global registry to `out` in the format selected by
+/// LSI_METRICS; a no-op when the variable is unset. Returns true when
+/// something was written.
+bool DumpIfConfigured(std::FILE* out);
+
+}  // namespace lsi::obs
+
+#endif  // LSI_OBS_EXPORT_H_

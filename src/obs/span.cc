@@ -1,0 +1,55 @@
+#include "obs/span.h"
+
+namespace lsi::obs {
+namespace {
+
+std::string& ThreadPath() {
+  thread_local std::string path;
+  return path;
+}
+
+}  // namespace
+
+SpanRegistry& SpanRegistry::Global() {
+  static SpanRegistry* registry = new SpanRegistry();
+  return *registry;
+}
+
+void SpanRegistry::Record(const std::string& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_[path].Record(seconds);
+}
+
+std::vector<std::pair<std::string, SpanStats>> SpanRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, SpanStats>> out;
+  out.reserve(spans_.size());
+  for (const auto& [path, timer] : spans_) {
+    out.emplace_back(path, SpanStats{timer.count(), timer.TotalSeconds()});
+  }
+  return out;
+}
+
+void SpanRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, SpanRegistry& registry)
+    : registry_(registry), parent_path_(ThreadPath()) {
+  if (parent_path_.empty()) {
+    path_ = std::string(name);
+  } else {
+    path_ = parent_path_ + "." + std::string(name);
+  }
+  ThreadPath() = path_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  registry_.Record(path_, timer_.ElapsedSeconds());
+  ThreadPath() = parent_path_;
+}
+
+const std::string& ScopedSpan::CurrentPath() { return ThreadPath(); }
+
+}  // namespace lsi::obs

@@ -1,0 +1,77 @@
+#ifndef LSI_OBS_SPAN_H_
+#define LSI_OBS_SPAN_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace lsi::obs {
+
+/// Accumulated statistics for one span path.
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+};
+
+/// Process-wide accumulator of wall time per hierarchical span path
+/// ("engine.query.score"). Spans from any thread fold into the same
+/// table; recording takes a short mutex (span entry/exit is not a
+/// per-element hot path).
+class SpanRegistry {
+ public:
+  SpanRegistry() = default;
+  SpanRegistry(const SpanRegistry&) = delete;
+  SpanRegistry& operator=(const SpanRegistry&) = delete;
+
+  static SpanRegistry& Global();
+
+  /// Adds one completed interval to `path`.
+  void Record(const std::string& path, double seconds);
+
+  /// All span paths with their stats, sorted by path.
+  std::vector<std::pair<std::string, SpanStats>> Snapshot() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // CumulativeTimer is the accumulation primitive; the registry's mutex
+  // provides the synchronization it doesn't.
+  std::map<std::string, CumulativeTimer> spans_;
+};
+
+/// RAII tracing span. Nested spans compose dotted paths through a
+/// thread-local stack: a ScopedSpan("score") created while
+/// ScopedSpan("engine.query") is active records under
+/// "engine.query.score". Destruction pops the stack and folds the
+/// elapsed wall time into the SpanRegistry.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      SpanRegistry& registry = SpanRegistry::Global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// The full dotted path of this span.
+  const std::string& path() const { return path_; }
+
+  /// The active span path on this thread ("" outside any span).
+  static const std::string& CurrentPath();
+
+ private:
+  SpanRegistry& registry_;
+  std::string path_;
+  std::string parent_path_;  // Restored on destruction.
+  Timer timer_;
+};
+
+}  // namespace lsi::obs
+
+#endif  // LSI_OBS_SPAN_H_

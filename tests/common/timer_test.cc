@@ -1,0 +1,74 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(timer.ElapsedSeconds(), first);
+  EXPECT_GE(timer.ElapsedMillis(), first * 1e3);
+}
+
+TEST(TimerTest, RestartResetsTheOrigin) {
+  Timer timer;
+  while (timer.ElapsedSeconds() <= 0.0) {
+  }
+  timer.Restart();
+  // Restart moved the origin forward; elapsed cannot be far from zero
+  // yet, and certainly must stay finite and non-negative.
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+TEST(CumulativeTimerTest, StartsEmpty) {
+  CumulativeTimer timer;
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+}
+
+TEST(CumulativeTimerTest, StartStopAccumulates) {
+  CumulativeTimer timer;
+  timer.Start();
+  double first = timer.Stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(timer.count(), 1u);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), first);
+
+  timer.Start();
+  double second = timer.Stop();
+  EXPECT_EQ(timer.count(), 2u);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), first + second);
+  EXPECT_DOUBLE_EQ(timer.TotalMillis(), (first + second) * 1e3);
+}
+
+TEST(CumulativeTimerTest, StopWithoutStartIsNoOp) {
+  CumulativeTimer timer;
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+}
+
+TEST(CumulativeTimerTest, RecordAddsExternallyMeasuredIntervals) {
+  CumulativeTimer timer;
+  timer.Record(0.25);
+  timer.Record(0.5);
+  EXPECT_EQ(timer.count(), 2u);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.75);
+  EXPECT_DOUBLE_EQ(timer.TotalMillis(), 750.0);
+}
+
+TEST(CumulativeTimerTest, ResetDiscardsEverything) {
+  CumulativeTimer timer;
+  timer.Record(1.0);
+  timer.Start();  // Leave an interval running.
+  timer.Reset();
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);  // The running interval was dropped.
+}
+
+}  // namespace
+}  // namespace lsi

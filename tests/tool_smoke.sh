@@ -8,7 +8,7 @@ TOOL="$1"
 CORPUS="$2"
 ENGINE="$(mktemp -u)/smoke.engine"
 mkdir -p "$(dirname "$ENGINE")"
-trap 'rm -f "$ENGINE" "$ENGINE.index"' EXIT
+trap 'rm -f "$ENGINE" "$ENGINE.index" "$ENGINE.stats" "$ENGINE.prom"' EXIT
 
 "$TOOL" index "$CORPUS" "$ENGINE" 10 tfidf | grep -q "indexed 45 documents"
 
@@ -25,6 +25,31 @@ trap 'rm -f "$ENGINE" "$ENGINE.index"' EXIT
 
 # Unknown-term query reports no hits instead of failing.
 "$TOOL" query "$ENGINE" zzzqqq | grep -q "no hits"
+
+# --stats=json appends a metrics dump with solver telemetry and spans;
+# the JSON starts at the first '{' line. python3 validates it when
+# available (it is in CI).
+"$TOOL" index "$CORPUS" "$ENGINE" 10 tfidf --stats=json > "$ENGINE.stats"
+grep -q "indexed 45 documents" "$ENGINE.stats"
+grep -q '"lsi.svd.lanczos.iterations"' "$ENGINE.stats"
+grep -q '"engine.build.factor"' "$ENGINE.stats"
+if command -v python3 > /dev/null 2>&1; then
+  sed -n '/^{/,$p' "$ENGINE.stats" | python3 -m json.tool > /dev/null
+fi
+
+# The same counters surface in the Prometheus exposition.
+"$TOOL" stats "$ENGINE" galaxies --stats=prom > "$ENGINE.prom"
+grep -q '^lsi_span_count_total{path="engine.query"} 1$' "$ENGINE.prom"
+grep -q '^# TYPE lsi_engine_queries counter$' "$ENGINE.prom"
+
+# LSI_METRICS is the env-var spelling of --stats.
+LSI_METRICS=prom "$TOOL" query "$ENGINE" galaxies | grep -q "^lsi_engine"
+
+# An unknown stats format is a usage error.
+if "$TOOL" info "$ENGINE" --stats=xml 2>/dev/null; then
+  echo "expected failure on bad stats format" >&2
+  exit 1
+fi
 
 # Error paths exit nonzero.
 if "$TOOL" query /nonexistent.engine foo 2>/dev/null; then

@@ -11,15 +11,32 @@
 //   lsi_tool similar <engine.bin> <document-index>
 //       Prints the 10 documents most similar to an indexed document.
 //
+//   lsi_tool related <engine.bin> <term>
+//       Prints latent-space synonyms of a term.
+//
 //   lsi_tool info <engine.bin>
 //       Prints engine dimensions.
+//
+//   lsi_tool stats <engine.bin> [query text...]
+//       Loads an engine, optionally runs a query, and dumps the metrics
+//       registry (JSON unless --stats=prom is also given).
+//
+// Any command additionally accepts --stats[=json|prom]: after the
+// command finishes, the metrics registry (solver convergence counters,
+// span timings, latency histograms) is dumped to stdout. The dump starts
+// at the first line beginning with '{' (JSON) or '#' (Prometheus).
+// Environment:
+//   LSI_METRICS=json|prom   same as passing --stats=<format>
+//   LSI_LOG_LEVEL=debug|info|warn|error   log verbosity (default info)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
+#include "obs/export.h"
 #include "text/corpus_io.h"
 
 namespace {
@@ -32,7 +49,17 @@ int Usage() {
                "  lsi_tool query <engine.bin> <query text...>\n"
                "  lsi_tool similar <engine.bin> <document-index>\n"
                "  lsi_tool related <engine.bin> <term>\n"
-               "  lsi_tool info <engine.bin>\n");
+               "  lsi_tool info <engine.bin>\n"
+               "  lsi_tool stats <engine.bin> [query text...]\n"
+               "\n"
+               "flags:\n"
+               "  --stats[=json|prom]  dump the metrics registry (solver\n"
+               "                       convergence counters, span timings)\n"
+               "                       to stdout after the command\n"
+               "\n"
+               "environment:\n"
+               "  LSI_METRICS=json|prom              same as --stats=<fmt>\n"
+               "  LSI_LOG_LEVEL=debug|info|warn|error  log verbosity\n");
   return 2;
 }
 
@@ -163,14 +190,82 @@ int CommandInfo(int argc, char** argv) {
   return 0;
 }
 
+/// `stats` subcommand: load (and optionally query) an engine purely to
+/// populate the registry, then dump it. The dump itself happens in
+/// main()'s epilogue, shared with --stats.
+int CommandStats(int argc, char** argv,
+                 lsi::obs::ExportFormat* dump_format) {
+  if (argc < 3) return Usage();
+  auto engine = lsi::core::LsiEngine::Load(argv[2]);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (argc > 3) {
+    std::string query;
+    for (int i = 3; i < argc; ++i) {
+      if (!query.empty()) query += ' ';
+      query += argv[i];
+    }
+    auto hits = engine->Query(query, 10);
+    if (!hits.ok()) {
+      std::fprintf(stderr, "query: %s\n", hits.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (*dump_format == lsi::obs::ExportFormat::kNone) {
+    *dump_format = lsi::obs::ExportFormat::kJson;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  if (std::strcmp(argv[1], "index") == 0) return CommandIndex(argc, argv);
-  if (std::strcmp(argv[1], "query") == 0) return CommandQuery(argc, argv);
-  if (std::strcmp(argv[1], "similar") == 0) return CommandSimilar(argc, argv);
-  if (std::strcmp(argv[1], "related") == 0) return CommandRelated(argc, argv);
-  if (std::strcmp(argv[1], "info") == 0) return CommandInfo(argc, argv);
-  return Usage();
+  // Strip --stats[=fmt] anywhere on the command line; positional
+  // arguments keep their usual slots.
+  lsi::obs::ExportFormat dump_format = lsi::obs::FormatFromEnv();
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      dump_format = lsi::obs::ExportFormat::kJson;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--stats=", 8) == 0) {
+      dump_format = lsi::obs::ParseExportFormat(argv[i] + 8);
+      if (dump_format == lsi::obs::ExportFormat::kNone) {
+        std::fprintf(stderr, "unknown stats format: %s\n", argv[i] + 8);
+        return 2;
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int args_count = static_cast<int>(args.size());
+  char** args_data = args.data();
+
+  if (args_count < 2) return Usage();
+  int code;
+  if (std::strcmp(args_data[1], "index") == 0) {
+    code = CommandIndex(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "query") == 0) {
+    code = CommandQuery(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "similar") == 0) {
+    code = CommandSimilar(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "related") == 0) {
+    code = CommandRelated(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "info") == 0) {
+    code = CommandInfo(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "stats") == 0) {
+    code = CommandStats(args_count, args_data, &dump_format);
+  } else {
+    return Usage();
+  }
+
+  if (code == 0 && dump_format != lsi::obs::ExportFormat::kNone) {
+    std::string rendered = lsi::obs::Export(dump_format);
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return code;
 }
