@@ -8,9 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/operators.h"
 #include "linalg/qr.h"
 #include "linalg/random_matrix.h"
 #include "model/discrete_distribution.h"
+#include "par/par.h"
 #include "text/analyzer.h"
 
 namespace {
@@ -81,6 +84,59 @@ void BM_AliasSampling(benchmark::State& state) {
   }
 }
 
+// Serial-vs-parallel throughput of the lsi::par-threaded kernels. The
+// second range argument is the thread count handed to par::SetThreads;
+// the ci bench guard compares the 1-thread and 4-thread timings of these
+// benchmarks. Each restores automatic thread resolution before exiting
+// so the thread count never leaks into other benchmarks.
+
+void BM_SparseMatVecThreads(benchmark::State& state) {
+  lsi::model::SeparableModelParams params;
+  params.num_topics = 10;
+  params.terms_per_topic = 200;
+  lsi::bench::BenchCorpus corpus = lsi::bench::MakeSeparableCorpus(
+      params, static_cast<std::size_t>(state.range(0)), 777);
+  lsi::linalg::DenseVector x(corpus.matrix.cols(), 1.0);
+  lsi::par::SetThreads(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto y = corpus.matrix.Multiply(x);
+    benchmark::DoNotOptimize(y);
+  }
+  lsi::par::SetThreads(0);
+  state.counters["nnz"] = static_cast<double>(corpus.matrix.NumNonZeros());
+}
+
+void BM_GramApplyThreads(benchmark::State& state) {
+  // One A^T (A x) round trip — the inner loop of every Gram-side solver.
+  lsi::model::SeparableModelParams params;
+  params.num_topics = 10;
+  params.terms_per_topic = 200;
+  lsi::bench::BenchCorpus corpus = lsi::bench::MakeSeparableCorpus(
+      params, static_cast<std::size_t>(state.range(0)), 779);
+  lsi::linalg::SparseOperator op(corpus.matrix);
+  lsi::linalg::GramOperator gram(op);
+  lsi::linalg::DenseVector x(gram.cols(), 1.0);
+  lsi::par::SetThreads(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto y = gram.Apply(x);
+    benchmark::DoNotOptimize(y);
+  }
+  lsi::par::SetThreads(0);
+}
+
+void BM_DenseGemmThreads(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  lsi::Rng rng(23);
+  auto a = lsi::linalg::GaussianMatrix(n, n / 2, rng);
+  auto b = lsi::linalg::GaussianMatrix(n / 2, n / 4, rng);
+  lsi::par::SetThreads(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto c = lsi::linalg::Multiply(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  lsi::par::SetThreads(0);
+}
+
 }  // namespace
 
 BENCHMARK(BM_SparseMatVec)->Arg(500)->Arg(2000)
@@ -91,5 +147,14 @@ BENCHMARK(BM_HouseholderQr)->Arg(1000)->Arg(4000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TextPipeline)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_AliasSampling);
+BENCHMARK(BM_SparseMatVecThreads)
+    ->Args({2000, 1})->Args({2000, 4})->Args({2000, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GramApplyThreads)
+    ->Args({2000, 1})->Args({2000, 4})->Args({2000, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DenseGemmThreads)
+    ->Args({600, 1})->Args({600, 4})->Args({600, 8})
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CI guard: parallel SpMV must not be slower than serial.
+
+Reads google-benchmark JSON output from bench_s1_substrate_perf and
+compares the 1-thread and 4-thread timings of the threaded kernels.
+Fails (exit 1) if the 4-thread run is slower than THRESHOLD x the
+serial throughput -- a generous bar (0.9x) so shared CI runners do not
+flake, but a parallel layer that actively hurts still trips it.
+
+Usage: bench_guard.py <benchmark_json> [--threshold 0.9]
+"""
+
+import argparse
+import json
+import sys
+
+GUARDED = ["BM_SparseMatVecThreads", "BM_GramApplyThreads"]
+SERIAL_SUFFIX = "/1"
+PARALLEL_SUFFIX = "/4"
+
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        # Repetitions share a name; keep the best run to damp CI noise.
+        t = float(bench["real_time"])
+        times[bench["name"]] = min(t, times.get(bench["name"], t))
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="google-benchmark JSON output")
+    parser.add_argument("--threshold", type=float, default=0.9,
+                        help="minimum acceptable parallel/serial speedup")
+    args = parser.parse_args()
+
+    try:
+        times = load_times(args.json_path)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench guard: cannot read {args.json_path}: {err}",
+              file=sys.stderr)
+        return 1
+    failures = []
+    checked = 0
+    for prefix in GUARDED:
+        pairs = [(name, t) for name, t in times.items()
+                 if name.startswith(prefix + "/")]
+        serial = [t for name, t in pairs if name.endswith(SERIAL_SUFFIX)]
+        parallel = [t for name, t in pairs if name.endswith(PARALLEL_SUFFIX)]
+        if not serial or not parallel:
+            failures.append(f"{prefix}: missing serial or 4-thread run")
+            continue
+        speedup = serial[0] / parallel[0]
+        checked += 1
+        status = "ok" if speedup >= args.threshold else "FAIL"
+        print(f"{prefix}: serial {serial[0]:.1f}, 4-thread "
+              f"{parallel[0]:.1f}, speedup {speedup:.2f}x [{status}]")
+        if speedup < args.threshold:
+            failures.append(
+                f"{prefix}: 4-thread speedup {speedup:.2f}x below "
+                f"threshold {args.threshold}x")
+
+    if not checked and not failures:
+        failures.append("no guarded benchmarks found in the JSON output")
+    for failure in failures:
+        print(f"bench guard: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 #include "linalg/matrix_io.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "par/parallel_for.h"
 
 namespace lsi::core {
 namespace {
@@ -135,6 +136,31 @@ Result<std::vector<EngineHit>> LsiEngine::Query(std::string_view query_text,
   }
   registry.GetHistogram("lsi.engine.query.latency_ms")
       .Observe(latency.ElapsedMillis());
+  return hits;
+}
+
+Result<std::vector<std::vector<EngineHit>>> LsiEngine::QueryBatch(
+    const std::vector<std::string>& queries, std::size_t top_k) const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("lsi.engine.batch_queries").Increment();
+  registry.GetCounter("lsi.engine.batch_query_items").Increment(queries.size());
+  // No enclosing span: each query records its usual "engine.query" span,
+  // and span paths thread-locally nest — a batch span would prefix only
+  // the queries that happen to run on the submitting thread.
+  std::vector<Result<std::vector<EngineHit>>> per_query(
+      queries.size(), std::vector<EngineHit>{});
+  par::ParallelFor(0, queries.size(), 1,
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       per_query[i] = Query(queries[i], top_k);
+                     }
+                   });
+  std::vector<std::vector<EngineHit>> hits;
+  hits.reserve(queries.size());
+  for (Result<std::vector<EngineHit>>& result : per_query) {
+    if (!result.ok()) return result.status();
+    hits.push_back(std::move(result).value());
+  }
   return hits;
 }
 

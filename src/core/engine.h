@@ -58,6 +58,15 @@ class LsiEngine {
   Result<std::vector<EngineHit>> Query(std::string_view query_text,
                                        std::size_t top_k = 10) const;
 
+  /// Scores a batch of free-text queries, element i of the result pairing
+  /// with queries[i]. Queries are independent, so the batch fans out
+  /// across lsi::par threads (LSI_THREADS); each query records the same
+  /// metrics and spans as a standalone Query() call, and results are
+  /// identical to issuing the queries one at a time. Fails with the
+  /// first (lowest-index) query's error if any query fails.
+  Result<std::vector<std::vector<EngineHit>>> QueryBatch(
+      const std::vector<std::string>& queries, std::size_t top_k = 10) const;
+
   /// Ranks documents similar to an already-indexed document ("more like
   /// this"). The document itself is excluded from the results.
   Result<std::vector<EngineHit>> MoreLikeThis(std::size_t document,

@@ -1,12 +1,19 @@
 #include "core/kmeans.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "common/rng.h"
+#include "par/parallel_for.h"
 
 namespace lsi::core {
 namespace {
+
+/// Point-range grain for the parallel assignment step; fixed so the
+/// partition (and the chunked inertia reduction) is reproducible across
+/// thread counts.
+constexpr std::size_t kAssignGrain = 256;
 
 double SquaredDistanceToRow(const linalg::DenseMatrix& points, std::size_t p,
                             const linalg::DenseMatrix& centroids,
@@ -68,24 +75,32 @@ KMeansResult RunOnce(const linalg::DenseMatrix& points, std::size_t k,
 
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
-    bool changed = false;
-    for (std::size_t p = 0; p < n; ++p) {
-      double best = std::numeric_limits<double>::max();
-      std::size_t best_c = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        double d = SquaredDistanceToRow(points, p, result.centroids, c);
-        if (d < best) {
-          best = d;
-          best_c = c;
-        }
-      }
-      if (result.cluster_of_point[p] != best_c) {
-        result.cluster_of_point[p] = best_c;
-        changed = true;
-      }
-    }
-    if (!changed && iter > 0) break;
+    // Assignment step: every point's nearest centroid is independent, so
+    // parallelize over point ranges. Writes to cluster_of_point are
+    // disjoint and the changed flag is an order-independent OR, so the
+    // outcome is identical at every thread count.
+    std::atomic<bool> changed{false};
+    par::ParallelFor(
+        0, n, kAssignGrain, [&](std::size_t begin, std::size_t end) {
+          bool chunk_changed = false;
+          for (std::size_t p = begin; p < end; ++p) {
+            double best = std::numeric_limits<double>::max();
+            std::size_t best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+              double d = SquaredDistanceToRow(points, p, result.centroids, c);
+              if (d < best) {
+                best = d;
+                best_c = c;
+              }
+            }
+            if (result.cluster_of_point[p] != best_c) {
+              result.cluster_of_point[p] = best_c;
+              chunk_changed = true;
+            }
+          }
+          if (chunk_changed) changed.store(true, std::memory_order_relaxed);
+        });
+    if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
 
     // Update step.
     linalg::DenseMatrix sums(k, dim, 0.0);
@@ -111,11 +126,19 @@ KMeansResult RunOnce(const linalg::DenseMatrix& points, std::size_t k,
     }
   }
 
-  result.inertia = 0.0;
-  for (std::size_t p = 0; p < n; ++p) {
-    result.inertia += SquaredDistanceToRow(points, p, result.centroids,
-                                           result.cluster_of_point[p]);
-  }
+  // Chunked inertia reduction, folded in fixed chunk order — the same
+  // value at every thread count (restart selection depends on it).
+  result.inertia = par::ParallelReduce(
+      std::size_t{0}, n, kAssignGrain, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        for (std::size_t p = begin; p < end; ++p) {
+          acc += SquaredDistanceToRow(points, p, result.centroids,
+                                      result.cluster_of_point[p]);
+        }
+        return acc;
+      },
+      [](double acc, double partial) { return acc + partial; });
   return result;
 }
 

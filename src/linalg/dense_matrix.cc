@@ -4,8 +4,23 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "par/parallel_for.h"
 
 namespace lsi::linalg {
+namespace {
+
+// Target floating-point operations per parallel chunk. Grains derived
+// from it depend only on matrix shapes (never the thread count), so
+// partitions — and results — are reproducible across LSI_THREADS
+// settings; small products collapse to a single chunk and stay serial.
+constexpr std::size_t kTargetChunkFlops = 1 << 16;
+
+std::size_t FlopGrain(std::size_t flops_per_index) {
+  return std::max<std::size_t>(1, kTargetChunkFlops /
+                                      std::max<std::size_t>(1, flops_per_index));
+}
+
+}  // namespace
 
 DenseMatrix::DenseMatrix(
     std::initializer_list<std::initializer_list<double>> rows) {
@@ -110,73 +125,107 @@ double DenseMatrix::FrobeniusNorm() const {
 DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
   LSI_CHECK(a.cols() == b.rows());
   DenseMatrix c(a.rows(), b.cols(), 0.0);
-  // i-k-j loop order: streams through rows of b, cache friendly.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.RowPtr(i);
-    const double* arow = a.RowPtr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // Row-parallel over disjoint output rows; each row keeps the serial
+  // i-k-j order (streams through rows of b, cache friendly), so the
+  // result is bit-identical to the serial kernel at any thread count.
+  par::ParallelFor(
+      0, a.rows(), FlopGrain(a.cols() * b.cols()),
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          double* crow = c.RowPtr(i);
+          const double* arow = a.RowPtr(i);
+          for (std::size_t k = 0; k < a.cols(); ++k) {
+            double aik = arow[k];
+            if (aik == 0.0) continue;
+            const double* brow = b.RowPtr(k);
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+          }
+        }
+      });
   return c;
 }
 
 DenseMatrix MultiplyAtB(const DenseMatrix& a, const DenseMatrix& b) {
   LSI_CHECK(a.rows() == b.rows());
   DenseMatrix c(a.cols(), b.cols(), 0.0);
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.RowPtr(k);
-    const double* brow = b.RowPtr(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.RowPtr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  // The k-outer accumulation writes every output row, so parallelize
+  // over disjoint *column* slices of c instead; each slice sees the same
+  // k-ascending addition order as the serial kernel (bit-identical).
+  par::ParallelFor(
+      0, b.cols(), FlopGrain(a.rows() * a.cols()),
+      [&](std::size_t col_begin, std::size_t col_end) {
+        for (std::size_t k = 0; k < a.rows(); ++k) {
+          const double* arow = a.RowPtr(k);
+          const double* brow = b.RowPtr(k);
+          for (std::size_t i = 0; i < a.cols(); ++i) {
+            double aki = arow[i];
+            if (aki == 0.0) continue;
+            double* crow = c.RowPtr(i);
+            for (std::size_t j = col_begin; j < col_end; ++j) {
+              crow[j] += aki * brow[j];
+            }
+          }
+        }
+      });
   return c;
 }
 
 DenseMatrix MultiplyABt(const DenseMatrix& a, const DenseMatrix& b) {
   LSI_CHECK(a.cols() == b.cols());
   DenseMatrix c(a.rows(), b.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
-  }
+  // Row-parallel over disjoint output rows; bit-identical to serial.
+  par::ParallelFor(
+      0, a.rows(), FlopGrain(b.rows() * a.cols()),
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          const double* arow = a.RowPtr(i);
+          double* crow = c.RowPtr(i);
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            const double* brow = b.RowPtr(j);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+            crow[j] = acc;
+          }
+        }
+      });
   return c;
 }
 
 DenseVector Multiply(const DenseMatrix& a, const DenseVector& x) {
   LSI_CHECK(x.size() == a.cols());
   DenseVector y(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.RowPtr(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    y[i] = acc;
-  }
+  // Row-parallel; disjoint outputs, bit-identical to serial.
+  par::ParallelFor(0, a.rows(), FlopGrain(a.cols()),
+                   [&](std::size_t row_begin, std::size_t row_end) {
+                     for (std::size_t i = row_begin; i < row_end; ++i) {
+                       const double* row = a.RowPtr(i);
+                       double acc = 0.0;
+                       for (std::size_t j = 0; j < a.cols(); ++j) {
+                         acc += row[j] * x[j];
+                       }
+                       y[i] = acc;
+                     }
+                   });
   return y;
 }
 
 DenseVector MultiplyTranspose(const DenseMatrix& a, const DenseVector& x) {
   LSI_CHECK(x.size() == a.rows());
   DenseVector y(a.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.RowPtr(i);
-    double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
-  }
+  // The row-major scatter writes every output entry, so parallelize over
+  // disjoint column slices of y. Each y[j] still receives its additions
+  // in ascending-i order, exactly as the serial kernel (bit-identical).
+  par::ParallelFor(0, a.cols(), FlopGrain(a.rows()),
+                   [&](std::size_t col_begin, std::size_t col_end) {
+                     for (std::size_t i = 0; i < a.rows(); ++i) {
+                       const double* row = a.RowPtr(i);
+                       double xi = x[i];
+                       if (xi == 0.0) continue;
+                       for (std::size_t j = col_begin; j < col_end; ++j) {
+                         y[j] += row[j] * xi;
+                       }
+                     }
+                   });
   return y;
 }
 

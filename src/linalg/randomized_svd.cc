@@ -6,28 +6,39 @@
 #include "linalg/qr.h"
 #include "linalg/svd.h"
 #include "linalg/svd_telemetry.h"
+#include "par/parallel_for.h"
 
 namespace lsi::linalg {
 namespace {
 
 /// Applies `a` to each column of `x`: returns A * X as a dense matrix.
+/// Columns are independent and write disjoint output columns, so the
+/// block multiply parallelizes across them (one chunk per column; any
+/// parallel kernel nested inside a.Apply runs serially there). Results
+/// are bit-identical at every thread count.
 DenseMatrix ApplyToColumns(const LinearOperator& a, const DenseMatrix& x) {
   DenseMatrix y(a.rows(), x.cols());
-  for (std::size_t j = 0; j < x.cols(); ++j) {
-    DenseVector col = a.Apply(x.Column(j));
-    y.SetColumn(j, col);
-  }
+  par::ParallelFor(0, x.cols(), 1,
+                   [&](std::size_t col_begin, std::size_t col_end) {
+                     for (std::size_t j = col_begin; j < col_end; ++j) {
+                       DenseVector col = a.Apply(x.Column(j));
+                       y.SetColumn(j, col);
+                     }
+                   });
   return y;
 }
 
-/// Returns A^T * X as a dense matrix.
+/// Returns A^T * X as a dense matrix (column-parallel, see above).
 DenseMatrix ApplyTransposeToColumns(const LinearOperator& a,
                                     const DenseMatrix& x) {
   DenseMatrix y(a.cols(), x.cols());
-  for (std::size_t j = 0; j < x.cols(); ++j) {
-    DenseVector col = a.ApplyTranspose(x.Column(j));
-    y.SetColumn(j, col);
-  }
+  par::ParallelFor(0, x.cols(), 1,
+                   [&](std::size_t col_begin, std::size_t col_end) {
+                     for (std::size_t j = col_begin; j < col_end; ++j) {
+                       DenseVector col = a.ApplyTranspose(x.Column(j));
+                       y.SetColumn(j, col);
+                     }
+                   });
   return y;
 }
 

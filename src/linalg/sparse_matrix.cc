@@ -4,8 +4,22 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "par/parallel_for.h"
 
 namespace lsi::linalg {
+namespace {
+
+// Row-range grain for parallel SpMV kernels. Fixed (never derived from
+// the thread count) so the chunked-reduction partition — and therefore
+// the floating-point result — is identical at every LSI_THREADS setting.
+constexpr std::size_t kSpmvRowGrain = 128;
+
+// Matrices below this many nonzeros aren't worth a parallel region at
+// any thread count; a size-only threshold keeps the serial/parallel
+// decision deterministic too.
+constexpr std::size_t kMinParallelNnz = 1 << 14;
+
+}  // namespace
 
 SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), row_offsets_(rows + 1, 0) {}
@@ -61,55 +75,106 @@ SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense,
 DenseVector SparseMatrix::Multiply(const DenseVector& x) const {
   LSI_CHECK(x.size() == cols_);
   DenseVector y(rows_, 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double acc = 0.0;
-    for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-      acc += values_[p] * x[col_indices_[p]];
+  // Row-parallel: each output y[i] is owned by exactly one chunk and
+  // computed by the same serial inner loop as before, so the result is
+  // bit-identical to the serial kernel at any thread count.
+  auto rows_kernel = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+        acc += values_[p] * x[col_indices_[p]];
+      }
+      y[i] = acc;
     }
-    y[i] = acc;
+  };
+  if (values_.size() < kMinParallelNnz) {
+    rows_kernel(0, rows_);
+  } else {
+    par::ParallelFor(0, rows_, kSpmvRowGrain, rows_kernel);
   }
   return y;
 }
 
 DenseVector SparseMatrix::MultiplyTranspose(const DenseVector& x) const {
   LSI_CHECK(x.size() == rows_);
-  DenseVector y(cols_, 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-      y[col_indices_[p]] += values_[p] * xi;
+  // CSR scatters row contributions into shared output columns, so the
+  // parallel version reduces over row chunks: each chunk accumulates a
+  // private vector and the partials are folded in fixed chunk order.
+  // The partition and fold order depend only on the matrix shape, so the
+  // result is bit-identical at every LSI_THREADS setting.
+  auto scatter_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    DenseVector y(cols_, 0.0);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      double xi = x[i];
+      if (xi == 0.0) continue;
+      for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+        y[col_indices_[p]] += values_[p] * xi;
+      }
     }
+    return y;
+  };
+  if (values_.size() < kMinParallelNnz) {
+    return scatter_rows(0, rows_);
   }
-  return y;
+  return par::ParallelReduce(
+      std::size_t{0}, rows_, kSpmvRowGrain, DenseVector(cols_, 0.0),
+      scatter_rows, [](DenseVector acc, DenseVector partial) {
+        acc.Axpy(1.0, partial);
+        return acc;
+      });
 }
 
 DenseMatrix SparseMatrix::MultiplyDense(const DenseMatrix& b) const {
   LSI_CHECK(b.rows() == cols_);
   DenseMatrix c(rows_, b.cols(), 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double* crow = c.RowPtr(i);
-    for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-      double v = values_[p];
-      const double* brow = b.RowPtr(col_indices_[p]);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+  // Row-parallel with disjoint output rows; bit-identical to serial.
+  auto rows_kernel = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      double* crow = c.RowPtr(i);
+      for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+        double v = values_[p];
+        const double* brow = b.RowPtr(col_indices_[p]);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+      }
     }
+  };
+  if (values_.size() * b.cols() < kMinParallelNnz) {
+    rows_kernel(0, rows_);
+  } else {
+    par::ParallelFor(0, rows_, kSpmvRowGrain, rows_kernel);
   }
   return c;
 }
 
 DenseMatrix SparseMatrix::MultiplyTransposeDense(const DenseMatrix& b) const {
   LSI_CHECK(b.rows() == rows_);
-  DenseMatrix c(cols_, b.cols(), 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* brow = b.RowPtr(i);
-    for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-      double v = values_[p];
-      double* crow = c.RowPtr(col_indices_[p]);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+  // Scatter into shared output rows -> reduce over row chunks with
+  // private panels folded in chunk order (cf. MultiplyTranspose).
+  auto scatter_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    DenseMatrix c(cols_, b.cols(), 0.0);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const double* brow = b.RowPtr(i);
+      for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+        double v = values_[p];
+        double* crow = c.RowPtr(col_indices_[p]);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+      }
     }
+    return c;
+  };
+  if (values_.size() * b.cols() < kMinParallelNnz) {
+    return scatter_rows(0, rows_);
   }
-  return c;
+  return par::ParallelReduce(
+      std::size_t{0}, rows_, kSpmvRowGrain,
+      DenseMatrix(cols_, b.cols(), 0.0), scatter_rows,
+      [](DenseMatrix acc, DenseMatrix partial) {
+        double* a = acc.data();
+        const double* p = partial.data();
+        const std::size_t size = acc.rows() * acc.cols();
+        for (std::size_t i = 0; i < size; ++i) a[i] += p[i];
+        return acc;
+      });
 }
 
 DenseMatrix SparseMatrix::ToDense() const {

@@ -1,0 +1,209 @@
+#include "par/par.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "par/parallel_for.h"
+
+namespace lsi::par {
+namespace {
+
+/// Process-wide scheduler configuration + lazily created pool.
+/// Intentionally leaked so parallel regions in static destructors (or
+/// late metric exports) never race pool teardown at exit.
+struct Scheduler {
+  std::mutex mutex;
+  std::size_t resolved = 0;  // 0 = automatic value not yet latched.
+  std::shared_ptr<ThreadPool> pool;
+};
+
+Scheduler& GetScheduler() {
+  static Scheduler* scheduler = new Scheduler;
+  return *scheduler;
+}
+
+thread_local bool tl_in_parallel_region = false;
+
+// Hot-path metric handles: looked up once, incremented lock-free after.
+obs::Counter& RegionsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("lsi.par.regions");
+  return counter;
+}
+
+obs::Counter& SerialRegionsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("lsi.par.regions.serial");
+  return counter;
+}
+
+obs::Counter& TasksCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("lsi.par.tasks");
+  return counter;
+}
+
+obs::Gauge& WaitGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("lsi.par.wait_ms");
+  return gauge;
+}
+
+void PublishThreadsGauge(std::size_t threads) {
+  obs::MetricsRegistry::Global()
+      .GetGauge("lsi.par.threads")
+      .Set(static_cast<double>(threads));
+}
+
+std::size_t ResolvedLocked(Scheduler& scheduler) {
+  if (scheduler.resolved == 0) {
+    scheduler.resolved = AutoThreads();
+    PublishThreadsGauge(scheduler.resolved);
+  }
+  return scheduler.resolved;
+}
+
+}  // namespace
+
+std::size_t internal::ParseThreadsEnv(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return 0;  // Not a clean number.
+  // Clamp absurd values; a pool of thousands of threads is never intended.
+  constexpr unsigned long long kMaxThreads = 1024;
+  if (parsed > kMaxThreads) parsed = kMaxThreads;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t AutoThreads() {
+  std::size_t from_env = internal::ParseThreadsEnv(std::getenv("LSI_THREADS"));
+  if (from_env > 0) return from_env;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t Threads() {
+  Scheduler& scheduler = GetScheduler();
+  std::lock_guard<std::mutex> lock(scheduler.mutex);
+  return ResolvedLocked(scheduler);
+}
+
+void SetThreads(std::size_t threads) {
+  Scheduler& scheduler = GetScheduler();
+  std::shared_ptr<ThreadPool> retired;  // Destroyed outside the lock.
+  {
+    std::lock_guard<std::mutex> lock(scheduler.mutex);
+    scheduler.resolved = threads == 0 ? AutoThreads() : threads;
+    if (scheduler.pool != nullptr &&
+        scheduler.pool->num_workers() + 1 != scheduler.resolved) {
+      retired = std::move(scheduler.pool);
+    }
+    PublishThreadsGauge(scheduler.resolved);
+  }
+}
+
+std::shared_ptr<ThreadPool> internal::AcquirePool() {
+  Scheduler& scheduler = GetScheduler();
+  std::lock_guard<std::mutex> lock(scheduler.mutex);
+  std::size_t threads = ResolvedLocked(scheduler);
+  if (threads <= 1) return nullptr;
+  if (scheduler.pool == nullptr) {
+    // The calling thread participates in every region, so a T-thread
+    // configuration needs T-1 pool workers.
+    scheduler.pool = std::make_shared<ThreadPool>(threads - 1);
+  }
+  return scheduler.pool;
+}
+
+std::size_t internal::NumChunks(std::size_t size, std::size_t grain) {
+  if (size == 0) return 0;
+  if (grain == 0) grain = kDefaultGrain;
+  return (size + grain - 1) / grain;
+}
+
+bool internal::InParallelRegion() { return tl_in_parallel_region; }
+
+bool internal::ShouldRunParallel(std::size_t num_chunks) {
+  if (num_chunks <= 1 || tl_in_parallel_region) return false;
+  return Threads() > 1;
+}
+
+void internal::RunChunks(std::size_t num_chunks,
+                         const std::function<void(std::size_t)>& chunk_fn) {
+  if (num_chunks == 0) return;
+  TasksCounter().Increment(num_chunks);
+
+  std::shared_ptr<ThreadPool> pool;
+  if (ShouldRunParallel(num_chunks)) pool = AcquirePool();
+  const std::size_t helpers =
+      pool == nullptr ? 0 : std::min(pool->num_workers(), num_chunks - 1);
+
+  if (helpers == 0) {
+    // Serial fast path: no pool, no synchronization, chunks in order.
+    // The nesting flag stays untouched so a nested construct below a
+    // merely-small outer range can still go parallel.
+    SerialRegionsCounter().Increment();
+    for (std::size_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+    return;
+  }
+
+  RegionsCounter().Increment();
+  struct Region {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::size_t pending_helpers = 0;
+    std::exception_ptr error;  // First failure; guarded by mutex.
+  };
+  Region region;
+  region.pending_helpers = helpers;
+
+  // Claims chunks from the shared cursor until none remain (or a chunk
+  // failed). Runs on the calling thread and every helper.
+  const auto drain = [&region, &chunk_fn, num_chunks] {
+    bool saved = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    for (;;) {
+      if (region.abort.load(std::memory_order_relaxed)) break;
+      std::size_t c = region.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      try {
+        chunk_fn(c);
+      } catch (...) {
+        region.abort.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(region.mutex);
+        if (region.error == nullptr) region.error = std::current_exception();
+      }
+    }
+    tl_in_parallel_region = saved;
+  };
+
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // Safe to capture the stack frame by reference: the caller blocks
+    // until every submitted helper has run to completion.
+    pool->Submit([&region, &drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(region.mutex);
+      if (--region.pending_helpers == 0) region.done.notify_one();
+    });
+  }
+
+  drain();
+  Timer wait_timer;
+  {
+    std::unique_lock<std::mutex> lock(region.mutex);
+    region.done.wait(lock, [&region] { return region.pending_helpers == 0; });
+  }
+  WaitGauge().Add(wait_timer.ElapsedMillis());
+  if (region.error != nullptr) std::rethrow_exception(region.error);
+}
+
+}  // namespace lsi::par

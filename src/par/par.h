@@ -1,0 +1,64 @@
+#ifndef LSI_PAR_PAR_H_
+#define LSI_PAR_PAR_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "par/thread_pool.h"
+
+namespace lsi::par {
+
+/// Options controlling the process-wide parallel scheduler.
+struct ParOptions {
+  /// Number of threads parallel regions may use, including the calling
+  /// thread. 0 means automatic: the LSI_THREADS environment variable if
+  /// set, otherwise std::thread::hardware_concurrency(). 1 selects the
+  /// serial fast path (no pool is ever created, zero overhead).
+  std::size_t threads = 0;
+};
+
+/// Number of threads "automatic" resolves to on this machine (the env
+/// override included). Always >= 1.
+std::size_t AutoThreads();
+
+/// The effective thread count parallel regions currently use. Resolves
+/// and latches the automatic value on first call. Always >= 1.
+std::size_t Threads();
+
+/// Reconfigures the process-wide scheduler. 0 restores automatic
+/// resolution (LSI_THREADS / hardware_concurrency). Safe to call between
+/// parallel regions; do not call concurrently with one. Intended for
+/// tools (--threads), benchmarks, and tests.
+void SetThreads(std::size_t threads);
+
+/// Applies `options` to the process-wide scheduler (SetThreads spelling
+/// for option-struct plumbing).
+inline void Configure(const ParOptions& options) { SetThreads(options.threads); }
+
+namespace internal {
+
+/// Parses an LSI_THREADS-style value: empty/invalid -> 0 (automatic).
+std::size_t ParseThreadsEnv(const char* value);
+
+/// True while the current thread is executing a parallel chunk; nested
+/// parallel constructs detect this and run serially instead of
+/// re-entering the pool (which could deadlock a fixed-size pool).
+bool InParallelRegion();
+
+/// Shared pool handle for the current configuration, or nullptr when the
+/// effective thread count is 1. The shared_ptr keeps the pool alive for
+/// regions that raced with a SetThreads() reconfiguration.
+std::shared_ptr<ThreadPool> AcquirePool();
+
+/// Number of chunks the range [0, size) splits into at the given grain.
+/// Depends ONLY on size and grain — never on the thread count — so a
+/// reduction folded in chunk order is bit-identical for any LSI_THREADS.
+std::size_t NumChunks(std::size_t size, std::size_t grain);
+
+/// Default grain when a caller passes 0.
+inline constexpr std::size_t kDefaultGrain = 1024;
+
+}  // namespace internal
+}  // namespace lsi::par
+
+#endif  // LSI_PAR_PAR_H_

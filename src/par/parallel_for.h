@@ -1,0 +1,104 @@
+#ifndef LSI_PAR_PARALLEL_FOR_H_
+#define LSI_PAR_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "par/par.h"
+
+namespace lsi::par {
+
+namespace internal {
+
+/// Executes chunk_fn(c) for every c in [0, num_chunks), spreading chunks
+/// across the pool (the calling thread always participates). Runs
+/// serially, in chunk order, when the effective thread count is 1, when
+/// there is a single chunk, or when already inside a parallel region
+/// (nested constructs never re-enter the pool). The first exception a
+/// chunk throws aborts unclaimed chunks and is rethrown on the caller.
+void RunChunks(std::size_t num_chunks,
+               const std::function<void(std::size_t)>& chunk_fn);
+
+/// True when RunChunks would actually use helper threads right now.
+bool ShouldRunParallel(std::size_t num_chunks);
+
+}  // namespace internal
+
+/// Splits [begin, end) into contiguous chunks of at most `grain` indices
+/// (0 selects a default) and invokes fn(chunk_begin, chunk_end) for each,
+/// in parallel across the scheduler's threads.
+///
+/// The partition depends only on the range size and grain — never on the
+/// thread count — and chunks are disjoint, so any fn that writes only
+/// locations indexed by its own chunk produces bit-identical results at
+/// every LSI_THREADS setting (and identical to a plain serial loop).
+template <typename Fn>
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 Fn&& fn) {
+  if (begin >= end) return;
+  const std::size_t size = end - begin;
+  if (grain == 0) grain = internal::kDefaultGrain;
+  const std::size_t chunks = internal::NumChunks(size, grain);
+  if (chunks == 1) {
+    fn(begin, end);
+    return;
+  }
+  internal::RunChunks(chunks, [&](std::size_t c) {
+    const std::size_t chunk_begin = begin + c * grain;
+    const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+    fn(chunk_begin, chunk_end);
+  });
+}
+
+/// Chunked reduction over [begin, end):
+///   acc = identity
+///   for each chunk c in order: acc = combine(acc, map(c_begin, c_end))
+/// with the map calls running in parallel and the fold applied in chunk
+/// order afterwards.
+///
+/// Because the partition depends only on (size, grain) and the fold order
+/// is fixed, the result is bit-identical for every thread count —
+/// including 1 — even for non-associative floating-point combines. (It
+/// may differ in the last ulp from an unchunked serial loop; callers that
+/// need that exact grouping should not chunk at all.)
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(std::size_t begin, std::size_t end, std::size_t grain,
+                 T identity, Map&& map, Combine&& combine) {
+  if (begin >= end) return identity;
+  const std::size_t size = end - begin;
+  if (grain == 0) grain = internal::kDefaultGrain;
+  const std::size_t chunks = internal::NumChunks(size, grain);
+  if (chunks == 1) {
+    return combine(std::move(identity), map(begin, end));
+  }
+  const auto chunk_begin = [&](std::size_t c) { return begin + c * grain; };
+  const auto chunk_end = [&](std::size_t c) {
+    return std::min(end, begin + (c + 1) * grain);
+  };
+  if (!internal::ShouldRunParallel(chunks)) {
+    // Serial fast path: fold as we go — same chunks, same order, same
+    // grouping as the parallel path, without materializing partials.
+    T acc = std::move(identity);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      acc = combine(std::move(acc), map(chunk_begin(c), chunk_end(c)));
+    }
+    return acc;
+  }
+  std::vector<std::optional<T>> partials(chunks);
+  internal::RunChunks(chunks, [&](std::size_t c) {
+    partials[c].emplace(map(chunk_begin(c), chunk_end(c)));
+  });
+  T acc = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(*partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace lsi::par
+
+#endif  // LSI_PAR_PARALLEL_FOR_H_

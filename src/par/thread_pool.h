@@ -1,0 +1,57 @@
+#ifndef LSI_PAR_THREAD_POOL_H_
+#define LSI_PAR_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsi::par {
+
+/// A fixed-size pool of worker threads draining a blocking task queue.
+///
+/// This is deliberately the simplest thing that works: no work stealing,
+/// one mutex-protected deque, workers sleeping on a condition variable.
+/// The parallel helpers built on top (ParallelFor / ParallelReduce)
+/// submit a handful of coarse chunk-runner tasks per call, so queue
+/// contention is negligible next to the chunk work itself.
+///
+/// Lifecycle: the destructor waits for queued tasks to finish and joins
+/// every worker. Submit() after shutdown started is a programming error.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is allowed and spawns none; Submit
+  /// then runs tasks inline).
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker thread. Tasks must not
+  /// block waiting for other queued tasks (the parallel helpers never
+  /// do: the submitting thread always participates in its own region).
+  void Submit(std::function<void()> task);
+
+  /// Number of tasks executed by pool workers since construction.
+  std::size_t tasks_executed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::size_t tasks_executed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lsi::par
+
+#endif  // LSI_PAR_THREAD_POOL_H_

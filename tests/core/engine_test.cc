@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "par/par.h"
 #include "text/analyzer.h"
 
 namespace lsi::core {
@@ -90,6 +91,40 @@ TEST(LsiEngineTest, UnknownQueryTermsIgnored) {
   auto hits = engine->Query("zzz qqq xyzzy", 3);
   ASSERT_TRUE(hits.ok());
   EXPECT_TRUE(hits->empty());
+}
+
+TEST(LsiEngineTest, QueryBatchMatchesIndividualQueries) {
+  auto engine = LsiEngine::Build(ThreeTopicCorpus(), SmallOptions());
+  ASSERT_TRUE(engine.ok());
+  std::vector<std::string> queries = {
+      "astronauts near the moon", "baking breads",
+      "zzz qqq xyzzy",            "automobile engine repair",
+      "garlic tomato sauce",      "rocket orbit station"};
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    par::SetThreads(threads);
+    auto batched = engine->QueryBatch(queries, 3);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    ASSERT_EQ(batched->size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      auto single = engine->Query(queries[i], 3);
+      ASSERT_TRUE(single.ok());
+      ASSERT_EQ((*batched)[i].size(), single->size()) << "query " << i;
+      for (std::size_t h = 0; h < single->size(); ++h) {
+        EXPECT_EQ((*batched)[i][h].document, (*single)[h].document);
+        EXPECT_EQ((*batched)[i][h].score, (*single)[h].score);
+        EXPECT_EQ((*batched)[i][h].document_name, (*single)[h].document_name);
+      }
+    }
+  }
+  par::SetThreads(0);
+}
+
+TEST(LsiEngineTest, QueryBatchEmptyInput) {
+  auto engine = LsiEngine::Build(ThreeTopicCorpus(), SmallOptions());
+  ASSERT_TRUE(engine.ok());
+  auto batched = engine->QueryBatch({}, 5);
+  ASSERT_TRUE(batched.ok());
+  EXPECT_TRUE(batched->empty());
 }
 
 TEST(LsiEngineTest, MoreLikeThisFindsTopicMate) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "par/par.h"
 
 namespace lsi::core {
 namespace {
@@ -104,6 +105,32 @@ TEST(KMeansTest, MoreRestartsNeverWorse) {
   auto r8 = KMeans(points, 5, many);
   ASSERT_TRUE(r1.ok() && r8.ok());
   EXPECT_LE(r8->inertia, r1->inertia + 1e-9);
+}
+
+TEST(KMeansTest, BitIdenticalAcrossThreadCounts) {
+  // Large enough that the parallel assignment/inertia paths engage
+  // (assignment grain is 256 points). The partition depends only on the
+  // point count, so labels and inertia must agree exactly.
+  Rng rng(507);
+  DenseMatrix points(1200, 3);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) points(i, j) = rng.Uniform(-5, 5);
+  }
+  KMeansOptions options;
+  options.seed = 91;
+  par::SetThreads(1);
+  auto serial = KMeans(points, 6, options);
+  par::SetThreads(8);
+  auto parallel = KMeans(points, 6, options);
+  par::SetThreads(0);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(serial->cluster_of_point, parallel->cluster_of_point);
+  EXPECT_EQ(serial->inertia, parallel->inertia);  // Exact, not a tolerance.
+  for (std::size_t i = 0; i < serial->centroids.rows(); ++i) {
+    for (std::size_t j = 0; j < serial->centroids.cols(); ++j) {
+      EXPECT_EQ(serial->centroids(i, j), parallel->centroids(i, j));
+    }
+  }
 }
 
 TEST(KMeansTest, DuplicatePointsHandled) {

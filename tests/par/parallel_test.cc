@@ -1,0 +1,246 @@
+#include "par/parallel_for.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "par/par.h"
+#include "par/thread_pool.h"
+
+namespace lsi::par {
+namespace {
+
+/// Restores the scheduler to automatic resolution when a test finishes,
+/// so thread-count overrides never leak into other tests.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetThreads(0); }
+};
+
+TEST_F(ParallelTest, ThreadPoolRunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // The destructor drains the queue; check after scope instead of
+  // spinning. A second pool scope keeps the first alive until joined.
+  while (ran.load(std::memory_order_relaxed) < 50) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), 50);
+  EXPECT_EQ(pool.tasks_executed(), 50u);
+}
+
+TEST_F(ParallelTest, ThreadPoolWithZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(pool.num_workers(), 0u);
+}
+
+TEST_F(ParallelTest, ParallelForCoversRangeExactlyOnce) {
+  SetThreads(4);
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(0, touched.size(), 64,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  touched[i].fetch_add(1, std::memory_order_relaxed);
+                }
+              });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, ParallelForEmptyRangeNeverInvokes) {
+  SetThreads(4);
+  bool invoked = false;
+  ParallelFor(5, 5, 8, [&](std::size_t, std::size_t) { invoked = true; });
+  ParallelFor(7, 3, 8, [&](std::size_t, std::size_t) { invoked = true; });
+  EXPECT_FALSE(invoked);
+}
+
+TEST_F(ParallelTest, ParallelForGrainLargerThanSizeRunsOneInlineChunk) {
+  SetThreads(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  ParallelFor(10, 20, 1000, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 10u);
+    EXPECT_EQ(end, 20u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST_F(ParallelTest, ParallelForChunkBoundsPartitionTheRange) {
+  SetThreads(1);  // Serial: chunk order is deterministic, collect bounds.
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  ParallelFor(3, 25, 8, [&](std::size_t begin, std::size_t end) {
+    chunks.push_back({begin, end});
+  });
+  ASSERT_EQ(chunks.size(), 3u);  // ceil(22 / 8).
+  const std::size_t expected[3][2] = {{3, 11}, {11, 19}, {19, 25}};
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(chunks[c].first, expected[c][0]) << "chunk " << c;
+    EXPECT_EQ(chunks[c].second, expected[c][1]) << "chunk " << c;
+  }
+}
+
+TEST_F(ParallelTest, ParallelForPropagatesExceptionsSerial) {
+  SetThreads(1);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 10,
+                  [](std::size_t begin, std::size_t) {
+                    if (begin >= 50) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST_F(ParallelTest, ParallelForPropagatesExceptionsParallel) {
+  SetThreads(4);
+  EXPECT_THROW(ParallelFor(0, 1000, 10,
+                           [](std::size_t, std::size_t) {
+                             throw std::runtime_error("chunk failed");
+                           }),
+               std::runtime_error);
+  // The pool must still be usable after an aborted region.
+  std::atomic<int> sum{0};
+  ParallelFor(0, 100, 10, [&](std::size_t begin, std::size_t end) {
+    sum.fetch_add(static_cast<int>(end - begin), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsSeriallyInside) {
+  SetThreads(4);
+  std::atomic<int> total{0};
+  ParallelFor(0, 8, 1, [&](std::size_t, std::size_t) {
+    EXPECT_TRUE(internal::InParallelRegion() || Threads() == 1);
+    // Nested construct must complete correctly (serially, no deadlock).
+    ParallelFor(0, 100, 10, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(static_cast<int>(end - begin),
+                      std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST_F(ParallelTest, ParallelReduceSumsCorrectly) {
+  SetThreads(4);
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 1.0);
+  double sum = ParallelReduce(
+      std::size_t{0}, values.size(), 128, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) acc += values[i];
+        return acc;
+      },
+      [](double acc, double partial) { return acc + partial; });
+  EXPECT_DOUBLE_EQ(sum, 10000.0 * 10001.0 / 2.0);
+}
+
+TEST_F(ParallelTest, ParallelReduceEmptyRangeReturnsIdentity) {
+  SetThreads(4);
+  int calls = 0;
+  double result = ParallelReduce(
+      std::size_t{10}, std::size_t{10}, 8, 42.0,
+      [&](std::size_t, std::size_t) {
+        ++calls;
+        return 1.0;
+      },
+      [](double acc, double partial) { return acc + partial; });
+  EXPECT_EQ(result, 42.0);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ParallelTest, ParallelReduceBitIdenticalAcrossThreadCounts) {
+  // Non-associative floating-point content: results must still agree
+  // bit-for-bit between 1 and 8 threads because the partition and fold
+  // order depend only on (size, grain).
+  std::vector<double> values(5000);
+  double v = 1e-3;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    v = v * 1.37 + 1e-7;
+    if (v > 1e6) v *= 1e-9;
+    values[i] = (i % 3 == 0) ? -v : v;
+  }
+  auto run = [&] {
+    return ParallelReduce(
+        std::size_t{0}, values.size(), 64, 0.0,
+        [&](std::size_t begin, std::size_t end) {
+          double acc = 0.0;
+          for (std::size_t i = begin; i < end; ++i) acc += values[i];
+          return acc;
+        },
+        [](double acc, double partial) { return acc + partial; });
+  };
+  SetThreads(1);
+  double serial = run();
+  SetThreads(8);
+  double parallel = run();
+  EXPECT_EQ(serial, parallel);  // Exact equality, not a tolerance.
+}
+
+TEST_F(ParallelTest, ParallelReducePropagatesExceptions) {
+  SetThreads(4);
+  EXPECT_THROW(ParallelReduce(
+                   std::size_t{0}, std::size_t{1000}, 10, 0.0,
+                   [](std::size_t, std::size_t) -> double {
+                     throw std::runtime_error("map failed");
+                   },
+                   [](double acc, double partial) { return acc + partial; }),
+               std::runtime_error);
+}
+
+TEST_F(ParallelTest, SetThreadsLatchesAndResolves) {
+  SetThreads(5);
+  EXPECT_EQ(Threads(), 5u);
+  SetThreads(1);
+  EXPECT_EQ(Threads(), 1u);
+  SetThreads(0);
+  EXPECT_EQ(Threads(), AutoThreads());
+  EXPECT_GE(Threads(), 1u);
+}
+
+TEST_F(ParallelTest, ParseThreadsEnvHandlesJunk) {
+  EXPECT_EQ(internal::ParseThreadsEnv(nullptr), 0u);
+  EXPECT_EQ(internal::ParseThreadsEnv(""), 0u);
+  EXPECT_EQ(internal::ParseThreadsEnv("abc"), 0u);
+  EXPECT_EQ(internal::ParseThreadsEnv("4x"), 0u);
+  EXPECT_EQ(internal::ParseThreadsEnv("8"), 8u);
+  EXPECT_EQ(internal::ParseThreadsEnv("0"), 0u);
+  EXPECT_EQ(internal::ParseThreadsEnv("999999"), 1024u);  // Clamped.
+}
+
+TEST_F(ParallelTest, NumChunksPartitioning) {
+  EXPECT_EQ(internal::NumChunks(0, 8), 0u);
+  EXPECT_EQ(internal::NumChunks(1, 8), 1u);
+  EXPECT_EQ(internal::NumChunks(8, 8), 1u);
+  EXPECT_EQ(internal::NumChunks(9, 8), 2u);
+  EXPECT_EQ(internal::NumChunks(100, 1), 100u);
+}
+
+TEST_F(ParallelTest, PublishesParMetrics) {
+  SetThreads(4);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  std::uint64_t tasks_before = registry.GetCounter("lsi.par.tasks").value();
+  std::atomic<int> sink{0};
+  ParallelFor(0, 1000, 10, [&](std::size_t begin, std::size_t end) {
+    sink.fetch_add(static_cast<int>(end - begin), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(registry.GetCounter("lsi.par.tasks").value(), tasks_before + 100);
+  EXPECT_EQ(registry.GetGauge("lsi.par.threads").value(), 4.0);
+}
+
+}  // namespace
+}  // namespace lsi::par

@@ -6,9 +6,9 @@ set -e
 
 TOOL="$1"
 CORPUS="$2"
-ENGINE="$(mktemp -u)/smoke.engine"
-mkdir -p "$(dirname "$ENGINE")"
-trap 'rm -f "$ENGINE" "$ENGINE.index" "$ENGINE.stats" "$ENGINE.prom"' EXIT
+WORKDIR="$(mktemp -d)"
+ENGINE="$WORKDIR/smoke.engine"
+trap 'rm -rf "$WORKDIR"' EXIT
 
 "$TOOL" index "$CORPUS" "$ENGINE" 10 tfidf | grep -q "indexed 45 documents"
 
@@ -44,6 +44,14 @@ grep -q '^# TYPE lsi_engine_queries counter$' "$ENGINE.prom"
 
 # LSI_METRICS is the env-var spelling of --stats.
 LSI_METRICS=prom "$TOOL" query "$ENGINE" galaxies | grep -q "^lsi_engine"
+
+# --threads pins the lsi::par scheduler; results are unchanged.
+"$TOOL" query "$ENGINE" galaxies and planets --threads=2 \
+  | head -3 | grep -q "astro"
+if "$TOOL" info "$ENGINE" --threads=banana 2>/dev/null; then
+  echo "expected failure on bad --threads value" >&2
+  exit 1
+fi
 
 # An unknown stats format is a usage error.
 if "$TOOL" info "$ENGINE" --stats=xml 2>/dev/null; then

@@ -25,8 +25,11 @@
 // command finishes, the metrics registry (solver convergence counters,
 // span timings, latency histograms) is dumped to stdout. The dump starts
 // at the first line beginning with '{' (JSON) or '#' (Prometheus).
+// Any command also accepts --threads=N to cap the worker threads the
+// parallel kernels use (equivalent to LSI_THREADS=N; 1 = fully serial).
 // Environment:
 //   LSI_METRICS=json|prom   same as passing --stats=<format>
+//   LSI_THREADS=N           worker-thread cap (0/unset = all cores)
 //   LSI_LOG_LEVEL=debug|info|warn|error   log verbosity (default info)
 
 #include <cstdio>
@@ -37,6 +40,7 @@
 
 #include "core/engine.h"
 #include "obs/export.h"
+#include "par/par.h"
 #include "text/corpus_io.h"
 
 namespace {
@@ -56,9 +60,12 @@ int Usage() {
                "  --stats[=json|prom]  dump the metrics registry (solver\n"
                "                       convergence counters, span timings)\n"
                "                       to stdout after the command\n"
+               "  --threads=N          cap parallel kernels at N threads\n"
+               "                       (1 = serial; default: all cores)\n"
                "\n"
                "environment:\n"
                "  LSI_METRICS=json|prom              same as --stats=<fmt>\n"
+               "  LSI_THREADS=N                      same as --threads=N\n"
                "  LSI_LOG_LEVEL=debug|info|warn|error  log verbosity\n");
   return 2;
 }
@@ -238,6 +245,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown stats format: %s\n", argv[i] + 8);
         return 2;
       }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      std::size_t threads = lsi::par::internal::ParseThreadsEnv(argv[i] + 10);
+      if (threads == 0 && std::strcmp(argv[i] + 10, "0") != 0) {
+        std::fprintf(stderr, "bad thread count: %s\n", argv[i] + 10);
+        return 2;
+      }
+      lsi::par::SetThreads(threads);
       continue;
     }
     args.push_back(argv[i]);
