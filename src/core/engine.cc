@@ -112,13 +112,10 @@ Result<std::vector<EngineHit>> LsiEngine::Query(std::string_view query_text,
   registry.GetCounter("lsi.engine.queries").Increment();
   obs::ScopedSpan query_span("engine.query");
 
-  std::map<std::size_t, std::size_t> counts;
+  std::vector<std::pair<std::size_t, std::size_t>> counts;
   {
     obs::ScopedSpan span("analyze");
-    for (const std::string& token : analyzer_.Analyze(query_text)) {
-      auto it = term_ids_.find(token);
-      if (it != term_ids_.end()) counts[it->second]++;
-    }
+    counts = AnalyzeQueryCounts(query_text);
   }
 
   Result<std::vector<EngineHit>> hits = std::vector<EngineHit>{};
@@ -137,6 +134,16 @@ Result<std::vector<EngineHit>> LsiEngine::Query(std::string_view query_text,
   registry.GetHistogram("lsi.engine.query.latency_ms")
       .Observe(latency.ElapsedMillis());
   return hits;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> LsiEngine::AnalyzeQueryCounts(
+    std::string_view query_text) const {
+  std::map<std::size_t, std::size_t> counts;
+  for (const std::string& token : analyzer_.Analyze(query_text)) {
+    auto it = term_ids_.find(token);
+    if (it != term_ids_.end()) counts[it->second]++;
+  }
+  return {counts.begin(), counts.end()};  // std::map iterates sorted by id.
 }
 
 Result<std::vector<std::vector<EngineHit>>> LsiEngine::QueryBatch(

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -57,6 +58,14 @@ class LsiEngine {
   /// returns an empty list.
   Result<std::vector<EngineHit>> Query(std::string_view query_text,
                                        std::size_t top_k = 10) const;
+
+  /// The canonical form Query() actually scores: in-vocabulary term ids
+  /// with occurrence counts, sorted by id. Two query strings with equal
+  /// AnalyzeQueryCounts always produce identical Query results, which is
+  /// what serving-layer caches key on ("Galaxy!" == "galaxy", unknown
+  /// terms ignored).
+  std::vector<std::pair<std::size_t, std::size_t>> AnalyzeQueryCounts(
+      std::string_view query_text) const;
 
   /// Scores a batch of free-text queries, element i of the result pairing
   /// with queries[i]. Queries are independent, so the batch fans out

@@ -201,6 +201,18 @@ std::string Export(ExportFormat format) {
   return "";
 }
 
+const char* ContentTypeFor(ExportFormat format) {
+  switch (format) {
+    case ExportFormat::kJson:
+      return "application/json; charset=utf-8";
+    case ExportFormat::kPrometheus:
+      return "text/plain; version=0.0.4; charset=utf-8";
+    case ExportFormat::kNone:
+      break;
+  }
+  return "text/plain; charset=utf-8";
+}
+
 bool DumpIfConfigured(std::FILE* out) {
   ExportFormat format = FormatFromEnv();
   if (format == ExportFormat::kNone) return false;

@@ -46,6 +46,12 @@ std::string ExportPrometheus(
 /// Renders the global registry in `format` (empty string for kNone).
 std::string Export(ExportFormat format);
 
+/// HTTP Content-Type for a rendered export: application/json for kJson,
+/// the Prometheus text exposition type for kPrometheus ("text/plain;
+/// version=0.0.4; charset=utf-8" — scrapers key on it), text/plain
+/// otherwise. Used by the lsi::serve /metrics endpoint.
+const char* ContentTypeFor(ExportFormat format);
+
 /// Writes the global registry to `out` in the format selected by
 /// LSI_METRICS; a no-op when the variable is unset. Returns true when
 /// something was written.

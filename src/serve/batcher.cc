@@ -1,0 +1,143 @@
+#include "serve/batcher.h"
+
+#include <map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace lsi::serve {
+namespace {
+
+std::vector<double> BatchSizeBuckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128};
+}
+
+}  // namespace
+
+QueryBatcher::QueryBatcher(const core::LsiEngine& engine,
+                           BatcherOptions options)
+    : engine_(engine), options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+QueryBatcher::~QueryBatcher() { Stop(); }
+
+std::optional<std::future<QueryBatcher::QueryResult>> QueryBatcher::Submit(
+    std::string query, std::size_t top_k) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  std::future<QueryResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= options_.max_queue) {
+      registry.GetCounter("lsi.serve.batch.rejected").Increment();
+      return std::nullopt;
+    }
+    Pending pending;
+    pending.query = std::move(query);
+    pending.top_k = top_k;
+    future = pending.promise.get_future();
+    if (queue_.empty()) {
+      oldest_enqueue_ = std::chrono::steady_clock::now();
+    }
+    queue_.push_back(std::move(pending));
+    registry.GetGauge("lsi.serve.batch.queue_depth")
+        .Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void QueryBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already stopped (or stopping on another thread); fall through to
+      // the join below, which is guarded for the second caller.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+std::size_t QueryBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void QueryBatcher::FlusherLoop() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& flushes = registry.GetCounter("lsi.serve.batch.flushes");
+  obs::Counter& flush_full = registry.GetCounter("lsi.serve.batch.flush_full");
+  obs::Counter& flush_timer =
+      registry.GetCounter("lsi.serve.batch.flush_timer");
+  obs::Histogram& batch_size =
+      registry.GetHistogram("lsi.serve.batch.size", BatchSizeBuckets());
+  obs::Gauge& queue_depth = registry.GetGauge("lsi.serve.batch.queue_depth");
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stopping_ && drained.
+
+    // Linger until the batch fills or the oldest request's delay budget
+    // runs out. Stop() flushes immediately — pending futures must resolve
+    // before the server finishes draining.
+    const auto deadline = oldest_enqueue_ + options_.max_delay;
+    while (!stopping_ && queue_.size() < options_.max_batch &&
+           std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lock, deadline);
+    }
+
+    std::vector<Pending> batch;
+    const std::size_t take = std::min(queue_.size(), options_.max_batch);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (!queue_.empty()) {
+      // Items left behind start a fresh delay window.
+      oldest_enqueue_ = std::chrono::steady_clock::now();
+    }
+    queue_depth.Set(static_cast<double>(queue_.size()));
+    (batch.size() >= options_.max_batch ? flush_full : flush_timer)
+        .Increment();
+    flushes.Increment();
+    batch_size.Observe(static_cast<double>(batch.size()));
+
+    lock.unlock();
+    RunBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void QueryBatcher::RunBatch(std::vector<Pending> batch) {
+  // QueryBatch takes one top_k, so group requests by it; order within a
+  // group follows submission order.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    groups[batch[i].top_k].push_back(i);
+  }
+  for (const auto& [top_k, indices] : groups) {
+    std::vector<std::string> queries;
+    queries.reserve(indices.size());
+    for (const std::size_t i : indices) queries.push_back(batch[i].query);
+    auto results = engine_.QueryBatch(queries, top_k);
+    if (results.ok()) {
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        batch[indices[j]].promise.set_value(std::move((*results)[j]));
+      }
+    } else {
+      // The batch call reports only the first failure; retry singly so
+      // healthy requests still succeed and each failure maps to its own
+      // request.
+      for (const std::size_t i : indices) {
+        batch[i].promise.set_value(engine_.Query(batch[i].query, top_k));
+      }
+    }
+  }
+}
+
+}  // namespace lsi::serve

@@ -1,0 +1,93 @@
+#ifndef LSI_SERVE_BATCHER_H_
+#define LSI_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace lsi::serve {
+
+/// Options for the request-coalescing queue in front of the engine.
+struct BatcherOptions {
+  /// Flush as soon as this many requests are pending.
+  std::size_t max_batch = 16;
+  /// Flush a non-empty, non-full queue after this long — bounds the
+  /// latency a lone request pays for the chance to share a batch.
+  std::chrono::microseconds max_delay{500};
+  /// Admission bound: Submit() refuses (returns nullopt) beyond this many
+  /// queued requests; the server maps that to 503.
+  std::size_t max_queue = 1024;
+};
+
+/// Coalesces concurrent single-query requests into LsiEngine::QueryBatch
+/// calls so one spike of N requests costs one fan-out across the lsi::par
+/// pool instead of N uncoordinated engine calls contending for it.
+///
+/// A dedicated flusher thread waits for either a full batch or the
+/// max_delay timer, swaps the pending queue out under the lock, then runs
+/// the engine *outside* the lock. Requests with different top_k are
+/// grouped within a flush (QueryBatch takes one top_k). Results are
+/// identical to calling LsiEngine::Query per request: QueryBatch
+/// guarantees element-wise equivalence, and if a batch fails as a whole
+/// the flusher falls back to per-request Query calls so an error in one
+/// request cannot poison its batch-mates.
+///
+/// Emits lsi.serve.batch.{flushes,flush_full,flush_timer,rejected}
+/// counters, the lsi.serve.batch.size histogram, and the
+/// lsi.serve.batch.queue_depth gauge.
+class QueryBatcher {
+ public:
+  using QueryResult = Result<std::vector<core::EngineHit>>;
+
+  QueryBatcher(const core::LsiEngine& engine, BatcherOptions options = {});
+  ~QueryBatcher();
+
+  QueryBatcher(const QueryBatcher&) = delete;
+  QueryBatcher& operator=(const QueryBatcher&) = delete;
+
+  /// Enqueues one query. Returns the future its result will arrive on,
+  /// or nullopt when the queue is at max_queue (overload) or the batcher
+  /// is stopping. The future is always eventually fulfilled.
+  std::optional<std::future<QueryResult>> Submit(std::string query,
+                                                 std::size_t top_k);
+
+  /// Stops accepting work, flushes everything already queued, and joins
+  /// the flusher thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  std::size_t queue_depth() const;
+
+ private:
+  struct Pending {
+    std::string query;
+    std::size_t top_k;
+    std::promise<QueryResult> promise;
+  };
+
+  void FlusherLoop();
+  void RunBatch(std::vector<Pending> batch);
+
+  const core::LsiEngine& engine_;
+  BatcherOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::chrono::steady_clock::time_point oldest_enqueue_;
+  bool stopping_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace lsi::serve
+
+#endif  // LSI_SERVE_BATCHER_H_

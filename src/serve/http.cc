@@ -1,0 +1,273 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lsi::serve {
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), IsTokenChar);
+}
+
+/// Case-insensitive "does the comma-separated header value contain this
+/// token" test, for Connection: keep-alive / close.
+bool HeaderValueContains(std::string_view value, std::string_view token) {
+  const std::string haystack = ToLower(value);
+  const std::string needle = ToLower(token);
+  std::size_t pos = 0;
+  while (pos < haystack.size()) {
+    std::size_t comma = haystack.find(',', pos);
+    if (comma == std::string::npos) comma = haystack.size();
+    if (Trim(std::string_view(haystack).substr(pos, comma - pos)) == needle) {
+      return true;
+    }
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::HttpParser(HttpLimits limits) : limits_(limits) {}
+
+HttpParser::State HttpParser::Fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(message);
+  return state_;
+}
+
+HttpParser::State HttpParser::Feed(std::string_view data) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+  if (state_ == State::kReady) return state_;  // Pipelined bytes queue up.
+  return TryParse();
+}
+
+HttpParser::State HttpParser::TryParse() {
+  if (!head_done_) {
+    // The head ends at the first blank line. Accept bare-LF line endings
+    // (curl and test clients both produce CRLF, but lenient parsing here
+    // costs nothing and never changes the parse of a conforming message).
+    std::size_t head_end = buffer_.find("\r\n\r\n");
+    std::size_t terminator = 4;
+    const std::size_t lf_end = buffer_.find("\n\n");
+    if (lf_end != std::string::npos &&
+        (head_end == std::string::npos || lf_end < head_end)) {
+      head_end = lf_end;
+      terminator = 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(431, "request header exceeds limit");
+      }
+      return state_;
+    }
+    if (head_end > limits_.max_header_bytes) {
+      return Fail(431, "request header exceeds limit");
+    }
+    const State parsed =
+        ParseHead(std::string_view(buffer_).substr(0, head_end));
+    if (parsed == State::kError) return parsed;
+    head_done_ = true;
+    body_start_ = head_end + terminator;
+  }
+  if (buffer_.size() - body_start_ < content_length_) {
+    return state_;  // kNeedMore: body still arriving.
+  }
+  request_.body = buffer_.substr(body_start_, content_length_);
+  state_ = State::kReady;
+  return state_;
+}
+
+HttpParser::State HttpParser::ParseHead(std::string_view head) {
+  request_ = HttpRequest{};
+  content_length_ = 0;
+
+  // Split into lines on '\n', tolerating trailing '\r'.
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos <= head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    if (eol == head.size()) break;
+    pos = eol + 1;
+  }
+  if (lines.empty() || lines[0].empty()) {
+    return Fail(400, "empty request line");
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::string_view request_line = lines[0];
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!IsToken(method)) return Fail(400, "malformed method");
+  if (target.empty() || target[0] != '/') {
+    return Fail(400, "request target must be origin-form");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail(400, "unsupported HTTP version");
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  request_.version = std::string(version);
+
+  bool saw_content_length = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header line");
+    }
+    const std::string_view raw_name = line.substr(0, colon);
+    if (!IsToken(raw_name)) return Fail(400, "malformed header name");
+    std::string name = ToLower(raw_name);
+    std::string value(Trim(line.substr(colon + 1)));
+
+    if (name == "content-length") {
+      if (saw_content_length) return Fail(400, "duplicate content-length");
+      saw_content_length = true;
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(), [](unsigned char c) {
+            return std::isdigit(c);
+          })) {
+        return Fail(400, "invalid content-length");
+      }
+      // Manual accumulate with overflow check; strtoul would silently
+      // saturate and accept "18446744073709551616".
+      std::size_t length = 0;
+      for (const char c : value) {
+        const std::size_t digit = static_cast<std::size_t>(c - '0');
+        if (length > (limits_.max_body_bytes - digit) / 10) {
+          return Fail(413, "request body exceeds limit");
+        }
+        length = length * 10 + digit;
+      }
+      if (length > limits_.max_body_bytes) {
+        return Fail(413, "request body exceeds limit");
+      }
+      content_length_ = length;
+    } else if (name == "transfer-encoding") {
+      return Fail(501, "transfer-encoding not supported");
+    }
+    request_.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  request_.keep_alive = request_.version == "HTTP/1.1";
+  if (const std::string* connection = request_.FindHeader("connection")) {
+    if (HeaderValueContains(*connection, "close")) {
+      request_.keep_alive = false;
+    } else if (HeaderValueContains(*connection, "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+  return State::kNeedMore;
+}
+
+HttpRequest HttpParser::TakeRequest() {
+  HttpRequest taken = std::move(request_);
+  request_ = HttpRequest{};
+  buffer_.erase(0, body_start_ + content_length_);
+  body_start_ = 0;
+  content_length_ = 0;
+  head_done_ = false;
+  state_ = State::kNeedMore;
+  if (!buffer_.empty()) TryParse();  // Pipelined request may be complete.
+  return taken;
+}
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  const bool alive = keep_alive && !response.close;
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(StatusReason(response.status));
+  out.append("\r\nContent-Type: ");
+  out.append(response.content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(response.body.size()));
+  for (const auto& [name, value] : response.extra_headers) {
+    out.append("\r\n");
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+  }
+  out.append("\r\nConnection: ");
+  out.append(alive ? "keep-alive" : "close");
+  out.append("\r\n\r\n");
+  out.append(response.body);
+  return out;
+}
+
+}  // namespace lsi::serve

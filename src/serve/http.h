@@ -1,0 +1,109 @@
+#ifndef LSI_SERVE_HTTP_H_
+#define LSI_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lsi::serve {
+
+/// One parsed HTTP/1.x request. Header names are lowercased; values are
+/// whitespace-trimmed. `keep_alive` folds the HTTP-version default and
+/// any Connection header into a single answer.
+struct HttpRequest {
+  std::string method;   // Uppercase token, e.g. "GET".
+  std::string target;   // Origin-form request target, e.g. "/query".
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1".
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// First header named `name` (lowercase), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Hard ceilings the parser enforces before buffering unbounded input.
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 1 * 1024 * 1024;
+};
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// Feed() appends whatever bytes arrived — a single recv() may carry a
+/// fraction of a request or several pipelined ones — and the parser
+/// advances through request line, headers, and Content-Length body.
+/// When state() is kReady, TakeRequest() yields the request and the
+/// parser immediately re-parses any buffered pipelined bytes, so the
+/// caller loops on state() without another read.
+///
+/// Errors are terminal for the connection: the parser stays in kError
+/// and reports the HTTP status the server should answer with before
+/// closing (400 bad syntax, 413 oversized body, 431 oversized header,
+/// 501 chunked transfer encoding).
+class HttpParser {
+ public:
+  enum class State { kNeedMore, kReady, kError };
+
+  explicit HttpParser(HttpLimits limits = {});
+
+  /// Appends bytes and attempts to complete a request.
+  State Feed(std::string_view data);
+
+  State state() const { return state_; }
+
+  /// True when some bytes of a not-yet-complete request are buffered —
+  /// the graceful-drain logic uses this to distinguish an idle keep-alive
+  /// connection from one mid-request.
+  bool HasPartialData() const {
+    return state_ == State::kNeedMore && !buffer_.empty();
+  }
+
+  /// Moves out the completed request (state must be kReady) and starts
+  /// parsing the next pipelined request from the remaining buffer.
+  HttpRequest TakeRequest();
+
+  /// HTTP status code describing the parse failure (state == kError).
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  State Fail(int status, std::string message);
+  State TryParse();
+  State ParseHead(std::string_view head);
+
+  HttpLimits limits_;
+  State state_ = State::kNeedMore;
+  std::string buffer_;
+  std::size_t body_start_ = 0;     // Offset of the body in buffer_.
+  std::size_t content_length_ = 0;
+  bool head_done_ = false;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// An HTTP response under construction. `extra_headers` are emitted
+/// verbatim after Content-Type (e.g. {"Retry-After", "1"}).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  /// Forces "Connection: close" regardless of what the client asked for
+  /// (set on errors and during drain).
+  bool close = false;
+};
+
+/// Canonical reason phrase for `status` ("OK", "Not Found", ...).
+std::string_view StatusReason(int status);
+
+/// Serializes `response` as an HTTP/1.1 message. `keep_alive` is what the
+/// connection supports; the response's `close` flag can only downgrade it.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+}  // namespace lsi::serve
+
+#endif  // LSI_SERVE_HTTP_H_

@@ -1,0 +1,83 @@
+#ifndef LSI_SERVE_JSON_H_
+#define LSI_SERVE_JSON_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lsi::serve {
+
+/// A parsed JSON document node. Deliberately tiny: just enough for the
+/// serving layer's request bodies and responses — no streaming, no
+/// comments, no NaN/Inf extensions. Numbers are doubles (the only number
+/// type JSON has anyway).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered; duplicate keys are kept (Find returns the first).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  JsonValue(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(Array value)  // NOLINT
+      : type_(Type::kArray), array_(std::move(value)) {}
+  JsonValue(Object value)  // NOLINT
+      : type_(Type::kObject), object_(std::move(value)) {}
+
+  /// Parses a complete JSON document; trailing non-whitespace is an
+  /// error, as is nesting deeper than an internal sanity limit.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one returns the type's zero
+  /// value (callers check type() / is_*() first).
+  bool bool_value() const { return is_bool() && bool_; }
+  double number() const { return is_number() ? number_ : 0.0; }
+  const std::string& string_value() const { return string_; }
+  const Array& array() const { return array_; }
+  const Object& object() const { return object_; }
+
+  /// First member named `key`, or nullptr (also for non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Compact serialization (no whitespace), keys in insertion order.
+  std::string Serialize() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Appends `text` to `out` with JSON string escaping applied (quotes not
+/// included). Control bytes become \u00XX escapes; invalid UTF-8 is
+/// passed through untouched — the serving layer never re-validates
+/// document text it merely echoes.
+void JsonEscape(std::string_view text, std::string* out);
+
+/// Convenience: "\"escaped\"" with surrounding quotes.
+std::string JsonQuote(std::string_view text);
+
+}  // namespace lsi::serve
+
+#endif  // LSI_SERVE_JSON_H_

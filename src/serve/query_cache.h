@@ -1,0 +1,116 @@
+#ifndef LSI_SERVE_QUERY_CACHE_H_
+#define LSI_SERVE_QUERY_CACHE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace lsi::serve {
+
+/// Options for the serving-layer result cache.
+struct QueryCacheOptions {
+  /// Independent LRU shards; lookups hash the key to a shard so
+  /// concurrent workers rarely contend on one mutex. Clamped to >= 1.
+  std::size_t shards = 8;
+  /// Total byte budget across shards (approximate accounting: key bytes +
+  /// hit payload + fixed per-entry overhead). 0 disables the cache.
+  std::size_t max_bytes = 64ull * 1024 * 1024;
+  /// Entry lifetime; zero means entries never expire. Expiry matters even
+  /// for an immutable engine because the cache is sized in bytes, not
+  /// entries — TTL keeps one-off queries from squatting on the budget.
+  std::chrono::milliseconds ttl{0};
+  /// Test seam: overrides the clock TTL expiry reads. Defaults to
+  /// std::chrono::steady_clock::now.
+  std::function<std::chrono::steady_clock::time_point()> clock;
+};
+
+/// Sharded LRU cache for engine query results, keyed on the *analyzed*
+/// query (in-vocabulary term ids + counts) and top_k — so "Galaxy!" and
+/// "galaxy" share an entry, as do queries differing only in unknown
+/// terms. Thread-safe; every operation touches exactly one shard.
+///
+/// Emits lsi.serve.cache.{hits,misses,evictions,expirations} counters and
+/// lsi.serve.cache.{entries,bytes} gauges.
+class QueryCache {
+ public:
+  explicit QueryCache(QueryCacheOptions options = {});
+
+  /// Canonical cache key for an analyzed query: "id:count,..." + "|k".
+  /// `term_counts` must be sorted by term id (LsiEngine::AnalyzeQueryCounts
+  /// returns it sorted).
+  static std::string Key(
+      const std::vector<std::pair<std::size_t, std::size_t>>& term_counts,
+      std::size_t top_k);
+
+  /// Returns a copy of the cached hits, refreshing recency; nullopt on
+  /// miss or TTL expiry (the expired entry is dropped).
+  std::optional<std::vector<core::EngineHit>> Get(const std::string& key);
+
+  /// Inserts or refreshes `key`. Entries larger than a shard's whole
+  /// budget are not cached. Evicts least-recently-used entries in the
+  /// target shard until its budget holds.
+  void Put(const std::string& key, const std::vector<core::EngineHit>& hits);
+
+  /// Drops every entry (budget accounting resets too).
+  void Clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t expirations = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  Stats stats() const;
+
+  std::size_t entries() const;
+  std::size_t bytes() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<core::EngineHit> hits;
+    std::size_t bytes = 0;
+    std::chrono::steady_clock::time_point expiry;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  std::chrono::steady_clock::time_point Now() const;
+  void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+
+  QueryCacheOptions options_;
+  std::size_t shard_budget_ = 0;
+  std::vector<Shard> shards_;
+
+  // Registry handles resolved once in the constructor; increments are
+  // lock-free afterwards.
+  struct Metrics;
+  Metrics* metrics_;
+};
+
+/// Approximate resident size of one cached result list, used for budget
+/// accounting (also exposed for tests).
+std::size_t CacheEntryBytes(const std::string& key,
+                            const std::vector<core::EngineHit>& hits);
+
+}  // namespace lsi::serve
+
+#endif  // LSI_SERVE_QUERY_CACHE_H_

@@ -1,0 +1,344 @@
+#include "serve/service.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "par/par.h"
+#include "serve/json.h"
+
+namespace lsi::serve {
+namespace {
+
+// RunQuery reports transport-level outcomes through Status messages the
+// route handler translates back to HTTP codes.
+constexpr char kDeadlineMessage[] = "serve: deadline exceeded";
+constexpr char kOverloadMessage[] = "serve: overloaded";
+
+Status DeadlineStatus() {
+  return Status::FailedPrecondition(kDeadlineMessage);
+}
+Status OverloadStatus() {
+  return Status::FailedPrecondition(kOverloadMessage);
+}
+
+HttpResponse JsonOk(std::string body) {
+  HttpResponse response;
+  response.content_type = "application/json; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+/// Maps an engine/service Status to the HTTP response for it.
+HttpResponse StatusToResponse(const Status& status) {
+  if (status.message() == kDeadlineMessage) {
+    return JsonError(504, "deadline exceeded");
+  }
+  if (status.message() == kOverloadMessage) {
+    HttpResponse response = JsonError(503, "overloaded, retry later");
+    response.extra_headers.emplace_back("Retry-After", "1");
+    return response;
+  }
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return JsonError(400, status.message());
+    case StatusCode::kNotFound:
+      return JsonError(404, status.message());
+    default:
+      return JsonError(500, status.message());
+  }
+}
+
+JsonValue HitsToJson(const std::vector<core::EngineHit>& hits) {
+  JsonValue::Array items;
+  items.reserve(hits.size());
+  for (const core::EngineHit& hit : hits) {
+    JsonValue::Object fields;
+    fields.emplace_back("document",
+                        JsonValue(static_cast<double>(hit.document)));
+    fields.emplace_back("name", JsonValue(hit.document_name));
+    fields.emplace_back("score", JsonValue(hit.score));
+    items.emplace_back(std::move(fields));
+  }
+  return JsonValue(std::move(items));
+}
+
+/// Extracts an optional positive-integer top_k from a parsed body.
+/// Returns false (with `*error` set) on a malformed value.
+bool ExtractTopK(const JsonValue& body, std::size_t default_top_k,
+                 std::size_t max_top_k, std::size_t* top_k,
+                 std::string* error) {
+  *top_k = default_top_k;
+  const JsonValue* field = body.Find("top_k");
+  if (field == nullptr) return true;
+  const double raw = field->number();
+  if (!field->is_number() || raw < 1.0 || raw != std::floor(raw) ||
+      raw > static_cast<double>(max_top_k)) {
+    *error = "top_k must be an integer in [1, " + std::to_string(max_top_k) +
+             "]";
+    return false;
+  }
+  *top_k = static_cast<std::size_t>(raw);
+  return true;
+}
+
+HttpResponse MethodNotAllowed(const char* allow) {
+  HttpResponse response = JsonError(405, "method not allowed");
+  response.extra_headers.emplace_back("Allow", allow);
+  return response;
+}
+
+}  // namespace
+
+HttpResponse JsonError(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json; charset=utf-8";
+  response.body = "{\"error\":" + JsonQuote(message) + "}";
+  return response;
+}
+
+LsiService::LsiService(const core::LsiEngine& engine, ServiceOptions options)
+    : engine_(engine),
+      options_(options),
+      cache_(options.cache),
+      batcher_(engine, options.batch),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+void LsiService::Shutdown() { batcher_.Stop(); }
+
+HttpResponse LsiService::Handle(
+    const HttpRequest& request,
+    std::chrono::steady_clock::time_point deadline) {
+  std::string path = request.target;
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);  // Query strings are accepted and ignored.
+  }
+
+  if (path == "/healthz") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      return MethodNotAllowed("GET");
+    }
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    HttpResponse response;
+    response.content_type = obs::ContentTypeFor(obs::ExportFormat::kPrometheus);
+    response.body = obs::ExportPrometheus();
+    return response;
+  }
+  if (path == "/statusz") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleStatusz();
+  }
+  if (path == "/query") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleQuery(request, deadline);
+  }
+  if (path == "/related") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleRelated(request);
+  }
+  return JsonError(404, "no such route: " + path);
+}
+
+Result<std::vector<core::EngineHit>> LsiService::RunQuery(
+    const std::string& query, std::size_t top_k,
+    std::chrono::steady_clock::time_point deadline) {
+  const std::string key =
+      QueryCache::Key(engine_.AnalyzeQueryCounts(query), top_k);
+  if (auto cached = cache_.Get(key)) {
+    return std::move(*cached);
+  }
+  auto future = batcher_.Submit(query, top_k);
+  if (!future) return OverloadStatus();
+  if (future->wait_until(deadline) != std::future_status::ready) {
+    // The batcher will still fulfill the promise; only this waiter gives
+    // up. Nothing is cached for an answer nobody received.
+    return DeadlineStatus();
+  }
+  Result<std::vector<core::EngineHit>> result = future->get();
+  if (result.ok()) cache_.Put(key, result.value());
+  return result;
+}
+
+HttpResponse LsiService::HandleQuery(
+    const HttpRequest& request,
+    std::chrono::steady_clock::time_point deadline) {
+  auto body = JsonValue::Parse(request.body);
+  if (!body.ok()) return JsonError(400, body.status().message());
+  if (!body->is_object()) {
+    return JsonError(400, "request body must be a JSON object");
+  }
+  std::size_t top_k = options_.default_top_k;
+  std::string top_k_error;
+  if (!ExtractTopK(*body, options_.default_top_k, options_.max_top_k, &top_k,
+                   &top_k_error)) {
+    return JsonError(400, top_k_error);
+  }
+
+  const JsonValue* single = body->Find("query");
+  const JsonValue* multi = body->Find("queries");
+  if ((single == nullptr) == (multi == nullptr)) {
+    return JsonError(400, "body must have exactly one of query | queries");
+  }
+
+  if (single != nullptr) {
+    if (!single->is_string()) {
+      return JsonError(400, "query must be a string");
+    }
+    auto result = RunQuery(single->string_value(), top_k, deadline);
+    if (!result.ok()) return StatusToResponse(result.status());
+    JsonValue::Object reply;
+    reply.emplace_back("hits", HitsToJson(result.value()));
+    return JsonOk(JsonValue(std::move(reply)).Serialize());
+  }
+
+  if (!multi->is_array()) {
+    return JsonError(400, "queries must be an array of strings");
+  }
+  const JsonValue::Array& queries = multi->array();
+  if (queries.empty() || queries.size() > options_.max_queries_per_request) {
+    return JsonError(400,
+                     "queries length must be in [1, " +
+                         std::to_string(options_.max_queries_per_request) +
+                         "]");
+  }
+  for (const JsonValue& q : queries) {
+    if (!q.is_string()) {
+      return JsonError(400, "queries must be an array of strings");
+    }
+  }
+  // Cache probes and submissions all happen before the first wait so the
+  // misses land in the same micro-batch.
+  std::vector<Result<std::vector<core::EngineHit>>> results;
+  results.reserve(queries.size());
+  std::vector<std::optional<std::future<QueryBatcher::QueryResult>>> futures(
+      queries.size());
+  std::vector<std::string> keys(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::string& text = queries[i].string_value();
+    keys[i] = QueryCache::Key(engine_.AnalyzeQueryCounts(text), top_k);
+    if (auto cached = cache_.Get(keys[i])) {
+      results.emplace_back(std::move(*cached));
+      continue;
+    }
+    futures[i] = batcher_.Submit(text, top_k);
+    if (!futures[i]) return StatusToResponse(OverloadStatus());
+    results.emplace_back(std::vector<core::EngineHit>{});
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!futures[i]) continue;  // Served from cache.
+    if (futures[i]->wait_until(deadline) != std::future_status::ready) {
+      return StatusToResponse(DeadlineStatus());
+    }
+    results[i] = futures[i]->get();
+    if (!results[i].ok()) return StatusToResponse(results[i].status());
+    cache_.Put(keys[i], results[i].value());
+  }
+  JsonValue::Array rendered;
+  rendered.reserve(results.size());
+  for (const auto& result : results) {
+    rendered.push_back(HitsToJson(result.value()));
+  }
+  JsonValue::Object reply;
+  reply.emplace_back("results", JsonValue(std::move(rendered)));
+  return JsonOk(JsonValue(std::move(reply)).Serialize());
+}
+
+HttpResponse LsiService::HandleRelated(const HttpRequest& request) {
+  auto body = JsonValue::Parse(request.body);
+  if (!body.ok()) return JsonError(400, body.status().message());
+  if (!body->is_object()) {
+    return JsonError(400, "request body must be a JSON object");
+  }
+  const JsonValue* term = body->Find("term");
+  if (term == nullptr || !term->is_string()) {
+    return JsonError(400, "body must have a string term");
+  }
+  std::size_t top_k = options_.default_top_k;
+  std::string top_k_error;
+  if (!ExtractTopK(*body, options_.default_top_k, options_.max_top_k, &top_k,
+                   &top_k_error)) {
+    return JsonError(400, top_k_error);
+  }
+  auto related = engine_.RelatedTerms(term->string_value(), top_k);
+  if (!related.ok()) return StatusToResponse(related.status());
+  JsonValue::Array items;
+  items.reserve(related->size());
+  for (const core::RelatedTerm& r : related.value()) {
+    JsonValue::Object fields;
+    fields.emplace_back("term", JsonValue(r.term));
+    fields.emplace_back("score", JsonValue(r.score));
+    items.emplace_back(std::move(fields));
+  }
+  JsonValue::Object reply;
+  reply.emplace_back("related", JsonValue(std::move(items)));
+  return JsonOk(JsonValue(std::move(reply)).Serialize());
+}
+
+HttpResponse LsiService::HandleStatusz() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const QueryCache::Stats cache_stats = cache_.stats();
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+
+  JsonValue::Object engine;
+  engine.emplace_back("documents",
+                      JsonValue(static_cast<double>(engine_.NumDocuments())));
+  engine.emplace_back("terms",
+                      JsonValue(static_cast<double>(engine_.NumTerms())));
+  engine.emplace_back("rank", JsonValue(static_cast<double>(engine_.rank())));
+
+  JsonValue::Object batch;
+  batch.emplace_back("queue_depth",
+                     JsonValue(static_cast<double>(batcher_.queue_depth())));
+  batch.emplace_back(
+      "flushes",
+      JsonValue(static_cast<double>(
+          registry.GetCounter("lsi.serve.batch.flushes").value())));
+  batch.emplace_back(
+      "rejected",
+      JsonValue(static_cast<double>(
+          registry.GetCounter("lsi.serve.batch.rejected").value())));
+
+  JsonValue::Object cache;
+  cache.emplace_back("entries",
+                     JsonValue(static_cast<double>(cache_stats.entries)));
+  cache.emplace_back("bytes", JsonValue(static_cast<double>(cache_stats.bytes)));
+  cache.emplace_back("hits", JsonValue(static_cast<double>(cache_stats.hits)));
+  cache.emplace_back("misses",
+                     JsonValue(static_cast<double>(cache_stats.misses)));
+  cache.emplace_back("evictions",
+                     JsonValue(static_cast<double>(cache_stats.evictions)));
+  cache.emplace_back("expirations",
+                     JsonValue(static_cast<double>(cache_stats.expirations)));
+
+  JsonValue::Object requests;
+  for (const char* klass : {"2xx", "4xx", "5xx"}) {
+    requests.emplace_back(
+        klass, JsonValue(static_cast<double>(
+                   registry
+                       .GetCounter(std::string("lsi.serve.requests.") + klass)
+                       .value())));
+  }
+
+  JsonValue::Object status;
+  status.emplace_back("uptime_s", JsonValue(uptime_s));
+  status.emplace_back("threads",
+                      JsonValue(static_cast<double>(par::Threads())));
+  status.emplace_back("engine", JsonValue(std::move(engine)));
+  status.emplace_back("batch", JsonValue(std::move(batch)));
+  status.emplace_back("cache", JsonValue(std::move(cache)));
+  status.emplace_back("requests", JsonValue(std::move(requests)));
+  return JsonOk(JsonValue(std::move(status)).Serialize());
+}
+
+}  // namespace lsi::serve

@@ -1,0 +1,81 @@
+#ifndef LSI_SERVE_SERVICE_H_
+#define LSI_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+#include "core/engine.h"
+#include "serve/batcher.h"
+#include "serve/http.h"
+#include "serve/query_cache.h"
+
+namespace lsi::serve {
+
+/// Options for the request-handling layer (transport options live in
+/// ServerOptions).
+struct ServiceOptions {
+  QueryCacheOptions cache;
+  BatcherOptions batch;
+  /// top_k when a request body omits it.
+  std::size_t default_top_k = 10;
+  /// Requests asking for more than this are rejected with 400.
+  std::size_t max_top_k = 1000;
+  /// Upper bound on "queries" array length in one /query body.
+  std::size_t max_queries_per_request = 64;
+};
+
+/// The HTTP-facing application layer: routes requests to a loaded
+/// LsiEngine through the micro-batcher and result cache. Transport-free
+/// and deterministic, so tests can drive it with plain HttpRequest
+/// values; HttpServer plugs Handle() in as its handler.
+///
+/// Routes:
+///   POST /query    {"query": "...", "top_k": 10}            -> {"hits": [...]}
+///                  {"queries": ["...", ...], "top_k": 10}   -> {"results": [[...], ...]}
+///   POST /related  {"term": "...", "top_k": 10}             -> {"related": [...]}
+///   GET  /healthz  liveness probe, "ok"
+///   GET  /statusz  JSON snapshot: engine shape, queue, cache, totals
+///   GET  /metrics  Prometheus exposition of the global registry
+class LsiService {
+ public:
+  LsiService(const core::LsiEngine& engine, ServiceOptions options = {});
+
+  /// Handles one parsed request. `deadline` bounds how long the handler
+  /// may wait on the batcher; exceeding it yields a 504.
+  HttpResponse Handle(const HttpRequest& request,
+                      std::chrono::steady_clock::time_point deadline);
+
+  /// Stops the batcher, flushing queued queries. Handle() calls arriving
+  /// afterwards answer 503.
+  void Shutdown();
+
+  QueryCache& cache() { return cache_; }
+  QueryBatcher& batcher() { return batcher_; }
+
+ private:
+  HttpResponse HandleQuery(const HttpRequest& request,
+                           std::chrono::steady_clock::time_point deadline);
+  HttpResponse HandleRelated(const HttpRequest& request);
+  HttpResponse HandleStatusz();
+
+  /// Runs one query through cache + batcher. Returns a Result so the
+  /// multi-query path can aggregate; deadline overruns surface as a
+  /// synthetic status with code kFailedPrecondition tagged by message.
+  Result<std::vector<core::EngineHit>> RunQuery(
+      const std::string& query, std::size_t top_k,
+      std::chrono::steady_clock::time_point deadline);
+
+  const core::LsiEngine& engine_;
+  ServiceOptions options_;
+  QueryCache cache_;
+  QueryBatcher batcher_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+/// {"error": "<message>"} with the right content type.
+HttpResponse JsonError(int status, std::string_view message);
+
+}  // namespace lsi::serve
+
+#endif  // LSI_SERVE_SERVICE_H_

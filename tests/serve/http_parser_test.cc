@@ -1,0 +1,199 @@
+#include "serve/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lsi::serve {
+namespace {
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  ASSERT_EQ(parser.Feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            HttpParser::State::kReady);
+  HttpRequest request = parser.TakeRequest();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_TRUE(request.body.empty());
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "x");
+}
+
+TEST(HttpParserTest, ParsesBodyWithContentLength) {
+  HttpParser parser;
+  ASSERT_EQ(parser.Feed("POST /query HTTP/1.1\r\nContent-Length: 5\r\n"
+                        "Content-Type: application/json\r\n\r\nhello"),
+            HttpParser::State::kReady);
+  HttpRequest request = parser.TakeRequest();
+  EXPECT_EQ(request.body, "hello");
+}
+
+TEST(HttpParserTest, ReassemblesArbitrarySplits) {
+  const std::string raw =
+      "POST /query HTTP/1.1\r\nHost: a.example\r\nContent-Length: 11\r\n"
+      "\r\nhello world";
+  // Feed the message one byte at a time, then in two uneven halves.
+  {
+    HttpParser parser;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const auto state = parser.Feed(raw.substr(i, 1));
+      if (i + 1 < raw.size()) {
+        ASSERT_EQ(state, HttpParser::State::kNeedMore) << "at byte " << i;
+      } else {
+        ASSERT_EQ(state, HttpParser::State::kReady);
+      }
+    }
+    EXPECT_EQ(parser.TakeRequest().body, "hello world");
+  }
+  for (std::size_t split = 1; split + 1 < raw.size(); split += 7) {
+    HttpParser parser;
+    parser.Feed(raw.substr(0, split));
+    ASSERT_EQ(parser.Feed(raw.substr(split)), HttpParser::State::kReady);
+    EXPECT_EQ(parser.TakeRequest().body, "hello world");
+  }
+}
+
+TEST(HttpParserTest, PartialFeedReportsPartialData) {
+  HttpParser parser;
+  EXPECT_FALSE(parser.HasPartialData());
+  parser.Feed("GET /x HT");
+  EXPECT_TRUE(parser.HasPartialData());
+}
+
+TEST(HttpParserTest, ParsesPipelinedRequests) {
+  HttpParser parser;
+  ASSERT_EQ(parser.Feed("POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+                        "GET /b HTTP/1.1\r\n\r\n"),
+            HttpParser::State::kReady);
+  HttpRequest first = parser.TakeRequest();
+  EXPECT_EQ(first.target, "/a");
+  EXPECT_EQ(first.body, "abc");
+  // The second request was already buffered; no further Feed needed.
+  ASSERT_EQ(parser.state(), HttpParser::State::kReady);
+  HttpRequest second = parser.TakeRequest();
+  EXPECT_EQ(second.target, "/b");
+  EXPECT_EQ(parser.state(), HttpParser::State::kNeedMore);
+  EXPECT_FALSE(parser.HasPartialData());
+}
+
+TEST(HttpParserTest, KeepAliveDefaultsFollowVersion) {
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.0\r\n\r\n");
+    EXPECT_FALSE(parser.TakeRequest().keep_alive);
+  }
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    EXPECT_TRUE(parser.TakeRequest().keep_alive);
+  }
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_FALSE(parser.TakeRequest().keep_alive);
+  }
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.1\r\nConnection: Keep-Alive, Upgrade\r\n\r\n");
+    EXPECT_TRUE(parser.TakeRequest().keep_alive);
+  }
+}
+
+TEST(HttpParserTest, RejectsOversizedHeader) {
+  HttpLimits limits;
+  limits.max_header_bytes = 128;
+  HttpParser parser(limits);
+  const std::string huge(200, 'a');
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\nX-Big: " + huge),
+            HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+  // Errors are sticky: more bytes cannot resurrect the parse.
+  EXPECT_EQ(parser.Feed("\r\n\r\n"), HttpParser::State::kError);
+}
+
+TEST(HttpParserTest, RejectsOversizedBodyUpFront) {
+  HttpLimits limits;
+  limits.max_body_bytes = 10;
+  HttpParser parser(limits);
+  EXPECT_EQ(parser.Feed("POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, RejectsBadContentLength) {
+  for (const char* bad : {"Content-Length: x\r\n", "Content-Length: -1\r\n",
+                          "Content-Length: 1 1\r\n", "Content-Length:\r\n",
+                          "Content-Length: 99999999999999999999\r\n",
+                          "Content-Length: 3\r\nContent-Length: 3\r\n"}) {
+    HttpParser parser;
+    EXPECT_EQ(parser.Feed(std::string("POST / HTTP/1.1\r\n") + bad + "\r\n"),
+              HttpParser::State::kError)
+        << bad;
+    EXPECT_TRUE(parser.error_status() == 400 || parser.error_status() == 413)
+        << bad << " -> " << parser.error_status();
+  }
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLines) {
+  for (const char* bad :
+       {"\r\n\r\n", "GET\r\n\r\n", "GET /\r\n\r\n", "GET / HTTP/2.0\r\n\r\n",
+        "GET / x HTTP/1.1\r\n\r\n", "G@T / HTTP/1.1\r\n\r\n",
+        "GET relative HTTP/1.1\r\n\r\n"}) {
+    HttpParser parser;
+    EXPECT_EQ(parser.Feed(bad), HttpParser::State::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpParserTest, RejectsMalformedHeaders) {
+  for (const char* bad : {"no colon here\r\n", ": empty name\r\n",
+                          "bad name: x\r\n"}) {
+    HttpParser parser;
+    EXPECT_EQ(
+        parser.Feed(std::string("GET / HTTP/1.1\r\n") + bad + "\r\n"),
+        HttpParser::State::kError)
+        << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpParserTest, RejectsTransferEncoding) {
+  HttpParser parser;
+  EXPECT_EQ(parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                        "\r\n"),
+            HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, AcceptsBareLfLineEndings) {
+  HttpParser parser;
+  ASSERT_EQ(parser.Feed("POST /q HTTP/1.1\nContent-Length: 2\n\nok"),
+            HttpParser::State::kReady);
+  EXPECT_EQ(parser.TakeRequest().body, "ok");
+}
+
+TEST(HttpResponseTest, SerializesStatusAndHeaders) {
+  HttpResponse response;
+  response.status = 503;
+  response.body = "busy";
+  response.extra_headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nbusy"), std::string::npos);
+}
+
+TEST(HttpResponseTest, CloseFlagWinsOverKeepAlive) {
+  HttpResponse response;
+  response.close = true;
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsi::serve

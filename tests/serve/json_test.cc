@@ -1,0 +1,75 @@
+#include "serve/json.h"
+
+#include <gtest/gtest.h>
+
+namespace lsi::serve {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->bool_value());
+  EXPECT_FALSE(JsonValue::Parse("false")->bool_value());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-12.5e2")->number(), -1250.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto doc = JsonValue::Parse(
+      R"({"query": "galaxy", "top_k": 3, "nested": {"xs": [1, 2, 3]}})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Find("query")->string_value(), "galaxy");
+  EXPECT_DOUBLE_EQ(doc->Find("top_k")->number(), 3.0);
+  const JsonValue* xs = doc->Find("nested")->Find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(xs->array()[1].number(), 2.0);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  auto doc = JsonValue::Parse(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "a\"b\\c\nd\x41\xc3\xa9");
+}
+
+TEST(JsonTest, ParsesSurrogatePairs) {
+  auto doc = JsonValue::Parse(R"("😀")");  // 😀 U+1F600
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud83d")").ok());   // Lone high.
+  EXPECT_FALSE(JsonValue::Parse(R"("\ude00")").ok());   // Lone low.
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nulll").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("+1").ok());
+}
+
+TEST(JsonTest, RejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, SerializeRoundTrips) {
+  const std::string text =
+      R"({"a":[1,2.5,"x\"y"],"b":{"c":true,"d":null},"e":-3})";
+  auto doc = JsonValue::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Serialize(), text);
+}
+
+TEST(JsonTest, EscapesControlCharacters) {
+  // Note the split literal: "\x01b" would parse as hex 0x1B.
+  EXPECT_EQ(JsonQuote("a\x01" "b\tc"), "\"a\\u0001b\\tc\"");
+}
+
+}  // namespace
+}  // namespace lsi::serve

@@ -1,0 +1,366 @@
+// lsi_loadgen — closed-loop HTTP load generator for `lsi_tool serve`.
+//
+//   lsi_loadgen [--host=H] --port=N [--path=/query] [--query=TEXT]
+//               [--top-k=K] [--concurrency=C] [--duration-ms=D]
+//       Runs C closed-loop clients (each sends a request, waits for the
+//       full response, repeats) against POST <path> for D milliseconds,
+//       then prints ONE line of JSON with throughput and latency
+//       percentiles — the shape BENCH_serve.json trajectories track:
+//
+//         {"qps": 1234.5, "requests": 617, "http_2xx": 600,
+//          "http_503": 17, "http_other": 0, "errors": 0,
+//          "p50_ms": 0.8, "p95_ms": 2.1, "p99_ms": 4.0}
+//
+//   lsi_loadgen --port=N --one "GET /healthz"
+//   lsi_loadgen --port=N --one "POST /query" --body='{"query":"x"}'
+//       One-shot mode for smoke scripts with no curl dependency: sends a
+//       single request and prints "HTTP <status>", "content-type: <ct>",
+//       then the response body; exits 0 iff the status is 2xx.
+//
+// Queries rotate through a small built-in mix unless --query pins one;
+// rotation defeats the server's result cache just often enough to
+// exercise both the hit and miss paths.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "serve/json.h"
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string path = "/query";
+  std::string query;  // Empty: rotate the built-in mix.
+  std::size_t top_k = 10;
+  std::size_t concurrency = 4;
+  std::size_t duration_ms = 2000;
+  std::string one;   // "METHOD /path" one-shot mode.
+  std::string body;  // Body for one-shot POST.
+};
+
+constexpr const char* kQueryMix[] = {
+    "galaxies and planets", "stellar evolution",  "genome sequencing",
+    "market volatility",    "neural networks",    "ocean currents",
+    "protein folding",      "quantum computing",
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lsi_loadgen --port=N [--host=H] [--path=/query]\n"
+               "              [--query=TEXT] [--top-k=K] [--concurrency=C]\n"
+               "              [--duration-ms=D]\n"
+               "  lsi_loadgen --port=N --one \"GET /healthz\"\n"
+               "  lsi_loadgen --port=N --one \"POST /query\" "
+               "--body='{\"query\":\"x\"}'\n");
+  return 2;
+}
+
+/// Connects to host:port; -1 on failure.
+int Connect(const Options& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct Response {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+  bool keep_alive = false;
+};
+
+/// Reads one HTTP/1.x response (Content-Length framing only — which is
+/// all the lsi server emits). False on socket error or bad framing.
+bool ReadResponse(int fd, Response* out) {
+  std::string buffer;
+  std::size_t head_end = std::string::npos;
+  char chunk[8192];
+  while (true) {
+    head_end = buffer.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (buffer.size() > 64 * 1024) return false;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  // Status line: HTTP/1.1 NNN Reason.
+  if (buffer.compare(0, 5, "HTTP/") != 0) return false;
+  const std::size_t sp = buffer.find(' ');
+  if (sp == std::string::npos || sp + 4 > head_end) return false;
+  out->status = std::atoi(buffer.c_str() + sp + 1);
+
+  std::size_t content_length = 0;
+  std::size_t line_start = buffer.find("\r\n") + 2;
+  while (line_start < head_end) {
+    std::size_t line_end = buffer.find("\r\n", line_start);
+    if (line_end == std::string::npos || line_end > head_end) {
+      line_end = head_end;
+    }
+    std::string line = buffer.substr(line_start, line_end - line_start);
+    std::transform(line.begin(), line.end(), line.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    if (line.compare(0, 15, "content-length:") == 0) {
+      content_length = std::strtoul(line.c_str() + 15, nullptr, 10);
+    } else if (line.compare(0, 13, "content-type:") == 0) {
+      std::string value = line.substr(13);
+      const std::size_t first = value.find_first_not_of(' ');
+      out->content_type =
+          first == std::string::npos ? "" : value.substr(first);
+    } else if (line.compare(0, 11, "connection:") == 0) {
+      out->keep_alive = line.find("keep-alive") != std::string::npos;
+    }
+    line_start = line_end + 2;
+  }
+
+  const std::size_t body_start = head_end + 4;
+  while (buffer.size() - body_start < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  out->body = buffer.substr(body_start, content_length);
+  return true;
+}
+
+std::string BuildRequest(const std::string& method, const std::string& path,
+                         const std::string& host, const std::string& body) {
+  std::string out = method + " " + path + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nContent-Type: application/json\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body;
+  return out;
+}
+
+int RunOneShot(const Options& options) {
+  const std::size_t sp = options.one.find(' ');
+  if (sp == std::string::npos) return Usage();
+  const std::string method = options.one.substr(0, sp);
+  const std::string path = options.one.substr(sp + 1);
+  const int fd = Connect(options);
+  if (fd < 0) {
+    std::fprintf(stderr, "connect %s:%d failed\n", options.host.c_str(),
+                 options.port);
+    return 1;
+  }
+  if (!SendAll(fd, BuildRequest(method, path, options.host, options.body))) {
+    std::fprintf(stderr, "send failed\n");
+    ::close(fd);
+    return 1;
+  }
+  Response response;
+  const bool ok = ReadResponse(fd, &response);
+  ::close(fd);
+  if (!ok) {
+    std::fprintf(stderr, "bad response\n");
+    return 1;
+  }
+  std::printf("HTTP %d\ncontent-type: %s\n%s\n", response.status,
+              response.content_type.c_str(), response.body.c_str());
+  return response.status >= 200 && response.status < 300 ? 0 : 1;
+}
+
+struct WorkerStats {
+  std::vector<double> latencies_ms;
+  std::uint64_t http_2xx = 0;
+  std::uint64_t http_503 = 0;
+  std::uint64_t http_other = 0;
+  std::uint64_t errors = 0;
+};
+
+void RunWorker(const Options& options, std::size_t worker_index,
+               const std::atomic<bool>& stop, WorkerStats* stats) {
+  int fd = -1;
+  std::size_t sequence = worker_index;
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (fd < 0) {
+      fd = Connect(options);
+      if (fd < 0) {
+        ++stats->errors;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+    }
+    const char* query_text =
+        options.query.empty()
+            ? kQueryMix[sequence++ % (sizeof kQueryMix / sizeof *kQueryMix)]
+            : options.query.c_str();
+    std::string body = "{\"query\":" + lsi::serve::JsonQuote(query_text) +
+                       ",\"top_k\":" + std::to_string(options.top_k) + "}";
+    const std::string request =
+        BuildRequest("POST", options.path, options.host, body);
+
+    lsi::Timer timer;
+    Response response;
+    if (!SendAll(fd, request) || !ReadResponse(fd, &response)) {
+      ++stats->errors;
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    stats->latencies_ms.push_back(timer.ElapsedMillis());
+    if (response.status >= 200 && response.status < 300) {
+      ++stats->http_2xx;
+    } else if (response.status == 503) {
+      ++stats->http_503;
+    } else {
+      ++stats->http_other;
+    }
+    if (!response.keep_alive) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+int RunLoad(const Options& options) {
+  std::atomic<bool> stop{false};
+  std::vector<WorkerStats> stats(options.concurrency);
+  std::vector<std::thread> workers;
+  workers.reserve(options.concurrency);
+  lsi::Timer wall;
+  for (std::size_t i = 0; i < options.concurrency; ++i) {
+    workers.emplace_back(RunWorker, std::cref(options), i, std::cref(stop),
+                         &stats[i]);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed_s = wall.ElapsedSeconds();
+
+  WorkerStats total;
+  for (WorkerStats& s : stats) {
+    total.http_2xx += s.http_2xx;
+    total.http_503 += s.http_503;
+    total.http_other += s.http_other;
+    total.errors += s.errors;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              s.latencies_ms.begin(), s.latencies_ms.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  const std::uint64_t requests =
+      total.http_2xx + total.http_503 + total.http_other;
+  std::printf(
+      "{\"qps\": %.1f, \"requests\": %llu, \"http_2xx\": %llu, "
+      "\"http_503\": %llu, \"http_other\": %llu, \"errors\": %llu, "
+      "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}\n",
+      elapsed_s > 0 ? static_cast<double>(requests) / elapsed_s : 0.0,
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(total.http_2xx),
+      static_cast<unsigned long long>(total.http_503),
+      static_cast<unsigned long long>(total.http_other),
+      static_cast<unsigned long long>(total.errors),
+      Percentile(total.latencies_ms, 0.50),
+      Percentile(total.latencies_ms, 0.95),
+      Percentile(total.latencies_ms, 0.99));
+  // A run that never got a response through is a failure; 503s are the
+  // server shedding load as designed and do not fail the run.
+  return requests > 0 ? 0 : 1;
+}
+
+bool ParseSize(const char* text, std::size_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::size_t value = 0;
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      options.host = arg + 7;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      if (!ParseSize(arg + 7, &value) || value == 0 || value > 65535) {
+        return Usage();
+      }
+      options.port = static_cast<int>(value);
+    } else if (std::strncmp(arg, "--path=", 7) == 0) {
+      options.path = arg + 7;
+    } else if (std::strncmp(arg, "--query=", 8) == 0) {
+      options.query = arg + 8;
+    } else if (std::strncmp(arg, "--top-k=", 8) == 0) {
+      if (!ParseSize(arg + 8, &options.top_k)) return Usage();
+    } else if (std::strncmp(arg, "--concurrency=", 14) == 0) {
+      if (!ParseSize(arg + 14, &options.concurrency) ||
+          options.concurrency == 0) {
+        return Usage();
+      }
+    } else if (std::strncmp(arg, "--duration-ms=", 14) == 0) {
+      if (!ParseSize(arg + 14, &options.duration_ms) ||
+          options.duration_ms == 0) {
+        return Usage();
+      }
+    } else if (std::strcmp(arg, "--one") == 0 && i + 1 < argc) {
+      options.one = argv[++i];
+    } else if (std::strncmp(arg, "--one=", 6) == 0) {
+      options.one = arg + 6;
+    } else if (std::strncmp(arg, "--body=", 7) == 0) {
+      options.body = arg + 7;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.port == 0) return Usage();
+  if (!options.one.empty()) return RunOneShot(options);
+  return RunLoad(options);
+}

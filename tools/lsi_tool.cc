@@ -21,6 +21,14 @@
 //       Loads an engine, optionally runs a query, and dumps the metrics
 //       registry (JSON unless --stats=prom is also given).
 //
+//   lsi_tool serve <engine.bin> [--port=N] [--host=A] [--threads=N]
+//                  [--cache-mb=N] [--batch-max=N] [--deadline-ms=N]
+//       Loads an engine once and serves it over HTTP until SIGINT or
+//       SIGTERM, then drains in-flight requests and exits 0. Routes:
+//       POST /query, POST /related, GET /healthz, /statusz, /metrics.
+//       Flag defaults come from LSI_PORT, LSI_CACHE_MB, LSI_BATCH_MAX,
+//       LSI_DEADLINE_MS (and LSI_THREADS, as everywhere else).
+//
 // Any command additionally accepts --stats[=json|prom]: after the
 // command finishes, the metrics registry (solver convergence counters,
 // span timings, latency histograms) is dumped to stdout. The dump starts
@@ -32,15 +40,21 @@
 //   LSI_THREADS=N           worker-thread cap (0/unset = all cores)
 //   LSI_LOG_LEVEL=debug|info|warn|error   log verbosity (default info)
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "obs/export.h"
 #include "par/par.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "text/corpus_io.h"
 
 namespace {
@@ -55,6 +69,9 @@ int Usage() {
                "  lsi_tool related <engine.bin> <term>\n"
                "  lsi_tool info <engine.bin>\n"
                "  lsi_tool stats <engine.bin> [query text...]\n"
+               "  lsi_tool serve <engine.bin> [--port=N] [--host=A]\n"
+               "                 [--cache-mb=N] [--batch-max=N] "
+               "[--deadline-ms=N]\n"
                "\n"
                "flags:\n"
                "  --stats[=json|prom]  dump the metrics registry (solver\n"
@@ -66,7 +83,9 @@ int Usage() {
                "environment:\n"
                "  LSI_METRICS=json|prom              same as --stats=<fmt>\n"
                "  LSI_THREADS=N                      same as --threads=N\n"
-               "  LSI_LOG_LEVEL=debug|info|warn|error  log verbosity\n");
+               "  LSI_LOG_LEVEL=debug|info|warn|error  log verbosity\n"
+               "  LSI_PORT, LSI_CACHE_MB, LSI_BATCH_MAX, LSI_DEADLINE_MS\n"
+               "                                     serve flag defaults\n");
   return 2;
 }
 
@@ -226,6 +245,115 @@ int CommandStats(int argc, char** argv,
   return 0;
 }
 
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void HandleShutdownSignal(int) { g_shutdown_signal = 1; }
+
+/// Parses a non-negative integer flag value ("--port=8080" tail or an
+/// env var). Returns false on garbage.
+bool ParseSizeValue(const char* text, std::size_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+/// Flag default: the env var when set and numeric, else `fallback`.
+std::size_t SizeFromEnv(const char* name, std::size_t fallback) {
+  std::size_t value = 0;
+  if (ParseSizeValue(std::getenv(name), &value)) return value;
+  return fallback;
+}
+
+int CommandServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::size_t port = SizeFromEnv("LSI_PORT", 8080);
+  std::size_t cache_mb = SizeFromEnv("LSI_CACHE_MB", 64);
+  std::size_t batch_max = SizeFromEnv("LSI_BATCH_MAX", 16);
+  std::size_t deadline_ms = SizeFromEnv("LSI_DEADLINE_MS", 2000);
+  std::string host = "0.0.0.0";
+  const char* engine_path = nullptr;
+
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    bool ok = true;
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      ok = ParseSizeValue(arg + 7, &port) && port <= 65535;
+    } else if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else if (std::strncmp(arg, "--cache-mb=", 11) == 0) {
+      ok = ParseSizeValue(arg + 11, &cache_mb);
+    } else if (std::strncmp(arg, "--batch-max=", 12) == 0) {
+      ok = ParseSizeValue(arg + 12, &batch_max) && batch_max > 0;
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      ok = ParseSizeValue(arg + 14, &deadline_ms) && deadline_ms > 0;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown serve flag: %s\n", arg);
+      return 2;
+    } else if (engine_path == nullptr) {
+      engine_path = arg;
+    } else {
+      return Usage();
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value in flag: %s\n", arg);
+      return 2;
+    }
+  }
+  if (engine_path == nullptr) return Usage();
+
+  auto engine = lsi::core::LsiEngine::Load(engine_path);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  lsi::serve::ServiceOptions service_options;
+  service_options.cache.max_bytes = cache_mb * 1024 * 1024;
+  service_options.batch.max_batch = batch_max;
+  lsi::serve::LsiService service(engine.value(), service_options);
+
+  lsi::serve::ServerOptions server_options;
+  server_options.port = static_cast<int>(port);
+  server_options.host = host;
+  // Connection workers are I/O-bound; the engine work fans out across
+  // the lsi::par pool regardless, so a small multiple of it suffices.
+  server_options.threads = std::max<std::size_t>(4, lsi::par::Threads());
+  server_options.deadline = std::chrono::milliseconds(deadline_ms);
+  lsi::serve::HttpServer server(
+      [&service](const lsi::serve::HttpRequest& request,
+                 std::chrono::steady_clock::time_point deadline) {
+        return service.Handle(request, deadline);
+      },
+      server_options);
+
+  if (auto started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+
+  std::printf("serving %s on %s:%d (%zu docs, %zu terms, rank %zu)\n",
+              engine_path, host.c_str(), server.port(),
+              engine->NumDocuments(), engine->NumTerms(), engine->rank());
+  std::fflush(stdout);
+
+  while (g_shutdown_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("shutdown signal received, draining\n");
+  std::fflush(stdout);
+  server.Stop();
+  service.Shutdown();
+  std::printf("drained, exiting\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,6 +403,8 @@ int main(int argc, char** argv) {
     code = CommandInfo(args_count, args_data);
   } else if (std::strcmp(args_data[1], "stats") == 0) {
     code = CommandStats(args_count, args_data, &dump_format);
+  } else if (std::strcmp(args_data[1], "serve") == 0) {
+    code = CommandServe(args_count, args_data);
   } else {
     return Usage();
   }
