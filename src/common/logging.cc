@@ -5,7 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace lsi {
 namespace {
@@ -38,8 +39,8 @@ std::atomic<int>& MinLevel() {
 
 /// Serializes the final write so concurrent threads cannot interleave
 /// partial lines.
-std::mutex& SinkMutex() {
-  static std::mutex mutex;
+Mutex& SinkMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -89,7 +90,7 @@ LogMessage::~LogMessage() {
   if (!LogLevelEnabled(level_)) return;
   stream_ << "\n";
   std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   std::fputs(line.c_str(), stderr);
 }
 

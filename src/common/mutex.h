@@ -1,0 +1,100 @@
+#ifndef LSI_COMMON_MUTEX_H_
+#define LSI_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace lsi {
+
+/// std::mutex with capability annotations, so `clang -Wthread-safety`
+/// can track it. Library code guards shared state with this type (and
+/// LSI_GUARDED_BY) instead of raw std::mutex — the standard type carries
+/// no attributes, which would leave every guarded access unprovable.
+///
+/// Prefer MutexLock over calling Lock()/Unlock() directly.
+class LSI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LSI_ACQUIRE() { mu_.lock(); }
+  void Unlock() LSI_RELEASE() { mu_.unlock(); }
+  bool TryLock() LSI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for CondVar's wait plumbing only.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for lsi::Mutex (the std::scoped_lock/unique_lock of this
+/// codebase). Holds the capability from construction to destruction;
+/// Unlock()/Lock() allow the batcher-style "drop the lock around slow
+/// work inside a loop" pattern without losing analysis coverage.
+class LSI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LSI_ACQUIRE(mu) : lock_(mu.native_handle()) {}
+  ~MutexLock() LSI_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily releases the mutex (e.g. to run a callback that must
+  /// not be held under it). The capability must be re-acquired with
+  /// Lock() before the next guarded access or destruction.
+  void Unlock() LSI_RELEASE() { lock_.unlock(); }
+  void Lock() LSI_ACQUIRE() { lock_.lock(); }
+
+  /// The underlying unique_lock, for CondVar only.
+  std::unique_lock<std::mutex>& native_lock() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with lsi::Mutex.
+///
+/// Wait() atomically releases and re-acquires the mutex, but — following
+/// the usual annotation convention (absl::CondVar does the same) — the
+/// caller's MutexLock capability is treated as held across the call:
+/// guarded reads before and after a Wait() are exactly the accesses the
+/// lock really does protect. Write wait loops inline
+/// (`while (!pred()) cv.Wait(lock);`) rather than passing predicate
+/// lambdas: the analysis does not propagate lock state into lambda
+/// bodies, so inline loops are what keeps the predicate checkable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.native_lock()); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native_lock(), deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.native_lock(), timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lsi
+
+#endif  // LSI_COMMON_MUTEX_H_

@@ -1,0 +1,71 @@
+#ifndef LSI_COMMON_THREAD_ANNOTATIONS_H_
+#define LSI_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute wrappers.
+///
+/// These macros attach lock-discipline contracts to types, members, and
+/// functions so that `clang -Wthread-safety` can prove at compile time
+/// that every access to a guarded member happens with the right mutex
+/// held. On compilers without the attributes (GCC) they expand to
+/// nothing, so the annotations are free documentation there.
+///
+/// The analysis only understands capabilities it can see being acquired,
+/// and the standard library's mutex types carry no attributes — so
+/// annotated code must guard state with lsi::Mutex / lsi::MutexLock
+/// (common/mutex.h), never raw std::mutex. Conventions are documented in
+/// DESIGN.md ("Static analysis").
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LSI_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LSI_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Declares that a class is a capability (a lockable resource). The
+/// string names the capability kind in diagnostics, e.g. "mutex".
+#define LSI_CAPABILITY(x) LSI_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define LSI_SCOPED_CAPABILITY LSI_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member may only be read or written while the
+/// given capability is held.
+#define LSI_GUARDED_BY(x) LSI_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer itself) is guarded
+/// by the given capability.
+#define LSI_PT_GUARDED_BY(x) LSI_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function may only be called while the listed
+/// capabilities are held (and does not release them).
+#define LSI_REQUIRES(...) \
+  LSI_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the listed capabilities (or, with
+/// no arguments on an RAII type's member, the managed capability).
+#define LSI_ACQUIRE(...) \
+  LSI_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the listed capabilities.
+#define LSI_RELEASE(...) \
+  LSI_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that a function tries to acquire a capability; the first
+/// argument is the return value meaning success.
+#define LSI_TRY_ACQUIRE(...) \
+  LSI_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that a function must NOT be called with the listed
+/// capabilities held (deadlock prevention for self-locking functions).
+#define LSI_EXCLUDES(...) LSI_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Returns the capability a getter exposes (e.g. a shard accessor).
+#define LSI_RETURN_CAPABILITY(x) LSI_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use needs
+/// a comment explaining why the analysis cannot see the invariant.
+#define LSI_NO_THREAD_SAFETY_ANALYSIS \
+  LSI_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LSI_COMMON_THREAD_ANNOTATIONS_H_

@@ -55,14 +55,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -70,14 +70,14 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -101,7 +101,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -16,12 +16,12 @@ SpanRegistry& SpanRegistry::Global() {
 }
 
 void SpanRegistry::Record(const std::string& path, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spans_[path].Record(seconds);
 }
 
 std::vector<std::pair<std::string, SpanStats>> SpanRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, SpanStats>> out;
   out.reserve(spans_.size());
   for (const auto& [path, timer] : spans_) {
@@ -31,7 +31,7 @@ std::vector<std::pair<std::string, SpanStats>> SpanRegistry::Snapshot() const {
 }
 
 void SpanRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spans_.clear();
 }
 

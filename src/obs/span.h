@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace lsi::obs {
@@ -39,10 +40,10 @@ class SpanRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // CumulativeTimer is the accumulation primitive; the registry's mutex
   // provides the synchronization it doesn't.
-  std::map<std::string, CumulativeTimer> spans_;
+  std::map<std::string, CumulativeTimer> spans_ LSI_GUARDED_BY(mutex_);
 };
 
 /// RAII tracing span. Nested spans compose dotted paths through a

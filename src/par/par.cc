@@ -1,12 +1,12 @@
 #include "par/par.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "par/parallel_for.h"
@@ -18,9 +18,10 @@ namespace {
 /// Intentionally leaked so parallel regions in static destructors (or
 /// late metric exports) never race pool teardown at exit.
 struct Scheduler {
-  std::mutex mutex;
-  std::size_t resolved = 0;  // 0 = automatic value not yet latched.
-  std::shared_ptr<ThreadPool> pool;
+  Mutex mutex;
+  // 0 = automatic value not yet latched.
+  std::size_t resolved LSI_GUARDED_BY(mutex) = 0;
+  std::shared_ptr<ThreadPool> pool LSI_GUARDED_BY(mutex);
 };
 
 Scheduler& GetScheduler() {
@@ -61,7 +62,8 @@ void PublishThreadsGauge(std::size_t threads) {
       .Set(static_cast<double>(threads));
 }
 
-std::size_t ResolvedLocked(Scheduler& scheduler) {
+std::size_t ResolvedLocked(Scheduler& scheduler)
+    LSI_REQUIRES(scheduler.mutex) {
   if (scheduler.resolved == 0) {
     scheduler.resolved = AutoThreads();
     PublishThreadsGauge(scheduler.resolved);
@@ -91,7 +93,7 @@ std::size_t AutoThreads() {
 
 std::size_t Threads() {
   Scheduler& scheduler = GetScheduler();
-  std::lock_guard<std::mutex> lock(scheduler.mutex);
+  MutexLock lock(scheduler.mutex);
   return ResolvedLocked(scheduler);
 }
 
@@ -99,7 +101,7 @@ void SetThreads(std::size_t threads) {
   Scheduler& scheduler = GetScheduler();
   std::shared_ptr<ThreadPool> retired;  // Destroyed outside the lock.
   {
-    std::lock_guard<std::mutex> lock(scheduler.mutex);
+    MutexLock lock(scheduler.mutex);
     scheduler.resolved = threads == 0 ? AutoThreads() : threads;
     if (scheduler.pool != nullptr &&
         scheduler.pool->num_workers() + 1 != scheduler.resolved) {
@@ -111,7 +113,7 @@ void SetThreads(std::size_t threads) {
 
 std::shared_ptr<ThreadPool> internal::AcquirePool() {
   Scheduler& scheduler = GetScheduler();
-  std::lock_guard<std::mutex> lock(scheduler.mutex);
+  MutexLock lock(scheduler.mutex);
   std::size_t threads = ResolvedLocked(scheduler);
   if (threads <= 1) return nullptr;
   if (scheduler.pool == nullptr) {
@@ -156,15 +158,18 @@ void internal::RunChunks(std::size_t num_chunks,
 
   RegionsCounter().Increment();
   struct Region {
-    std::mutex mutex;
-    std::condition_variable done;
+    Mutex mutex;
+    CondVar done;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> abort{false};
-    std::size_t pending_helpers = 0;
-    std::exception_ptr error;  // First failure; guarded by mutex.
+    std::size_t pending_helpers LSI_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error LSI_GUARDED_BY(mutex);  // First failure.
   };
   Region region;
-  region.pending_helpers = helpers;
+  {
+    MutexLock lock(region.mutex);
+    region.pending_helpers = helpers;
+  }
 
   // Claims chunks from the shared cursor until none remain (or a chunk
   // failed). Runs on the calling thread and every helper.
@@ -179,7 +184,7 @@ void internal::RunChunks(std::size_t num_chunks,
         chunk_fn(c);
       } catch (...) {
         region.abort.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(region.mutex);
+        MutexLock lock(region.mutex);
         if (region.error == nullptr) region.error = std::current_exception();
       }
     }
@@ -191,19 +196,21 @@ void internal::RunChunks(std::size_t num_chunks,
     // until every submitted helper has run to completion.
     pool->Submit([&region, &drain] {
       drain();
-      std::lock_guard<std::mutex> lock(region.mutex);
-      if (--region.pending_helpers == 0) region.done.notify_one();
+      MutexLock lock(region.mutex);
+      if (--region.pending_helpers == 0) region.done.NotifyOne();
     });
   }
 
   drain();
   Timer wait_timer;
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(region.mutex);
-    region.done.wait(lock, [&region] { return region.pending_helpers == 0; });
+    MutexLock lock(region.mutex);
+    while (region.pending_helpers != 0) region.done.Wait(lock);
+    error = region.error;
   }
   WaitGauge().Add(wait_timer.ElapsedMillis());
-  if (region.error != nullptr) std::rethrow_exception(region.error);
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace lsi::par

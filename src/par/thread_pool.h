@@ -1,13 +1,14 @@
 #ifndef LSI_PAR_THREAD_POOL_H_
 #define LSI_PAR_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace lsi::par {
 
@@ -44,11 +45,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::size_t tasks_executed_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ LSI_GUARDED_BY(mutex_);
+  bool stopping_ LSI_GUARDED_BY(mutex_) = false;
+  std::size_t tasks_executed_ LSI_GUARDED_BY(mutex_) = 0;
+  // Written only by the constructor, before any worker exists; joined by
+  // the destructor. Not guarded: never mutated concurrently.
   std::vector<std::thread> workers_;
 };
 

@@ -28,7 +28,7 @@ std::optional<std::future<QueryBatcher::QueryResult>> QueryBatcher::Submit(
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   std::future<QueryResult> future;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ || queue_.size() >= options_.max_queue) {
       registry.GetCounter("lsi.serve.batch.rejected").Increment();
       return std::nullopt;
@@ -44,25 +44,25 @@ std::optional<std::future<QueryBatcher::QueryResult>> QueryBatcher::Submit(
     registry.GetGauge("lsi.serve.batch.queue_depth")
         .Set(static_cast<double>(queue_.size()));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
 void QueryBatcher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       // Already stopped (or stopping on another thread); fall through to
       // the join below, which is guarded for the second caller.
     }
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
 }
 
 std::size_t QueryBatcher::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -76,9 +76,9 @@ void QueryBatcher::FlusherLoop() {
       registry.GetHistogram("lsi.serve.batch.size", BatchSizeBuckets());
   obs::Gauge& queue_depth = registry.GetGauge("lsi.serve.batch.queue_depth");
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    while (!stopping_ && queue_.empty()) cv_.Wait(lock);
     if (queue_.empty()) break;  // stopping_ && drained.
 
     // Linger until the batch fills or the oldest request's delay budget
@@ -87,7 +87,7 @@ void QueryBatcher::FlusherLoop() {
     const auto deadline = oldest_enqueue_ + options_.max_delay;
     while (!stopping_ && queue_.size() < options_.max_batch &&
            std::chrono::steady_clock::now() < deadline) {
-      cv_.wait_until(lock, deadline);
+      cv_.WaitUntil(lock, deadline);
     }
 
     std::vector<Pending> batch;
@@ -107,9 +107,9 @@ void QueryBatcher::FlusherLoop() {
     flushes.Increment();
     batch_size.Observe(static_cast<double>(batch.size()));
 
-    lock.unlock();
+    lock.Unlock();
     RunBatch(std::move(batch));
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -2,17 +2,17 @@
 #define LSI_SERVE_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 
 namespace lsi::serve {
@@ -80,11 +80,12 @@ class QueryBatcher {
   const core::LsiEngine& engine_;
   BatcherOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  std::chrono::steady_clock::time_point oldest_enqueue_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<Pending> queue_ LSI_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point oldest_enqueue_
+      LSI_GUARDED_BY(mutex_);
+  bool stopping_ LSI_GUARDED_BY(mutex_) = false;
   std::thread flusher_;
 };
 

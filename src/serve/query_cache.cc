@@ -76,7 +76,7 @@ std::optional<std::vector<core::EngineHit>> QueryCache::Get(
     return std::nullopt;
   }
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     metrics_->misses.Increment();
@@ -99,7 +99,7 @@ void QueryCache::Put(const std::string& key,
   const std::size_t entry_bytes = CacheEntryBytes(key, hits);
   if (entry_bytes > shard_budget_) return;  // Would evict the whole shard.
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (auto it = shard.index.find(key); it != shard.index.end()) {
     EraseLocked(shard, it->second);  // Replace: drop the stale entry.
   }
@@ -121,7 +121,7 @@ void QueryCache::Put(const std::string& key,
 
 void QueryCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     while (!shard.lru.empty()) {
       EraseLocked(shard, std::prev(shard.lru.end()));
     }
@@ -135,7 +135,7 @@ QueryCache::Stats QueryCache::stats() const {
   stats.evictions = metrics_->evictions.value();
   stats.expirations = metrics_->expirations.value();
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     stats.entries += shard.lru.size();
     stats.bytes += shard.bytes;
   }
@@ -145,7 +145,7 @@ QueryCache::Stats QueryCache::stats() const {
 std::size_t QueryCache::entries() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.lru.size();
   }
   return total;
@@ -154,7 +154,7 @@ std::size_t QueryCache::entries() const {
 std::size_t QueryCache::bytes() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.bytes;
   }
   return total;

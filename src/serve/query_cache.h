@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 
 namespace lsi::serve {
@@ -85,16 +86,18 @@ class QueryCache {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     /// Front = most recently used.
-    std::list<Entry> lru;
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    std::size_t bytes = 0;
+    std::list<Entry> lru LSI_GUARDED_BY(mutex);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        LSI_GUARDED_BY(mutex);
+    std::size_t bytes LSI_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(const std::string& key);
   std::chrono::steady_clock::time_point Now() const;
-  void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+  void EraseLocked(Shard& shard, std::list<Entry>::iterator it)
+      LSI_REQUIRES(shard.mutex);
 
   QueryCacheOptions options_;
   std::size_t shard_budget_ = 0;

@@ -116,11 +116,11 @@ Status HttpServer::Start() {
 void HttpServer::Stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_relaxed);
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (accept_thread_.joinable()) accept_thread_.join();
   // Workers drain pending_fds_ (answering whatever those clients send,
   // with Connection: close) and exit once the queue is empty.
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -133,7 +133,7 @@ void HttpServer::Stop() {
 }
 
 std::size_t HttpServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(queue_mutex_);
   return pending_fds_.size();
 }
 
@@ -154,7 +154,7 @@ void HttpServer::AcceptLoop() {
 
     bool admit = false;
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      MutexLock lock(queue_mutex_);
       if (pending_fds_.size() < options_.max_queued_connections) {
         pending_fds_.push_back(fd);
         depth.Set(static_cast<double>(pending_fds_.size()));
@@ -162,7 +162,7 @@ void HttpServer::AcceptLoop() {
       }
     }
     if (admit) {
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
     } else {
       // Admission control: shed load before any parsing or engine work.
       rejected.Increment();
@@ -184,11 +184,11 @@ void HttpServer::WorkerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_relaxed) ||
-               !pending_fds_.empty();
-      });
+      MutexLock lock(queue_mutex_);
+      while (!stopping_.load(std::memory_order_relaxed) &&
+             pending_fds_.empty()) {
+        queue_cv_.Wait(lock);
+      }
       if (pending_fds_.empty()) return;  // Stopping and fully drained.
       fd = pending_fds_.front();
       pending_fds_.pop_front();

@@ -3,16 +3,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/http.h"
 
 namespace lsi::serve {
@@ -97,14 +97,17 @@ class HttpServer {
 
   Handler handler_;
   ServerOptions options_;
+  // listen_fd_/port_/started_ are written by Start()/Stop() only, before
+  // the threads spawn and after they join; workers read listen_fd_ never
+  // and the accept thread's reads are ordered by thread creation/join.
   int listen_fd_ = -1;
   int port_ = 0;
   bool started_ = false;
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_fds_;
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<int> pending_fds_ LSI_GUARDED_BY(queue_mutex_);
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
