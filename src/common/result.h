@@ -16,8 +16,10 @@ namespace lsi {
 /// either a T or a non-OK Status. Accessing the value of an error Result
 /// aborts, so callers must check `ok()` (or use ValueOrDie semantics
 /// knowingly).
+/// [[nodiscard]] for the same reason as Status: a discarded Result drops
+/// both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding `value`.
   Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -28,7 +28,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Error Statuses carry a code and a
 /// message. Status is cheap to copy in the OK case (no allocation).
-class Status {
+///
+/// [[nodiscard]]: ignoring a returned Status silently swallows the
+/// failure, so discarding one is a compile error (-Werror=unused-result).
+/// The rare intentional drop must be spelled `(void)expr;` with a comment
+/// saying why failure is acceptable there.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
