@@ -284,6 +284,7 @@ Status LsiEngine::Save(const std::string& path) const {
     for (const std::string& name : document_names_) {
       LSI_RETURN_IF_ERROR(WriteString(file.get(), name));
     }
+    LSI_RETURN_IF_ERROR(file.Close());
   }
   return index_.Save(path + ".index");
 }

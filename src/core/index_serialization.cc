@@ -33,7 +33,7 @@ Status LsiIndex::Save(const std::string& path) const {
       WriteDenseVectorBody(file.get(), svd_.singular_values));
   LSI_RETURN_IF_ERROR(WriteDenseMatrixBody(file.get(), svd_.v));
   LSI_RETURN_IF_ERROR(WriteDenseMatrixBody(file.get(), document_vectors_));
-  return Status::OK();
+  return file.Close();
 }
 
 Result<LsiIndex> LsiIndex::Load(const std::string& path) {

@@ -100,7 +100,8 @@ Status SaveDenseMatrix(const DenseMatrix& matrix, const std::string& path) {
   FileHandle file(path, "wb");
   if (!file.ok()) return Status::InvalidArgument("cannot open for write: " + path);
   LSI_RETURN_IF_ERROR(WriteBytes(file.get(), kDenseMagic, 4));
-  return io_internal::WriteDenseMatrixBody(file.get(), matrix);
+  LSI_RETURN_IF_ERROR(io_internal::WriteDenseMatrixBody(file.get(), matrix));
+  return file.Close();
 }
 
 Result<DenseMatrix> LoadDenseMatrix(const std::string& path) {
@@ -123,8 +124,9 @@ Status SaveSparseMatrix(const SparseMatrix& matrix, const std::string& path) {
   for (std::size_t index : matrix.col_indices()) {
     LSI_RETURN_IF_ERROR(WriteU64(file.get(), index));
   }
-  return io_internal::WriteDoubles(file.get(), matrix.values().data(),
-                                   matrix.NumNonZeros());
+  LSI_RETURN_IF_ERROR(io_internal::WriteDoubles(
+      file.get(), matrix.values().data(), matrix.NumNonZeros()));
+  return file.Close();
 }
 
 Result<SparseMatrix> LoadSparseMatrix(const std::string& path) {

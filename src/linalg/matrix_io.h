@@ -42,18 +42,36 @@ Status WriteDenseVectorBody(std::FILE* file, const DenseVector& vector);
 Result<DenseVector> ReadDenseVectorBody(std::FILE* file);
 
 /// RAII FILE handle.
+///
+/// Write paths must finish with Close() and propagate its Status: fclose
+/// flushes stdio's buffer, so it is where a full disk (ENOSPC) or dead
+/// pipe actually surfaces — a destructor-only close would report such a
+/// save as having succeeded.
 class FileHandle {
  public:
   FileHandle(const std::string& path, const char* mode)
       : file_(std::fopen(path.c_str(), mode)) {}
   ~FileHandle() {
-    if (file_ != nullptr) std::fclose(file_);
+    // Read paths and error exits: best effort, nothing left to lose.
+    if (file_ != nullptr) (void)std::fclose(file_);
   }
   FileHandle(const FileHandle&) = delete;
   FileHandle& operator=(const FileHandle&) = delete;
 
   std::FILE* get() const { return file_; }
   bool ok() const { return file_ != nullptr; }
+
+  /// Flushes and closes, reporting the failure fclose is the last chance
+  /// to see. Idempotent: a second Close() is OK on an empty handle.
+  Status Close() {
+    if (file_ == nullptr) return Status::OK();
+    std::FILE* file = file_;
+    file_ = nullptr;
+    if (std::fclose(file) != 0) {
+      return Status::Internal("close failed (data may not be on disk)");
+    }
+    return Status::OK();
+  }
 
  private:
   std::FILE* file_;

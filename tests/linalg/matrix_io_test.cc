@@ -38,6 +38,20 @@ TEST(MatrixIoTest, DenseEmptyMatrix) {
   std::remove(path.c_str());
 }
 
+TEST(MatrixIoTest, SaveReportsCloseFailure) {
+  // A matrix small enough to sit entirely in stdio's buffer reaches the
+  // device only at fclose — /dev/full makes that final flush fail with
+  // ENOSPC. Save must report it rather than claim the data is on disk.
+  if (std::FILE* probe = std::fopen("/dev/full", "wb")) {
+    (void)std::fclose(probe);  // Probe only; nothing was written.
+    Rng rng(2);
+    DenseMatrix matrix = lsi::testing::RandomMatrix(3, 3, rng);
+    EXPECT_FALSE(SaveDenseMatrix(matrix, "/dev/full").ok());
+  } else {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+}
+
 TEST(MatrixIoTest, SparseRoundTrip) {
   Rng rng(3);
   SparseMatrixBuilder builder(12, 9);
