@@ -217,8 +217,7 @@ bool DumpIfConfigured(std::FILE* out) {
   ExportFormat format = FormatFromEnv();
   if (format == ExportFormat::kNone) return false;
   std::string rendered = Export(format);
-  std::fputs(rendered.c_str(), out);
-  return true;
+  return std::fputs(rendered.c_str(), out) != EOF;
 }
 
 }  // namespace lsi::obs

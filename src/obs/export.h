@@ -54,7 +54,8 @@ const char* ContentTypeFor(ExportFormat format);
 
 /// Writes the global registry to `out` in the format selected by
 /// LSI_METRICS; a no-op when the variable is unset. Returns true when
-/// something was written.
+/// something was written successfully, false when the format is unset or
+/// the write failed.
 bool DumpIfConfigured(std::FILE* out);
 
 }  // namespace lsi::obs

@@ -411,7 +411,13 @@ int main(int argc, char** argv) {
 
   if (code == 0 && dump_format != lsi::obs::ExportFormat::kNone) {
     std::string rendered = lsi::obs::Export(dump_format);
-    std::fputs(rendered.c_str(), stdout);
+    // Scripts parse this dump; a swallowed write error (closed pipe,
+    // full disk) must not masquerade as a successful run.
+    if (std::fputs(rendered.c_str(), stdout) == EOF ||
+        std::fflush(stdout) != 0) {
+      std::fprintf(stderr, "stats: writing metrics dump to stdout failed\n");
+      return 1;
+    }
   }
   return code;
 }
