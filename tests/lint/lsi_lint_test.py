@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lsi_lint.py.
+
+Builds a throwaway repo tree of good/bad fixture snippets and asserts
+that every rule fires where it should, stays quiet where it should not,
+and that the allowlist both suppresses findings and reports stale
+entries. Runs under ctest as `lsi_lint_selftest`.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+LINTER = os.path.join(REPO_ROOT, "tools", "lsi_lint.py")
+
+
+def run_lint(root, extra_args=()):
+    """Runs the linter over `root`, returns (exit_code, findings list)."""
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--root", root, "--json", *extra_args],
+        capture_output=True,
+        text=True,
+    )
+    findings = json.loads(proc.stdout) if proc.stdout.strip() else []
+    return proc.returncode, findings
+
+
+def guard(relpath):
+    token = relpath[len("src/"):].replace("/", "_").replace(".", "_").upper()
+    return "LSI_" + token + "_"
+
+
+def header(relpath, body=""):
+    g = guard(relpath)
+    return f"#ifndef {g}\n#define {g}\n{body}\n#endif  // {g}\n"
+
+
+class LintFixture(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, relpath, text):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    def rules_for(self, findings, relpath):
+        return sorted(f["rule"] for f in findings if f["path"] == relpath)
+
+    def test_clean_tree_passes(self):
+        self.write("src/core/good.h", header("src/core/good.h", "int F();"))
+        self.write("src/core/good.cc", "int F() { return 1; }\n")
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 0, findings)
+        self.assertEqual(findings, [])
+
+    def test_no_throw_fires_in_src_only(self):
+        self.write("src/core/bad.cc", "void F() { throw 1; }\n")
+        self.write("tools/fine.cc", "void G() { throw 1; }\n")
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(self.rules_for(findings, "src/core/bad.cc"), ["no-throw"])
+        self.assertEqual(self.rules_for(findings, "tools/fine.cc"), [])
+
+    def test_no_throw_ignores_comments_strings_and_identifiers(self):
+        self.write(
+            "src/core/ok.cc",
+            '// never throw here\n'
+            'const char* k = "throw";\n'
+            "void F() { std::rethrow_exception(p); }\n",
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 0, findings)
+
+    def test_no_raw_random_fires_outside_rng(self):
+        self.write("src/core/bad.cc", "int F() { return rand(); }\n")
+        self.write("src/sample/bad2.cc", "std::random_device rd;\n")
+        self.write("src/common/rng.cc", "std::random_device seed_source;\n")
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(self.rules_for(findings, "src/core/bad.cc"), ["no-raw-random"])
+        self.assertEqual(self.rules_for(findings, "src/sample/bad2.cc"), ["no-raw-random"])
+        self.assertEqual(self.rules_for(findings, "src/common/rng.cc"), [])
+
+    def test_no_raw_thread_fires_outside_par(self):
+        self.write("src/core/bad.cc", "std::thread t([] {});\n")
+        self.write("src/par/pool.cc", "std::thread t([] {});\n")
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(self.rules_for(findings, "src/core/bad.cc"), ["no-raw-thread"])
+        self.assertEqual(self.rules_for(findings, "src/par/pool.cc"), [])
+
+    def test_no_raw_mutex_fires_outside_wrapper(self):
+        self.write(
+            "src/core/bad.cc",
+            "std::mutex mu;\nstd::lock_guard<std::mutex> l(mu);\n"
+            "std::condition_variable cv;\n",
+        )
+        self.write("src/common/mutex.h", header("src/common/mutex.h", "std::mutex mu_;"))
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/core/bad.cc"),
+            ["no-raw-mutex", "no-raw-mutex", "no-raw-mutex"],
+        )
+        self.assertEqual(self.rules_for(findings, "src/common/mutex.h"), [])
+
+    def test_no_stdio_fires_but_snprintf_and_logging_are_exempt(self):
+        self.write(
+            "src/core/bad.cc",
+            'void F() { printf("x"); }\nvoid F2() { std::cout << 1; }\n',
+        )
+        self.write(
+            "src/core/ok.cc",
+            'void G(char* buf) { std::snprintf(buf, 8, "%d", 1); }\n',
+        )
+        self.write("src/common/logging.cc", 'void H() { std::fputs("x", stderr); }\n')
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/core/bad.cc"), ["no-stdio", "no-stdio"]
+        )
+        self.assertEqual(self.rules_for(findings, "src/core/ok.cc"), [])
+        self.assertEqual(self.rules_for(findings, "src/common/logging.cc"), [])
+
+    def test_include_guard_mismatch_reported(self):
+        self.write(
+            "src/core/bad.h",
+            "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n",
+        )
+        self.write("src/core/good.h", header("src/core/good.h"))
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(self.rules_for(findings, "src/core/bad.h"), ["include-guard"])
+        self.assertEqual(self.rules_for(findings, "src/core/good.h"), [])
+
+    def test_allowlist_suppresses_and_reports_stale_entries(self):
+        self.write("src/serve/threads.cc", "std::thread t([] {});\n")
+        allow = os.path.join(self.root, "allow.txt")
+        with open(allow, "w", encoding="utf-8") as fh:
+            fh.write(
+                "# service threads are intentional\n"
+                "no-raw-thread src/serve/threads.cc\n"
+            )
+        code, findings = run_lint(self.root, ("--allowlist", allow))
+        self.assertEqual(code, 0, findings)
+
+        with open(allow, "a", encoding="utf-8") as fh:
+            fh.write("no-throw src/gone/nothing.cc\n")
+        code, findings = run_lint(self.root, ("--allowlist", allow))
+        self.assertEqual(code, 1)
+        self.assertEqual([f["rule"] for f in findings], ["stale-allowlist"])
+
+    def test_single_file_invocation_skips_staleness_check(self):
+        self.write("src/serve/threads.cc", "std::thread t([] {});\n")
+        self.write("src/core/clean.cc", "int F();\n")
+        allow = os.path.join(self.root, "allow.txt")
+        with open(allow, "w", encoding="utf-8") as fh:
+            fh.write("no-raw-thread src/serve/threads.cc\n")
+        code, findings = run_lint(
+            self.root, ("--allowlist", allow, "src/core/clean.cc")
+        )
+        self.assertEqual(code, 0, findings)
+
+    def test_findings_are_machine_readable(self):
+        self.write("src/core/bad.cc", "void F() { throw 1; }\n")
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        (finding,) = findings
+        self.assertEqual(
+            sorted(finding), ["line", "message", "path", "rule", "snippet"]
+        )
+        self.assertEqual(finding["line"], 1)
+
+
+class RealTreeIsClean(unittest.TestCase):
+    def test_repo_passes_its_own_lint(self):
+        code, findings = run_lint(REPO_ROOT)
+        self.assertEqual(code, 0, findings)
+
+
+if __name__ == "__main__":
+    unittest.main()

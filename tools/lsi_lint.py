@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""lsi_lint: repo-specific static checks clang-tidy cannot express.
+
+Rules (scoped to library code under src/ unless noted):
+
+  no-throw          `throw` across the public API boundary. Library entry
+                    points report failure through Status/Result; exceptions
+                    are reserved for the lsi::par region internals, which
+                    catch and rethrow on the calling thread.
+  no-raw-random     rand()/srand()/std::random_device outside common/rng.
+                    All randomness flows through lsi::Rng so results are
+                    reproducible from a seed (the paper's experiments and
+                    the determinism tests depend on it).
+  no-raw-thread     std::thread outside src/par. Long-lived service threads
+                    (serve) are explicitly allowlisted; data-parallel work
+                    must go through lsi::par so LSI_THREADS and the
+                    bit-identical-results contract hold.
+  no-raw-mutex      std::mutex / std::lock_guard / std::unique_lock /
+                    std::condition_variable outside common/mutex.h. Raw
+                    standard types carry no capability attributes, which
+                    blinds clang -Wthread-safety; guard state with
+                    lsi::Mutex + LSI_GUARDED_BY instead.
+  no-stdio          printf/cout/cerr-style output in library code (tools/
+                    and tests are front-ends and exempt). Diagnostics go
+                    through LSI_LOG (common/logging.h); snprintf into a
+                    caller buffer is formatting, not output, and is fine.
+  include-guard     Headers open with `#ifndef LSI_<PATH>_H_` matching
+                    their path (src/core/engine.h -> LSI_CORE_ENGINE_H_).
+
+Findings print one per line as `path:line: rule: message`, or as a JSON
+array with --json. Exit status: 0 clean, 1 findings, 2 usage error.
+
+Suppressions: an allowlist file (default tools/lint_allowlist.txt) with
+`rule path` lines; `#` starts a comment. Every entry must match at least
+one file, so stale entries fail the run instead of rotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# (rule, compiled pattern, message). Patterns are matched per physical
+# line after comment stripping.
+LINE_RULES = [
+    (
+        "no-throw",
+        re.compile(r"(?<![\w.])throw\b"),
+        "library code must report errors via Status/Result, not exceptions",
+    ),
+    (
+        "no-raw-random",
+        re.compile(r"(?<![\w.])(std::random_device|srand\s*\(|rand\s*\(\))"),
+        "use lsi::Rng: unseeded randomness breaks reproducibility",
+    ),
+    (
+        "no-raw-thread",
+        re.compile(r"\bstd::thread\b"),
+        "spawn work through lsi::par, not raw std::thread",
+    ),
+    (
+        "no-raw-mutex",
+        re.compile(
+            r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+            r"lock_guard|unique_lock|scoped_lock|condition_variable)\b"
+        ),
+        "use lsi::Mutex/MutexLock/CondVar (common/mutex.h) so "
+        "clang -Wthread-safety can track the capability",
+    ),
+    (
+        "no-stdio",
+        re.compile(
+            r"(\bstd::(cout|cerr)\b|(?<![\w:])(?:std::)?"
+            r"(?:printf|fprintf|puts|fputs|putchar)\s*\()"
+        ),
+        "library code logs through LSI_LOG, not stdout/stderr",
+    ),
+]
+
+# Rule -> predicate(relative posix path) deciding whether a file is in
+# scope at all (before allowlist suppression).
+def _in_src(path: str) -> bool:
+    return path.startswith("src/")
+
+
+RULE_SCOPE = {
+    "no-throw": _in_src,
+    "no-raw-random": lambda p: _in_src(p) and not p.startswith("src/common/rng"),
+    "no-raw-thread": lambda p: _in_src(p) and not p.startswith("src/par/"),
+    "no-raw-mutex": lambda p: _in_src(p) and p != "src/common/mutex.h",
+    "no-stdio": lambda p: _in_src(p)
+    and p not in ("src/common/logging.cc", "src/common/check.h"),
+    "include-guard": lambda p: _in_src(p) and p.endswith(".h"),
+}
+
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noncode(line: str) -> str:
+    """Blanks string literals and line comments so patterns only see code.
+
+    Block comments are handled crudely (single-line only); the codebase
+    uses line comments throughout, and a false positive is a visible,
+    fixable report rather than a silent miss.
+    """
+    line = STRING_RE.sub('""', line)
+    line = COMMENT_RE.sub("", line)
+    line = re.sub(r"/\*.*?\*/", "", line)
+    return line
+
+
+def expected_guard(relpath: str) -> str:
+    # src/core/engine.h -> LSI_CORE_ENGINE_H_
+    without_src = relpath[len("src/"):]
+    token = re.sub(r"[^A-Za-z0-9]", "_", without_src)
+    return "LSI_" + token.upper() + "_"
+
+
+def check_file(relpath: str, text: str):
+    findings = []
+    lines = text.splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        code = strip_noncode(raw)
+        for rule, pattern, message in LINE_RULES:
+            if not RULE_SCOPE[rule](relpath):
+                continue
+            if pattern.search(code):
+                findings.append(
+                    {
+                        "rule": rule,
+                        "path": relpath,
+                        "line": lineno,
+                        "message": message,
+                        "snippet": raw.strip()[:120],
+                    }
+                )
+    if RULE_SCOPE["include-guard"](relpath):
+        guard = expected_guard(relpath)
+        ifndef = f"#ifndef {guard}"
+        define = f"#define {guard}"
+        head = lines[:40]
+        if ifndef not in (l.strip() for l in head) or define not in (
+            l.strip() for l in head
+        ):
+            findings.append(
+                {
+                    "rule": "include-guard",
+                    "path": relpath,
+                    "line": 1,
+                    "message": f"header must open with {ifndef} / {define}",
+                    "snippet": lines[0].strip()[:120] if lines else "",
+                }
+            )
+    return findings
+
+
+def load_allowlist(path: str):
+    """Returns a list of (rule, path_prefix) suppression entries."""
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise SystemExit(
+                    f"{path}:{lineno}: allowlist lines are `rule path`, "
+                    f"got: {raw.strip()!r}"
+                )
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def collect_files(root: str, paths):
+    """Yields repo-relative posix paths of C++ files to lint."""
+    exts = (".h", ".cc", ".cpp")
+    if not paths:
+        paths = ["src", "tools"]
+    for base in paths:
+        absolute = os.path.join(root, base)
+        if os.path.isfile(absolute):
+            if absolute.endswith(exts):
+                yield os.path.relpath(absolute, root).replace(os.sep, "/")
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Repo-specific lint for the lsi codebase."
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        default=None,
+        help="suppression file (default: <root>/tools/lint_allowlist.txt)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON findings")
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories relative to root"
+    )
+    args = parser.parse_args(argv)
+
+    allowlist_path = args.allowlist or os.path.join(
+        args.root, "tools", "lint_allowlist.txt"
+    )
+    allowlist = load_allowlist(allowlist_path)
+    used = [False] * len(allowlist)
+
+    findings = []
+    for relpath in collect_files(args.root, args.paths):
+        try:
+            with open(os.path.join(args.root, relpath), encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as err:
+            print(f"lsi_lint: cannot read {relpath}: {err}", file=sys.stderr)
+            return 2
+        for finding in check_file(relpath, text):
+            suppressed = False
+            for i, (rule, prefix) in enumerate(allowlist):
+                if finding["rule"] == rule and finding["path"].startswith(prefix):
+                    used[i] = True
+                    suppressed = True
+                    break
+            if not suppressed:
+                findings.append(finding)
+
+    # Only police allowlist staleness on full-tree runs; a single-file
+    # invocation legitimately leaves most entries unused.
+    if not args.paths:
+        for (rule, prefix), was_used in zip(allowlist, used):
+            if not was_used:
+                findings.append(
+                    {
+                        "rule": "stale-allowlist",
+                        "path": os.path.relpath(allowlist_path, args.root),
+                        "line": 1,
+                        "message": f"allowlist entry `{rule} {prefix}` "
+                        "matches nothing; delete it",
+                        "snippet": f"{rule} {prefix}",
+                    }
+                )
+
+    if args.json:
+        json.dump(findings, sys.stdout, indent=2)
+        print()
+    else:
+        for f in findings:
+            print(f"{f['path']}:{f['line']}: {f['rule']}: {f['message']}")
+            if f["snippet"]:
+                print(f"    {f['snippet']}")
+    if findings:
+        print(f"lsi_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
