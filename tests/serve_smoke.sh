@@ -128,4 +128,13 @@ if [ "$STATUS" -ne 0 ]; then
 fi
 grep -q "drained, exiting" "$LOG"
 
+# A worker thread can trip an LSI_CHECK and abort while the acceptor
+# still drains cleanly; the server log must be free of invariant
+# failures for the run to count.
+if grep -q "LSI_CHECK failed" "$LOG"; then
+  echo "LSI_CHECK failure in server log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
 echo "serve smoke: OK"
