@@ -1,0 +1,38 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace lsi {
+namespace {
+
+// Reflected-polynomial table, one entry per byte value, built once at
+// first use. Byte-at-a-time is ~1 GB/s, ample for save/load paths; the
+// persistence formats are the only callers.
+constexpr std::uint32_t kCastagnoliReflected = 0x82F63B78u;
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    std::uint32_t crc = byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kCastagnoliReflected : 0u);
+    }
+    table[byte] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace lsi

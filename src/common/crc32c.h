@@ -1,0 +1,22 @@
+#ifndef LSI_COMMON_CRC32C_H_
+#define LSI_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lsi {
+
+/// Extends a running CRC32C (Castagnoli polynomial 0x1EDC6F41, the
+/// checksum LevelDB/RocksDB use for block trailers) over `size` more
+/// bytes. Start from 0 for a fresh checksum.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+/// CRC32C of a single buffer.
+inline std::uint32_t Crc32c(const void* data, std::size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+}  // namespace lsi
+
+#endif  // LSI_COMMON_CRC32C_H_

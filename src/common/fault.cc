@@ -1,0 +1,216 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace lsi::fault {
+namespace {
+
+bool ValidPointName(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::uint64_t> ParseCount(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("fault spec: missing count after '@'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("fault spec: bad count: " + text);
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(const std::string& text) {
+  if (text == "always") {
+    return FaultSpec{Trigger::kAfterN, 0};
+  }
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) {
+    return Status::InvalidArgument(
+        "fault spec: mode must be once@N | every@N | after@N | always, got: " +
+        text);
+  }
+  const std::string mode = text.substr(0, at);
+  LSI_ASSIGN_OR_RETURN(std::uint64_t n, ParseCount(text.substr(at + 1)));
+  if (mode == "once") {
+    if (n == 0) {
+      return Status::InvalidArgument("fault spec: once@N needs N >= 1");
+    }
+    return FaultSpec{Trigger::kOnceAt, n};
+  }
+  if (mode == "every") {
+    if (n == 0) {
+      return Status::InvalidArgument("fault spec: every@N needs N >= 1");
+    }
+    return FaultSpec{Trigger::kEveryNth, n};
+  }
+  if (mode == "after") {
+    return FaultSpec{Trigger::kAfterN, n};
+  }
+  return Status::InvalidArgument("fault spec: unknown mode: " + mode);
+}
+
+Status InjectedFailure(const char* name) {
+  return Status::Internal(std::string("fault injected: ") + name);
+}
+
+FaultPoint::FaultPoint(std::string name) : name_(std::move(name)) {}
+
+bool FaultPoint::EvaluateArmed() {
+  MutexLock lock(mutex_);
+  ++hits_;
+  const std::uint64_t hit = ++since_arm_;
+  bool fail = false;
+  switch (spec_.trigger) {
+    case Trigger::kOnceAt:
+      fail = hit == spec_.n;
+      break;
+    case Trigger::kEveryNth:
+      fail = hit % spec_.n == 0;
+      break;
+    case Trigger::kAfterN:
+      fail = hit > spec_.n;
+      break;
+  }
+  if (fail) ++triggers_;
+  return fail;
+}
+
+void FaultPoint::Arm(FaultSpec spec) {
+  {
+    MutexLock lock(mutex_);
+    spec_ = spec;
+    since_arm_ = 0;
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultPoint::Disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+std::uint64_t FaultPoint::hits() const {
+  MutexLock lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t FaultPoint::triggers() const {
+  MutexLock lock(mutex_);
+  return triggers_;
+}
+
+FaultRegistry::FaultRegistry() {
+  if (const char* env = std::getenv("LSI_FAULT");
+      env != nullptr && *env != '\0') {
+    const Status status = ArmFromString(env);
+    if (!status.ok()) {
+      // A typo'd LSI_FAULT silently arming nothing would defeat the whole
+      // exercise; die loudly instead.
+      LSI_LOG(Error) << "bad LSI_FAULT: " << status.ToString();
+      LSI_CHECK(status.ok());
+    }
+  }
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* const registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultPoint* FaultRegistry::Register(const char* name) {
+  MutexLock lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<FaultPoint>(name)).first;
+    if (const auto pending = pending_.find(name); pending != pending_.end()) {
+      it->second->Arm(pending->second);
+      pending_.erase(pending);
+    }
+  }
+  return it->second.get();
+}
+
+void FaultRegistry::Arm(const std::string& name, FaultSpec spec) {
+  MutexLock lock(mutex_);
+  if (const auto it = points_.find(name); it != points_.end()) {
+    it->second->Arm(spec);
+  } else {
+    pending_[name] = spec;
+  }
+}
+
+Status FaultRegistry::ArmFromString(const std::string& specs) {
+  // Parse everything before arming anything, so a bad entry cannot leave
+  // the process half-armed.
+  std::vector<std::pair<std::string, FaultSpec>> parsed;
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    std::size_t end = specs.find(';', start);
+    if (end == std::string::npos) end = specs.size();
+    const std::string entry = specs.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault spec: entries are name=mode, got: " + entry);
+    }
+    const std::string name = entry.substr(0, eq);
+    if (!ValidPointName(name)) {
+      return Status::InvalidArgument("fault spec: bad point name: " + name);
+    }
+    LSI_ASSIGN_OR_RETURN(FaultSpec spec, ParseFaultSpec(entry.substr(eq + 1)));
+    parsed.emplace_back(name, spec);
+  }
+  for (const auto& [name, spec] : parsed) {
+    Arm(name, spec);
+  }
+  return Status::OK();
+}
+
+void FaultRegistry::Disarm(const std::string& name) {
+  MutexLock lock(mutex_);
+  if (const auto it = points_.find(name); it != points_.end()) {
+    it->second->Disarm();
+  }
+  pending_.erase(name);
+}
+
+void FaultRegistry::DisarmAll() {
+  MutexLock lock(mutex_);
+  for (const auto& [name, point] : points_) {
+    point->Disarm();
+  }
+  pending_.clear();
+}
+
+std::vector<std::string> FaultRegistry::PointNames() const {
+  MutexLock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+FaultPoint* FaultRegistry::Find(const std::string& name) const {
+  MutexLock lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace lsi::fault

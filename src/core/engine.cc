@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/timer.h"
 #include "linalg/matrix_io.h"
 #include "obs/metrics.h"
@@ -14,31 +15,16 @@
 namespace lsi::core {
 namespace {
 
+using linalg::io_internal::AtomicFile;
 using linalg::io_internal::FileHandle;
-using linalg::io_internal::ReadBytes;
-using linalg::io_internal::ReadDoubles;
-using linalg::io_internal::ReadU64;
-using linalg::io_internal::WriteBytes;
-using linalg::io_internal::WriteDoubles;
-using linalg::io_internal::WriteU64;
+using linalg::io_internal::Reader;
+using linalg::io_internal::Writer;
 
 constexpr char kEngineMagic[4] = {'L', 'S', 'I', 'E'};
-constexpr std::uint64_t kFormatVersion = 1;
-
-Status WriteString(std::FILE* file, const std::string& value) {
-  LSI_RETURN_IF_ERROR(WriteU64(file, value.size()));
-  return WriteBytes(file, value.data(), value.size());
-}
-
-Result<std::string> ReadString(std::FILE* file) {
-  LSI_ASSIGN_OR_RETURN(std::uint64_t size, ReadU64(file));
-  if (size > (1ULL << 24)) {
-    return Status::Internal("string length implausible");
-  }
-  std::string value(static_cast<std::size_t>(size), '\0');
-  LSI_RETURN_IF_ERROR(ReadBytes(file, value.data(), size));
-  return value;
-}
+// Version 2: single-file layout (the index is embedded after the
+// metadata section instead of living in a sibling "<path>.index" file,
+// so one atomic rename publishes both), per-section CRC32C trailers.
+constexpr std::uint64_t kFormatVersion = 2;
 
 }  // namespace
 
@@ -264,76 +250,92 @@ Result<std::string> LsiEngine::DocumentName(std::size_t document) const {
 }
 
 Status LsiEngine::Save(const std::string& path) const {
-  {
-    FileHandle file(path, "wb");
-    if (!file.ok()) {
-      return Status::InvalidArgument("cannot open for write: " + path);
-    }
-    LSI_RETURN_IF_ERROR(WriteBytes(file.get(), kEngineMagic, 4));
-    LSI_RETURN_IF_ERROR(WriteU64(file.get(), kFormatVersion));
-    LSI_RETURN_IF_ERROR(
-        WriteU64(file.get(), static_cast<std::uint64_t>(weighting_)));
-    LSI_RETURN_IF_ERROR(WriteU64(file.get(), terms_.size()));
-    for (const std::string& term : terms_) {
-      LSI_RETURN_IF_ERROR(WriteString(file.get(), term));
-    }
-    LSI_RETURN_IF_ERROR(
-        WriteDoubles(file.get(), global_weights_.data(),
-                     global_weights_.size()));
-    LSI_RETURN_IF_ERROR(WriteU64(file.get(), document_names_.size()));
-    for (const std::string& name : document_names_) {
-      LSI_RETURN_IF_ERROR(WriteString(file.get(), name));
-    }
-    LSI_RETURN_IF_ERROR(file.Close());
+  if (LSI_FAULT_POINT("core.engine.save")) {
+    return fault::InjectedFailure("core.engine.save");
   }
-  return index_.Save(path + ".index");
+  AtomicFile file(path);
+  if (!file.ok()) {
+    return Status::InvalidArgument("cannot open for write: " + path + ".tmp");
+  }
+  Writer& writer = file.writer();
+  LSI_RETURN_IF_ERROR(writer.WriteBytes(kEngineMagic, 4));
+  LSI_RETURN_IF_ERROR(writer.WriteU64(kFormatVersion));
+  writer.BeginSection();
+  LSI_RETURN_IF_ERROR(
+      writer.WriteU64(static_cast<std::uint64_t>(weighting_)));
+  LSI_RETURN_IF_ERROR(writer.WriteU64(terms_.size()));
+  for (const std::string& term : terms_) {
+    LSI_RETURN_IF_ERROR(writer.WriteString(term));
+  }
+  LSI_RETURN_IF_ERROR(
+      writer.WriteDoubles(global_weights_.data(), global_weights_.size()));
+  LSI_RETURN_IF_ERROR(writer.WriteU64(document_names_.size()));
+  for (const std::string& name : document_names_) {
+    LSI_RETURN_IF_ERROR(writer.WriteString(name));
+  }
+  LSI_RETURN_IF_ERROR(writer.EndSection());
+  LSI_RETURN_IF_ERROR(index_.WriteTo(writer));
+  return file.Commit();
 }
 
 Result<LsiEngine> LsiEngine::Load(const std::string& path) {
+  if (LSI_FAULT_POINT("core.engine.load")) {
+    return fault::InjectedFailure("core.engine.load");
+  }
   FileHandle file(path, "rb");
   if (!file.ok()) return Status::NotFound("cannot open for read: " + path);
+  Reader reader(file.get());
   char magic[4];
-  LSI_RETURN_IF_ERROR(ReadBytes(file.get(), magic, 4));
+  LSI_RETURN_IF_ERROR(reader.ReadBytes(magic, 4));
   if (std::memcmp(magic, kEngineMagic, 4) != 0) {
     return Status::InvalidArgument("not an LsiEngine file: " + path);
   }
-  LSI_ASSIGN_OR_RETURN(std::uint64_t version, ReadU64(file.get()));
+  LSI_ASSIGN_OR_RETURN(std::uint64_t version, reader.ReadU64());
+  if (version == 1) {
+    return Status::InvalidArgument(
+        "LsiEngine format version 1 predates the single-file checksummed "
+        "layout; rebuild and re-save with this build");
+  }
   if (version != kFormatVersion) {
     return Status::InvalidArgument("unsupported LsiEngine format version");
   }
-  LSI_ASSIGN_OR_RETURN(std::uint64_t weighting_raw, ReadU64(file.get()));
+  reader.BeginSection();
+  LSI_ASSIGN_OR_RETURN(std::uint64_t weighting_raw, reader.ReadU64());
   if (weighting_raw >
       static_cast<std::uint64_t>(text::WeightingScheme::kLogEntropy)) {
     return Status::InvalidArgument("unknown weighting scheme in file");
   }
-  LSI_ASSIGN_OR_RETURN(std::uint64_t num_terms, ReadU64(file.get()));
-  if (num_terms > (1ULL << 32)) {
-    return Status::Internal("term count implausible");
+  LSI_ASSIGN_OR_RETURN(std::uint64_t num_terms, reader.ReadU64());
+  std::uint64_t weight_bytes = 0;
+  if (__builtin_mul_overflow(num_terms, sizeof(double), &weight_bytes) ||
+      weight_bytes > reader.remaining()) {
+    return Status::InvalidArgument("term count implausible");
   }
   std::vector<std::string> terms;
   terms.reserve(num_terms);
   for (std::uint64_t t = 0; t < num_terms; ++t) {
-    LSI_ASSIGN_OR_RETURN(std::string term, ReadString(file.get()));
+    LSI_ASSIGN_OR_RETURN(std::string term, reader.ReadString());
     terms.push_back(std::move(term));
   }
   std::vector<double> global_weights(num_terms);
-  LSI_RETURN_IF_ERROR(
-      ReadDoubles(file.get(), global_weights.data(), num_terms));
-  LSI_ASSIGN_OR_RETURN(std::uint64_t num_docs, ReadU64(file.get()));
-  if (num_docs > (1ULL << 32)) {
-    return Status::Internal("document count implausible");
+  LSI_RETURN_IF_ERROR(reader.ReadDoubles(global_weights.data(), num_terms));
+  LSI_ASSIGN_OR_RETURN(std::uint64_t num_docs, reader.ReadU64());
+  // Each document contributes at least a length prefix to this section.
+  if (num_docs > reader.remaining() / sizeof(std::uint64_t)) {
+    return Status::InvalidArgument("document count implausible");
   }
   std::vector<std::string> document_names;
   document_names.reserve(num_docs);
   for (std::uint64_t d = 0; d < num_docs; ++d) {
-    LSI_ASSIGN_OR_RETURN(std::string name, ReadString(file.get()));
+    LSI_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
     document_names.push_back(std::move(name));
   }
+  LSI_RETURN_IF_ERROR(reader.EndSection());
 
-  LSI_ASSIGN_OR_RETURN(LsiIndex index, LsiIndex::Load(path + ".index"));
+  LSI_ASSIGN_OR_RETURN(LsiIndex index, LsiIndex::ReadFrom(reader));
   if (index.NumTerms() != terms.size()) {
     return Status::InvalidArgument(
-        "LsiEngine metadata does not match its index file");
+        "LsiEngine metadata does not match its embedded index");
   }
   return LsiEngine(std::move(index),
                    static_cast<text::WeightingScheme>(weighting_raw),

@@ -92,12 +92,14 @@ class LsiEngine {
   /// Name of document `index` (as given at corpus build time).
   Result<std::string> DocumentName(std::size_t document) const;
 
-  /// Persists the engine as two files: `<path>` (vocabulary, global
-  /// weights, document names, weighting scheme) and `<path>.index`
-  /// (the LSI factors).
+  /// Persists the engine as one file: vocabulary, global weights,
+  /// document names, and weighting scheme, followed by the embedded LSI
+  /// factors. Crash-safe: the bytes land via `<path>.tmp` + atomic
+  /// rename, so a crash mid-save leaves the previous engine intact.
   Status Save(const std::string& path) const;
 
-  /// Loads an engine written by Save().
+  /// Loads an engine written by Save(). Corruption is reported as
+  /// InvalidArgument (every section carries a CRC32C trailer).
   static Result<LsiEngine> Load(const std::string& path);
 
   const LsiIndex& index() const { return index_; }

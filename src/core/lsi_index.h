@@ -11,6 +11,11 @@
 #include "linalg/sparse_matrix.h"
 #include "linalg/svd.h"
 
+namespace lsi::linalg::io_internal {
+class Reader;
+class Writer;
+}  // namespace lsi::linalg::io_internal
+
 namespace lsi::core {
 
 /// One ranked retrieval hit.
@@ -117,11 +122,23 @@ class LsiIndex {
   }
 
   /// Serializes the index (SVD factors + document vectors, including
-  /// folded-in ones) to a binary file.
+  /// folded-in ones) to a binary file. Crash-safe: writes `path + ".tmp"`
+  /// and renames it into place, so `path` always holds either the old
+  /// index or the complete new one.
   Status Save(const std::string& path) const;
 
-  /// Loads an index written by Save().
+  /// Loads an index written by Save(). Corruption anywhere in the file —
+  /// truncation, bit flips, implausible headers — comes back as
+  /// InvalidArgument, never a crash (every section carries a CRC32C
+  /// trailer).
   static Result<LsiIndex> Load(const std::string& path);
+
+  /// Streams the index body (versioned header, SVD factors, document
+  /// vectors) into an open writer / back out of an open reader — the
+  /// building blocks Save/Load and the engine's single-file format
+  /// share.
+  Status WriteTo(linalg::io_internal::Writer& writer) const;
+  static Result<LsiIndex> ReadFrom(linalg::io_internal::Reader& reader);
 
   /// The underlying truncated SVD.
   const linalg::SvdResult& svd() const { return svd_; }

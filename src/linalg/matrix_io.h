@@ -13,7 +13,15 @@ namespace lsi::linalg {
 
 /// Binary serialization for the matrix types. Format: little-endian
 /// (host order; files are not meant to cross architectures), a 4-byte
-/// magic per type, a version byte, dimensions as uint64, then payload.
+/// magic per type whose last byte is the format version, then payload
+/// split into *sections* — each section is its raw bytes followed by a
+/// CRC32C trailer, so any torn write or flipped bit surfaces as
+/// InvalidArgument at load instead of silently wrong math.
+///
+/// Saves are crash-safe: the bytes go to `path + ".tmp"`, are fsynced,
+/// and land via an atomic rename (see io_internal::AtomicFile), so a
+/// reader of `path` only ever sees the complete old file or the
+/// complete new one.
 
 /// Writes `matrix` to `path`, replacing any existing file.
 Status SaveDenseMatrix(const DenseMatrix& matrix, const std::string& path);
@@ -29,17 +37,8 @@ Result<SparseMatrix> LoadSparseMatrix(const std::string& path);
 
 namespace io_internal {
 
-/// Low-level helpers shared with the LsiIndex serializer.
-Status WriteBytes(std::FILE* file, const void* data, std::size_t size);
-Status ReadBytes(std::FILE* file, void* data, std::size_t size);
-Status WriteU64(std::FILE* file, std::uint64_t value);
-Result<std::uint64_t> ReadU64(std::FILE* file);
-Status WriteDoubles(std::FILE* file, const double* data, std::size_t count);
-Status ReadDoubles(std::FILE* file, double* data, std::size_t count);
-Status WriteDenseMatrixBody(std::FILE* file, const DenseMatrix& matrix);
-Result<DenseMatrix> ReadDenseMatrixBody(std::FILE* file);
-Status WriteDenseVectorBody(std::FILE* file, const DenseVector& vector);
-Result<DenseVector> ReadDenseVectorBody(std::FILE* file);
+/// Low-level building blocks shared with the LsiIndex and LsiEngine
+/// serializers.
 
 /// RAII FILE handle.
 ///
@@ -63,19 +62,130 @@ class FileHandle {
 
   /// Flushes and closes, reporting the failure fclose is the last chance
   /// to see. Idempotent: a second Close() is OK on an empty handle.
-  Status Close() {
-    if (file_ == nullptr) return Status::OK();
-    std::FILE* file = file_;
-    file_ = nullptr;
-    if (std::fclose(file) != 0) {
-      return Status::Internal("close failed (data may not be on disk)");
-    }
-    return Status::OK();
-  }
+  /// Fault point: io.fclose.
+  Status Close();
 
  private:
   std::FILE* file_;
 };
+
+/// Buffered writer with checksummed sections. All bytes written between
+/// BeginSection() and EndSection() feed a running CRC32C; EndSection()
+/// appends the 4-byte checksum as a trailer. Fault point: io.fwrite.
+class Writer {
+ public:
+  explicit Writer(std::FILE* file) : file_(file) {}
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status WriteBytes(const void* data, std::size_t size);
+  Status WriteU64(std::uint64_t value);
+  Status WriteDoubles(const double* data, std::size_t count);
+  /// Length-prefixed (u64) byte string.
+  Status WriteString(const std::string& value);
+
+  /// Starts a checksummed section (resets the running CRC).
+  void BeginSection() { crc_ = 0; }
+
+  /// Ends the section: writes its CRC32C trailer.
+  Status EndSection();
+
+ private:
+  std::FILE* file_;
+  std::uint32_t crc_ = 0;
+};
+
+/// Checksum-verifying reader over an open FILE. Mirrors Writer: bytes
+/// read between BeginSection() and EndSection() feed a running CRC32C
+/// that EndSection() compares against the stored trailer, returning
+/// InvalidArgument on mismatch. Tracks how many bytes the file has left
+/// (remaining()), which the body readers use to reject headers whose
+/// claimed payload could not possibly fit — the guard that stops a
+/// corrupt length field from triggering a multi-terabyte allocation.
+/// Fault point: io.fread.
+class Reader {
+ public:
+  /// `file` must be open for reading; the constructor fstats it to
+  /// learn the total size.
+  explicit Reader(std::FILE* file);
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  Status ReadBytes(void* data, std::size_t size);
+  Result<std::uint64_t> ReadU64();
+  Status ReadDoubles(double* data, std::size_t count);
+  /// Length-prefixed (u64) byte string; rejects lengths above
+  /// `max_size` or beyond the end of the file before allocating.
+  Result<std::string> ReadString(std::uint64_t max_size = 1ULL << 24);
+
+  /// Starts a checksummed section (resets the running CRC).
+  void BeginSection() { crc_ = 0; }
+
+  /// Ends the section: reads the stored CRC32C trailer and compares it
+  /// against the bytes actually read. InvalidArgument on mismatch.
+  Status EndSection();
+
+  /// Bytes between the current position and end-of-file.
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  Status ReadRaw(void* data, std::size_t size);
+
+  std::FILE* file_;
+  std::uint64_t remaining_ = 0;
+  std::uint32_t crc_ = 0;
+};
+
+/// Crash-safe file replacement. Opens `path + ".tmp"` for writing;
+/// Commit() flushes, fsyncs, closes, renames the tmp file over `path`,
+/// and fsyncs the parent directory so the rename itself is durable. If
+/// the AtomicFile dies before Commit() succeeds, the destructor deletes
+/// the tmp file and `path` is untouched — a reader never observes a
+/// partial write. Fault points: io.fflush, io.fsync, io.rename,
+/// io.dirsync (plus io.fwrite/io.fclose via Writer and FileHandle).
+class AtomicFile {
+ public:
+  explicit AtomicFile(const std::string& path);
+  ~AtomicFile();
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// False when the tmp file could not be opened.
+  bool ok() const { return file_.ok(); }
+
+  Writer& writer() { return writer_; }
+
+  /// Flushes, fsyncs, and closes the tmp file WITHOUT renaming it into
+  /// place — the first half of Commit(), split out so a caller saving
+  /// multiple artifacts can stage them all before publishing any.
+  /// Idempotent.
+  Status Prepare();
+
+  /// Prepare() + atomic rename over `path` + parent-directory fsync.
+  Status Commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  FileHandle file_;
+  Writer writer_;
+  bool prepared_ = false;
+  bool committed_ = false;
+};
+
+/// Matrix/vector bodies. Each body is one checksummed section:
+/// dimensions as u64, payload doubles, CRC32C trailer. The readers
+/// overflow-check the element counts and bound them by the bytes the
+/// file actually has before allocating.
+Status WriteDenseMatrixBody(Writer& writer, const DenseMatrix& matrix);
+Result<DenseMatrix> ReadDenseMatrixBody(Reader& reader);
+Status WriteDenseVectorBody(Writer& writer, const DenseVector& vector);
+Result<DenseVector> ReadDenseVectorBody(Reader& reader);
+
+/// Reads 4 magic bytes and matches them against `expected`. A mismatch
+/// in the last byte alone (the version) reports an unsupported-version
+/// InvalidArgument; anything else reports a wrong-file-type one.
+Status CheckMagic(Reader& reader, const char expected[4]);
 
 }  // namespace io_internal
 

@@ -86,6 +86,7 @@ ExportFormat FormatFromEnv() {
 
 std::string ExportJson(const MetricsRegistry& metrics,
                        const SpanRegistry& spans) {
+  if (&metrics == &MetricsRegistry::Global()) MirrorFaultMetrics();
   MetricsSnapshot snapshot = metrics.Snapshot();
   auto span_stats = spans.Snapshot();
 
@@ -145,6 +146,7 @@ std::string ExportJson(const MetricsRegistry& metrics,
 
 std::string ExportPrometheus(const MetricsRegistry& metrics,
                              const SpanRegistry& spans) {
+  if (&metrics == &MetricsRegistry::Global()) MirrorFaultMetrics();
   MetricsSnapshot snapshot = metrics.Snapshot();
   auto span_stats = spans.Snapshot();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace lsi::obs {
 
@@ -105,6 +106,25 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void MirrorFaultMetrics() {
+  fault::FaultRegistry& faults = fault::FaultRegistry::Global();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const std::string& name : faults.PointNames()) {
+    const fault::FaultPoint* point = faults.Find(name);
+    if (point == nullptr) continue;
+    // Counters only increment, so mirror by delta against the last
+    // mirrored value (a registry Reset simply re-mirrors the total).
+    Counter& hits = registry.GetCounter("lsi.fault." + name + ".hits");
+    Counter& triggers = registry.GetCounter("lsi.fault." + name + ".triggers");
+    const std::uint64_t total_hits = point->hits();
+    const std::uint64_t total_triggers = point->triggers();
+    if (total_hits > hits.value()) hits.Increment(total_hits - hits.value());
+    if (total_triggers > triggers.value()) {
+      triggers.Increment(total_triggers - triggers.value());
+    }
+  }
 }
 
 }  // namespace lsi::obs

@@ -94,6 +94,13 @@ class Histogram {
 /// Default bucket edges for millisecond latency histograms.
 std::vector<double> DefaultLatencyBucketsMs();
 
+/// Mirrors the lsi::fault registry's per-point counters into the global
+/// MetricsRegistry as `lsi.fault.<name>.hits` / `lsi.fault.<name>.triggers`.
+/// The exporters call this before every render, so fault activity shows
+/// up in /metrics and --stats without coupling lsi_common to lsi_obs
+/// (common cannot link obs; the dependency runs the other way).
+void MirrorFaultMetrics();
+
 /// A point-in-time copy of every registered metric, sorted by name —
 /// the exporters' input.
 struct MetricsSnapshot {

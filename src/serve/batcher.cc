@@ -3,6 +3,7 @@
 #include <map>
 #include <utility>
 
+#include "common/fault.h"
 #include "obs/metrics.h"
 
 namespace lsi::serve {
@@ -29,7 +30,10 @@ std::optional<std::future<QueryBatcher::QueryResult>> QueryBatcher::Submit(
   std::future<QueryResult> future;
   {
     MutexLock lock(mutex_);
-    if (stopping_ || queue_.size() >= options_.max_queue) {
+    // The fault point simulates overload: rejected exactly like a full
+    // queue, so clients see the real 503 + Retry-After path.
+    if (stopping_ || queue_.size() >= options_.max_queue ||
+        LSI_FAULT_POINT("serve.batcher.enqueue")) {
       registry.GetCounter("lsi.serve.batch.rejected").Increment();
       return std::nullopt;
     }

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
@@ -24,6 +25,9 @@ constexpr int kPollTickMs = 100;
 /// Writes the whole buffer, riding out EINTR and short writes. False on
 /// a dead peer (EPIPE/ECONNRESET — routine, not an error).
 bool SendAll(int fd, std::string_view data) {
+  // Simulated dead peer: the caller closes the connection, exactly as
+  // for a real EPIPE.
+  if (LSI_FAULT_POINT("serve.conn.send")) return false;
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =

@@ -1,0 +1,51 @@
+#include "common/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lsi {
+namespace {
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // The CRC-32C (Castagnoli) check value from the polynomial's RFC 3720
+  // appendix: crc("123456789") == 0xE3069283.
+  const std::string digits = "123456789";
+  EXPECT_EQ(Crc32c(digits.data(), digits.size()), 0xE3069283u);
+
+  EXPECT_EQ(Crc32c("", 0), 0u);
+
+  // 32 zero bytes (iSCSI test vector).
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  // 32 0xFF bytes (iSCSI test vector).
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = Crc32c(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "payload payload payload payload";
+  const std::uint32_t clean = Crc32c(data.data(), data.size());
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(data.data(), data.size()), clean)
+          << "byte " << byte << " bit " << bit;
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsi

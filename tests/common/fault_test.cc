@@ -1,0 +1,167 @@
+#include "common/fault.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lsi::fault {
+namespace {
+
+/// Disarms everything on entry and exit so fault state cannot leak
+/// between tests in this binary.
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() { FaultRegistry::Global().DisarmAll(); }
+  ~FaultTest() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FaultTest, DisabledPointNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(LSI_FAULT_POINT("test.fault.disabled"));
+  }
+  FaultPoint* point = FaultRegistry::Global().Find("test.fault.disabled");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->triggers(), 0u);
+  // Disarmed evaluations do not even count as hits (the fast path skips
+  // the bookkeeping entirely).
+  EXPECT_EQ(point->hits(), 0u);
+}
+
+TEST_F(FaultTest, OnceAtFiresExactlyOnce) {
+  FaultRegistry::Global().Arm("test.fault.once", {Trigger::kOnceAt, 3});
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(LSI_FAULT_POINT("test.fault.once"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  FaultPoint* point = FaultRegistry::Global().Find("test.fault.once");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->hits(), 6u);
+  EXPECT_EQ(point->triggers(), 1u);
+}
+
+TEST_F(FaultTest, EveryNthFiresPeriodically) {
+  FaultRegistry::Global().Arm("test.fault.every", {Trigger::kEveryNth, 2});
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(LSI_FAULT_POINT("test.fault.every"));
+  }
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FaultTest, AfterNFiresForever) {
+  FaultRegistry::Global().Arm("test.fault.after", {Trigger::kAfterN, 2});
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) {
+    fired.push_back(LSI_FAULT_POINT("test.fault.after"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST_F(FaultTest, RearmRestartsTheSchedule) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.Arm("test.fault.rearm", {Trigger::kOnceAt, 2});
+  EXPECT_FALSE(LSI_FAULT_POINT("test.fault.rearm"));
+  EXPECT_TRUE(LSI_FAULT_POINT("test.fault.rearm"));
+  faults.Arm("test.fault.rearm", {Trigger::kOnceAt, 2});
+  EXPECT_FALSE(LSI_FAULT_POINT("test.fault.rearm"));
+  EXPECT_TRUE(LSI_FAULT_POINT("test.fault.rearm"));
+  // Counters are cumulative across re-arms.
+  FaultPoint* point = faults.Find("test.fault.rearm");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->hits(), 4u);
+  EXPECT_EQ(point->triggers(), 2u);
+}
+
+TEST_F(FaultTest, ArmBeforeRegistrationIsRemembered) {
+  // This is how LSI_FAULT set at process start works: the arm request
+  // lands before any code has executed the fault point.
+  FaultRegistry& faults = FaultRegistry::Global();
+  ASSERT_EQ(faults.Find("test.fault.pending"), nullptr);
+  faults.Arm("test.fault.pending", {Trigger::kOnceAt, 1});
+  EXPECT_TRUE(LSI_FAULT_POINT("test.fault.pending"));
+}
+
+TEST_F(FaultTest, ParseFaultSpecGrammar) {
+  auto once = ParseFaultSpec("once@3");
+  ASSERT_TRUE(once.ok());
+  EXPECT_EQ(once->trigger, Trigger::kOnceAt);
+  EXPECT_EQ(once->n, 3u);
+
+  auto every = ParseFaultSpec("every@2");
+  ASSERT_TRUE(every.ok());
+  EXPECT_EQ(every->trigger, Trigger::kEveryNth);
+
+  auto after = ParseFaultSpec("after@10");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->trigger, Trigger::kAfterN);
+  EXPECT_EQ(after->n, 10u);
+
+  auto always = ParseFaultSpec("always");
+  ASSERT_TRUE(always.ok());
+  EXPECT_EQ(always->trigger, Trigger::kAfterN);
+  EXPECT_EQ(always->n, 0u);
+
+  EXPECT_FALSE(ParseFaultSpec("").ok());
+  EXPECT_FALSE(ParseFaultSpec("once").ok());
+  EXPECT_FALSE(ParseFaultSpec("once@").ok());
+  EXPECT_FALSE(ParseFaultSpec("once@0").ok());
+  EXPECT_FALSE(ParseFaultSpec("every@0").ok());
+  EXPECT_FALSE(ParseFaultSpec("once@abc").ok());
+  EXPECT_FALSE(ParseFaultSpec("sometimes@3").ok());
+}
+
+TEST_F(FaultTest, ArmFromStringArmsEveryEntry) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  ASSERT_TRUE(
+      faults.ArmFromString("test.fault.multi_a=once@1;test.fault.multi_b=always")
+          .ok());
+  EXPECT_TRUE(LSI_FAULT_POINT("test.fault.multi_a"));
+  EXPECT_FALSE(LSI_FAULT_POINT("test.fault.multi_a"));
+  EXPECT_TRUE(LSI_FAULT_POINT("test.fault.multi_b"));
+  EXPECT_TRUE(LSI_FAULT_POINT("test.fault.multi_b"));
+}
+
+TEST_F(FaultTest, ArmFromStringRejectsBadSpecsAtomically) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  // The first entry is valid but the second is not: nothing may arm.
+  EXPECT_FALSE(
+      faults.ArmFromString("test.fault.atomic=always;BAD NAME=once@1").ok());
+  EXPECT_FALSE(LSI_FAULT_POINT("test.fault.atomic"));
+  EXPECT_FALSE(faults.ArmFromString("no_equals_sign").ok());
+  EXPECT_FALSE(faults.ArmFromString("test.fault.atomic=nope@1").ok());
+}
+
+TEST_F(FaultTest, InjectedFailureIsGreppableInternal) {
+  const Status status = InjectedFailure("test.fault.message");
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.message().find("fault injected: test.fault.message"),
+            std::string::npos);
+}
+
+TEST_F(FaultTest, ConcurrentEvaluationIsSafeAndCounted) {
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.Arm("test.fault.threads", {Trigger::kEveryNth, 7});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (void)LSI_FAULT_POINT("test.fault.threads");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  FaultPoint* point = faults.Find("test.fault.threads");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->hits(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(point->triggers(), point->hits() / 7);
+}
+
+}  // namespace
+}  // namespace lsi::fault

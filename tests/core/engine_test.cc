@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "par/par.h"
 #include "text/analyzer.h"
 
@@ -217,8 +218,42 @@ TEST(LsiEngineTest, SaveLoadRoundTrip) {
               (*loaded_hits)[i].document_name);
     EXPECT_DOUBLE_EQ((*original_hits)[i].score, (*loaded_hits)[i].score);
   }
+  // The v2 format is single-file: everything, index included, lives in
+  // `path`, so this is the only artifact to clean up.
   std::remove(path.c_str());
-  std::remove((path + ".index").c_str());
+}
+
+TEST(LsiEngineTest, FailedSaveLeavesPreviousEngineIntact) {
+  auto engine = LsiEngine::Build(ThreeTopicCorpus(), SmallOptions());
+  ASSERT_TRUE(engine.ok());
+  std::string path = TempPath("engine_atomic.bin");
+  ASSERT_TRUE(engine->Save(path).ok());
+
+  // Kill the re-save at several distinct stages; each failure must leave
+  // the original file loadable and query-identical.
+  auto baseline = engine->Query("garlic pasta sauce", 2);
+  ASSERT_TRUE(baseline.ok());
+  fault::FaultRegistry& faults = fault::FaultRegistry::Global();
+  for (const char* spec :
+       {"core.engine.save=once@1", "io.fwrite=once@2", "io.fsync=once@1",
+        "io.rename=once@1"}) {
+    SCOPED_TRACE(spec);
+    faults.DisarmAll();
+    ASSERT_TRUE(faults.ArmFromString(spec).ok());
+    EXPECT_FALSE(engine->Save(path).ok());
+    faults.DisarmAll();
+
+    auto reloaded = LsiEngine::Load(path);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    auto hits = reloaded->Query("garlic pasta sauce", 2);
+    ASSERT_TRUE(hits.ok());
+    ASSERT_EQ(hits->size(), baseline->size());
+    for (std::size_t i = 0; i < hits->size(); ++i) {
+      EXPECT_EQ((*hits)[i].document_name, (*baseline)[i].document_name);
+    }
+  }
+  faults.DisarmAll();
+  std::remove(path.c_str());
 }
 
 TEST(LsiEngineTest, LoadMissingIsNotFound) {

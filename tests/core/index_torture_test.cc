@@ -1,0 +1,207 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "core/lsi_index.h"
+#include "test_util.h"
+
+namespace lsi::core {
+namespace {
+
+using linalg::SparseMatrix;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Big enough that the serialized index comfortably exceeds 4 KiB, so
+/// the truncation corpus's exhaustive-prefix region is meaningful.
+LsiIndex BuildIndex(std::uint64_t seed) {
+  linalg::SparseMatrixBuilder builder(40, 30);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      if (rng.Bernoulli(0.4)) builder.Add(i, j, rng.Uniform(0.5, 3.0));
+    }
+  }
+  LsiOptions options;
+  options.rank = 8;
+  options.solver = SvdSolver::kJacobi;
+  return LsiIndex::Build(builder.Build(), options).value();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string bytes;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+bool FileExists(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+
+/// The headline robustness guarantee: for EVERY registered fault point,
+/// a failure injected into Save leaves the previously saved index
+/// loading bit-identically. The loop is generic over the registry, so a
+/// fault point added anywhere in the tree is tortured automatically.
+TEST(IndexTortureTest, KillPointTorture) {
+  fault::FaultRegistry& faults = fault::FaultRegistry::Global();
+  faults.DisarmAll();
+
+  LsiIndex index_a = BuildIndex(101);
+  LsiIndex index_b = BuildIndex(202);
+  const std::string path = TempPath("torture_index.bin");
+  const std::string shadow = TempPath("torture_index_shadow.bin");
+
+  // Baseline saves: register every io.* and core.index.* fault point
+  // and capture the deterministic byte images of both indexes.
+  ASSERT_TRUE(index_b.Save(shadow).ok());
+  ASSERT_TRUE(index_a.Save(path).ok());
+  ASSERT_TRUE(LsiIndex::Load(path).ok());  // Registers the load points too.
+  const std::string bytes_a = ReadFileBytes(path);
+  const std::string bytes_b = ReadFileBytes(shadow);
+  ASSERT_FALSE(bytes_a.empty());
+  ASSERT_NE(bytes_a, bytes_b);
+
+  const std::vector<std::string> points = faults.PointNames();
+  ASSERT_GE(points.size(), 7u);  // At least the io.* family + core.index.*.
+
+  for (const std::string& name : points) {
+    SCOPED_TRACE("fault point: " + name);
+    faults.DisarmAll();
+    faults.Arm(name, {fault::Trigger::kOnceAt, 1});
+    fault::FaultPoint* point = faults.Find(name);
+    ASSERT_NE(point, nullptr);
+    const std::uint64_t triggers_before = point->triggers();
+
+    const Status saved = index_b.Save(path);
+    faults.DisarmAll();
+    const bool fired = point->triggers() > triggers_before;
+
+    if (!fired) {
+      // Not a save-path point (e.g. a load or serve one): the save must
+      // simply succeed. Restore the baseline for the next iteration.
+      EXPECT_TRUE(saved.ok()) << saved.ToString();
+      ASSERT_TRUE(index_a.Save(path).ok());
+      ASSERT_EQ(ReadFileBytes(path), bytes_a);
+      continue;
+    }
+
+    EXPECT_FALSE(saved.ok());
+    EXPECT_FALSE(FileExists(path + ".tmp"))
+        << "failed save left tmp debris behind";
+
+    // The published file must be complete: the old bytes for any fault
+    // before the rename, the new bytes only for the post-publish
+    // io.dirsync point (rename done, durability of it unknown).
+    const std::string now = ReadFileBytes(path);
+    if (name == "io.dirsync") {
+      EXPECT_TRUE(now == bytes_a || now == bytes_b);
+    } else {
+      EXPECT_EQ(now, bytes_a) << "failed save mutated the published file";
+    }
+    auto loaded = LsiIndex::Load(path);
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    if (now != bytes_a) {
+      ASSERT_TRUE(index_a.Save(path).ok());
+      ASSERT_EQ(ReadFileBytes(path), bytes_a);
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(shadow.c_str());
+}
+
+/// Every truncation length — exhaustively for the first 4 KiB, then a
+/// prime-stride sample plus the tail — must load as a clean error,
+/// never a crash, LSI_CHECK, or runaway allocation.
+TEST(IndexTortureTest, TruncationCorpus) {
+  fault::FaultRegistry::Global().DisarmAll();
+  LsiIndex index = BuildIndex(303);
+  const std::string path = TempPath("truncation_index.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 4096u)
+      << "fixture too small for the exhaustive-prefix region";
+
+  const std::string victim = TempPath("truncation_victim.bin");
+  std::vector<std::size_t> lengths;
+  for (std::size_t len = 0; len < 4096; ++len) lengths.push_back(len);
+  for (std::size_t len = 4096; len < bytes.size(); len += 97) {
+    lengths.push_back(len);
+  }
+  lengths.push_back(bytes.size() - 1);
+
+  for (std::size_t len : lengths) {
+    WriteFileBytes(victim, bytes.substr(0, len));
+    auto loaded = LsiIndex::Load(victim);
+    ASSERT_FALSE(loaded.ok()) << "truncation to " << len
+                              << " bytes loaded successfully";
+  }
+  std::remove(victim.c_str());
+  std::remove(path.c_str());
+}
+
+/// A single flipped bit anywhere in the file must surface as
+/// InvalidArgument (CRC32C trailer, magic, or plausibility check —
+/// never a crash and never a successful load of corrupt data).
+TEST(IndexTortureTest, SingleBitFlipCorpus) {
+  fault::FaultRegistry::Global().DisarmAll();
+  LsiIndex index = BuildIndex(404);
+  const std::string path = TempPath("bitflip_index.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  const std::string victim = TempPath("bitflip_victim.bin");
+
+  // One flip per byte position, rotating which bit, covers the whole
+  // file; all eight bits are additionally exercised at the front (the
+  // headers) and the back (the final CRC trailer).
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1u << (pos % 8)));
+    WriteFileBytes(victim, corrupt);
+    auto loaded = LsiIndex::Load(victim);
+    ASSERT_FALSE(loaded.ok()) << "bit flip at byte " << pos << " undetected";
+    ASSERT_TRUE(loaded.status().IsInvalidArgument())
+        << "bit flip at byte " << pos
+        << " produced: " << loaded.status().ToString();
+  }
+  for (std::size_t pos : {std::size_t{0}, std::size_t{4},
+                          bytes.size() - 4, bytes.size() - 1}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1u << bit));
+      WriteFileBytes(victim, corrupt);
+      ASSERT_FALSE(LsiIndex::Load(victim).ok())
+          << "bit " << bit << " flip at byte " << pos << " undetected";
+    }
+  }
+  std::remove(victim.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsi::core

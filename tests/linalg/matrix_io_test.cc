@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "test_util.h"
 
@@ -39,17 +40,65 @@ TEST(MatrixIoTest, DenseEmptyMatrix) {
 }
 
 TEST(MatrixIoTest, SaveReportsCloseFailure) {
-  // A matrix small enough to sit entirely in stdio's buffer reaches the
-  // device only at fclose — /dev/full makes that final flush fail with
-  // ENOSPC. Save must report it rather than claim the data is on disk.
-  if (std::FILE* probe = std::fopen("/dev/full", "wb")) {
-    (void)std::fclose(probe);  // Probe only; nothing was written.
-    Rng rng(2);
-    DenseMatrix matrix = lsi::testing::RandomMatrix(3, 3, rng);
-    EXPECT_FALSE(SaveDenseMatrix(matrix, "/dev/full").ok());
-  } else {
-    GTEST_SKIP() << "/dev/full not available";
-  }
+  // ENOSPC classically surfaces at the final flush inside fclose; the
+  // io.fclose fault point simulates exactly that. Save must report the
+  // failure and leave nothing behind at the destination.
+  fault::FaultRegistry& faults = fault::FaultRegistry::Global();
+  faults.DisarmAll();
+  ASSERT_TRUE(faults.ArmFromString("io.fclose=once@1").ok());
+  Rng rng(2);
+  DenseMatrix matrix = lsi::testing::RandomMatrix(3, 3, rng);
+  const std::string path = TempPath("close_failure.bin");
+  EXPECT_FALSE(SaveDenseMatrix(matrix, path).ok());
+  faults.DisarmAll();
+  EXPECT_TRUE(LoadDenseMatrix(path).status().IsNotFound());
+  EXPECT_TRUE(LoadDenseMatrix(path + ".tmp").status().IsNotFound());
+}
+
+TEST(MatrixIoTest, FailedSaveLeavesPreviousFileIntact) {
+  // Atomic-rename saves: when the new write dies (here on its first
+  // fwrite), the previously saved matrix must still load bit-identically
+  // and no ".tmp" debris may remain.
+  Rng rng(11);
+  DenseMatrix before = lsi::testing::RandomMatrix(4, 4, rng);
+  DenseMatrix after = lsi::testing::RandomMatrix(4, 4, rng);
+  const std::string path = TempPath("atomic_save.bin");
+  ASSERT_TRUE(SaveDenseMatrix(before, path).ok());
+
+  fault::FaultRegistry& faults = fault::FaultRegistry::Global();
+  faults.DisarmAll();
+  ASSERT_TRUE(faults.ArmFromString("io.fwrite=once@1").ok());
+  EXPECT_FALSE(SaveDenseMatrix(after, path).ok());
+  faults.DisarmAll();
+
+  auto loaded = LoadDenseMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(before, loaded.value()), 0.0);
+  EXPECT_TRUE(LoadDenseMatrix(path + ".tmp").status().IsNotFound());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, FlippedBitRejected) {
+  // Any single flipped bit must trip a section's CRC32C trailer.
+  Rng rng(13);
+  DenseMatrix dense = lsi::testing::RandomMatrix(5, 4, rng);
+  const std::string path = TempPath("bitflip.bin");
+  ASSERT_TRUE(SaveDenseMatrix(dense, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  const long target = size / 2;  // Mid-payload.
+  std::fseek(f, target, SEEK_SET);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  std::fseek(f, target, SEEK_SET);
+  std::fputc(byte ^ 0x10, f);
+  ASSERT_EQ(std::fclose(f), 0);
+  auto loaded = LoadDenseMatrix(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  std::remove(path.c_str());
 }
 
 TEST(MatrixIoTest, SparseRoundTrip) {

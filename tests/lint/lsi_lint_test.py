@@ -141,6 +141,65 @@ class LintFixture(unittest.TestCase):
         self.assertEqual(self.rules_for(findings, "src/core/bad.h"), ["include-guard"])
         self.assertEqual(self.rules_for(findings, "src/core/good.h"), [])
 
+    def test_fault_point_argument_must_be_a_well_formed_literal(self):
+        self.write(
+            "src/core/bad.cc",
+            "bool F() { return LSI_FAULT_POINT(kName); }\n"
+            'bool G() { return LSI_FAULT_POINT("Bad Name"); }\n'
+            'bool H() { return LSI_FAULT_POINT(\n'
+            '    "core.split.call"); }\n',
+        )
+        self.write(
+            "tools/bad_tool.cc",
+            'bool T() { return LSI_FAULT_POINT("UPPER"); }\n',
+        )
+        self.write(
+            "src/core/ok.cc",
+            'bool I() { return LSI_FAULT_POINT("core.ok.point_1"); }\n',
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/core/bad.cc"),
+            ["fault-point", "fault-point", "fault-point"],
+        )
+        self.assertEqual(
+            self.rules_for(findings, "tools/bad_tool.cc"), ["fault-point"]
+        )
+        self.assertEqual(self.rules_for(findings, "src/core/ok.cc"), [])
+
+    def test_fault_point_duplicate_names_reported_on_full_runs_only(self):
+        self.write(
+            "src/core/a.cc", 'bool F() { return LSI_FAULT_POINT("core.dup"); }\n'
+        )
+        self.write(
+            "src/core/b.cc", 'bool G() { return LSI_FAULT_POINT("core.dup"); }\n'
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual([f["rule"] for f in findings], ["fault-point"])
+        self.assertIn("core.dup", findings[0]["message"])
+        # A single-file invocation cannot see the other call site, so the
+        # uniqueness check stays quiet there.
+        code, findings = run_lint(self.root, ("src/core/a.cc",))
+        self.assertEqual(code, 0, findings)
+
+    def test_fault_point_macro_definition_and_comments_are_exempt(self):
+        self.write(
+            "src/common/fault.h",
+            header(
+                "src/common/fault.h",
+                "#define LSI_FAULT_POINT(name) ::lsi::fault::Eval(name)",
+            ),
+        )
+        self.write(
+            "src/core/ok.cc",
+            "// e.g. LSI_FAULT_POINT(dynamic_name) would be rejected\n"
+            'bool F() { return LSI_FAULT_POINT("core.one"); }\n',
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 0, findings)
+
     def test_allowlist_suppresses_and_reports_stale_entries(self):
         self.write("src/serve/threads.cc", "std::thread t([] {});\n")
         allow = os.path.join(self.root, "allow.txt")

@@ -26,6 +26,14 @@ Rules (scoped to library code under src/ unless noted):
                     caller buffer is formatting, not output, and is fine.
   include-guard     Headers open with `#ifndef LSI_<PATH>_H_` matching
                     their path (src/core/engine.h -> LSI_CORE_ENGINE_H_).
+  fault-point       LSI_FAULT_POINT takes a single string literal matching
+                    [a-z0-9_.]+ (so every point is addressable from an
+                    LSI_FAULT spec), stays on one line (so this scan can
+                    see it), and each name has exactly one call site across
+                    src/ + tools/ (duplicate registration of one name is a
+                    programming error in the registry). src/common/fault.h
+                    defines the macro and is exempt; tests may reuse names
+                    deliberately and are not scanned.
 
 Findings print one per line as `path:line: rule: message`, or as a JSON
 array with --json. Exit status: 0 clean, 1 findings, 2 usage error.
@@ -94,10 +102,17 @@ RULE_SCOPE = {
     "no-stdio": lambda p: _in_src(p)
     and p not in ("src/common/logging.cc", "src/common/check.h"),
     "include-guard": lambda p: _in_src(p) and p.endswith(".h"),
+    "fault-point": lambda p: (p.startswith("src/") or p.startswith("tools/"))
+    and p != "src/common/fault.h",
 }
 
 COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+# A complete call and the literal-only argument shape it must have.
+FAULT_CALL_RE = re.compile(r"\bLSI_FAULT_POINT\s*\(([^)]*)\)")
+FAULT_NAME_RE = re.compile(r'^\s*"([a-z0-9_.]+)"\s*$')
+FAULT_OPEN_RE = re.compile(r"\bLSI_FAULT_POINT\s*\([^)]*$")
 
 
 def strip_noncode(line: str) -> str:
@@ -113,6 +128,18 @@ def strip_noncode(line: str) -> str:
     return line
 
 
+def strip_comments_keep_strings(line: str) -> str:
+    """Drops comments but keeps string literals (the fault-point rule
+    inspects the literal itself, which strip_noncode blanks away)."""
+    # Blank strings in a same-length copy so a `//` inside a literal
+    # cannot masquerade as a comment start, then cut the original.
+    blanked = STRING_RE.sub(lambda m: '"' + "x" * (len(m.group(0)) - 2) + '"', line)
+    cut = blanked.find("//")
+    if cut >= 0:
+        line = line[:cut]
+    return re.sub(r"/\*.*?\*/", "", line)
+
+
 def expected_guard(relpath: str) -> str:
     # src/core/engine.h -> LSI_CORE_ENGINE_H_
     without_src = relpath[len("src/"):]
@@ -120,9 +147,48 @@ def expected_guard(relpath: str) -> str:
     return "LSI_" + token.upper() + "_"
 
 
-def check_file(relpath: str, text: str):
+def check_file(relpath: str, text: str, fault_points=None):
+    """Lints one file. `fault_points`, when given, is a dict the caller
+    owns mapping fault-point name -> [(path, line)] call sites, filled
+    in here so main() can police cross-file uniqueness."""
     findings = []
     lines = text.splitlines()
+    if RULE_SCOPE["fault-point"](relpath):
+        for lineno, raw in enumerate(lines, start=1):
+            code = strip_comments_keep_strings(raw)
+            matched_spans = []
+            for m in FAULT_CALL_RE.finditer(code):
+                matched_spans.append(m.span())
+                name = FAULT_NAME_RE.match(m.group(1))
+                if name is None:
+                    findings.append(
+                        {
+                            "rule": "fault-point",
+                            "path": relpath,
+                            "line": lineno,
+                            "message": "LSI_FAULT_POINT takes a single "
+                            'string literal matching "[a-z0-9_.]+"',
+                            "snippet": raw.strip()[:120],
+                        }
+                    )
+                elif fault_points is not None:
+                    fault_points.setdefault(name.group(1), []).append(
+                        (relpath, lineno)
+                    )
+            open_call = FAULT_OPEN_RE.search(code)
+            if open_call and not any(
+                s <= open_call.start() < e for s, e in matched_spans
+            ):
+                findings.append(
+                    {
+                        "rule": "fault-point",
+                        "path": relpath,
+                        "line": lineno,
+                        "message": "keep the LSI_FAULT_POINT call on one "
+                        "line so its name stays lintable",
+                        "snippet": raw.strip()[:120],
+                    }
+                )
     for lineno, raw in enumerate(lines, start=1):
         code = strip_noncode(raw)
         for rule, pattern, message in LINE_RULES:
@@ -223,7 +289,15 @@ def main(argv=None) -> int:
     allowlist = load_allowlist(allowlist_path)
     used = [False] * len(allowlist)
 
+    def suppressed(finding):
+        for i, (rule, prefix) in enumerate(allowlist):
+            if finding["rule"] == rule and finding["path"].startswith(prefix):
+                used[i] = True
+                return True
+        return False
+
     findings = []
+    fault_points = {}
     for relpath in collect_files(args.root, args.paths):
         try:
             with open(os.path.join(args.root, relpath), encoding="utf-8") as fh:
@@ -231,15 +305,29 @@ def main(argv=None) -> int:
         except OSError as err:
             print(f"lsi_lint: cannot read {relpath}: {err}", file=sys.stderr)
             return 2
-        for finding in check_file(relpath, text):
-            suppressed = False
-            for i, (rule, prefix) in enumerate(allowlist):
-                if finding["rule"] == rule and finding["path"].startswith(prefix):
-                    used[i] = True
-                    suppressed = True
-                    break
-            if not suppressed:
+        for finding in check_file(relpath, text, fault_points):
+            if not suppressed(finding):
                 findings.append(finding)
+
+    # Cross-file checks only make sense on full-tree runs: a single-file
+    # invocation cannot see the other call site of a duplicated name.
+    if not args.paths:
+        for name, sites in sorted(fault_points.items()):
+            if len(sites) <= 1:
+                continue
+            where = ", ".join(f"{p}:{l}" for p, l in sites)
+            for path, line in sites[1:]:
+                finding = {
+                    "rule": "fault-point",
+                    "path": path,
+                    "line": line,
+                    "message": f'fault point "{name}" is registered at '
+                    f"more than one call site ({where}); names must be "
+                    "unique so LSI_FAULT specs are unambiguous",
+                    "snippet": "",
+                }
+                if not suppressed(finding):
+                    findings.append(finding)
 
     # Only police allowlist staleness on full-tree runs; a single-file
     # invocation legitimately leaves most entries unused.

@@ -8,8 +8,13 @@
 //       percentiles — the shape BENCH_serve.json trajectories track:
 //
 //         {"qps": 1234.5, "requests": 617, "http_2xx": 600,
-//          "http_503": 17, "http_other": 0, "errors": 0,
+//          "http_503": 17, "http_other": 0, "errors": 0, "retries": 17,
 //          "p50_ms": 0.8, "p95_ms": 2.1, "p99_ms": 4.0}
+//
+//       503 responses are retried after a backoff that honors the
+//       server's Retry-After hint, doubling per consecutive rejection up
+//       to a 2 s cap, with deterministic per-worker jitter so C workers
+//       do not stampede back in lockstep; "retries" counts those waits.
 //
 //   lsi_loadgen --port=N --one "GET /healthz"
 //   lsi_loadgen --port=N --one "POST /query" --body='{"query":"x"}'
@@ -37,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "serve/json.h"
 
@@ -108,6 +114,8 @@ struct Response {
   std::string content_type;
   std::string body;
   bool keep_alive = false;
+  /// Parsed Retry-After header in milliseconds; -1 when absent.
+  long retry_after_ms = -1;
 };
 
 /// Reads one HTTP/1.x response (Content-Length framing only — which is
@@ -152,6 +160,14 @@ bool ReadResponse(int fd, Response* out) {
           first == std::string::npos ? "" : value.substr(first);
     } else if (line.compare(0, 11, "connection:") == 0) {
       out->keep_alive = line.find("keep-alive") != std::string::npos;
+    } else if (line.compare(0, 12, "retry-after:") == 0) {
+      // Delay-seconds form only (what the lsi server emits; the
+      // HTTP-date form is ignored).
+      char* end = nullptr;
+      const long seconds = std::strtol(line.c_str() + 12, &end, 10);
+      if (end != line.c_str() + 12 && seconds >= 0) {
+        out->retry_after_ms = seconds * 1000;
+      }
     }
     line_start = line_end + 2;
   }
@@ -209,12 +225,44 @@ struct WorkerStats {
   std::uint64_t http_503 = 0;
   std::uint64_t http_other = 0;
   std::uint64_t errors = 0;
+  std::uint64_t retries = 0;
 };
+
+/// Backoff before retrying a 503: the server's Retry-After hint (or
+/// 10 ms without one) doubled per consecutive rejection, capped at 2 s,
+/// scaled by a uniform [0.5, 1.5) jitter so workers spread back out.
+std::uint64_t BackoffMs(long retry_after_ms, std::uint32_t consecutive,
+                        lsi::Rng& rng) {
+  constexpr std::uint64_t kDefaultBaseMs = 10;
+  constexpr std::uint64_t kCapMs = 2000;
+  const std::uint64_t base =
+      retry_after_ms >= 0 ? static_cast<std::uint64_t>(retry_after_ms)
+                          : kDefaultBaseMs;
+  const std::uint32_t exponent = std::min(consecutive, 6u);
+  const std::uint64_t scaled =
+      base >= kCapMs ? kCapMs
+                     : std::min(kCapMs, base << exponent);
+  return static_cast<std::uint64_t>(
+      static_cast<double>(scaled) * rng.Uniform(0.5, 1.5));
+}
+
+/// Sleeps up to `ms`, returning early once `stop` is set so a backed-off
+/// worker does not hold up the end of the run.
+void InterruptibleSleep(std::uint64_t ms, const std::atomic<bool>& stop) {
+  while (ms > 0 && !stop.load(std::memory_order_relaxed)) {
+    const std::uint64_t slice = std::min<std::uint64_t>(ms, 50);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    ms -= slice;
+  }
+}
 
 void RunWorker(const Options& options, std::size_t worker_index,
                const std::atomic<bool>& stop, WorkerStats* stats) {
   int fd = -1;
   std::size_t sequence = worker_index;
+  // Deterministic per-worker stream: run N twice, get the same jitter.
+  lsi::Rng rng(0x10adu ^ (static_cast<std::uint64_t>(worker_index) << 8));
+  std::uint32_t consecutive_503 = 0;
   while (!stop.load(std::memory_order_relaxed)) {
     if (fd < 0) {
       fd = Connect(options);
@@ -244,10 +292,23 @@ void RunWorker(const Options& options, std::size_t worker_index,
     stats->latencies_ms.push_back(timer.ElapsedMillis());
     if (response.status >= 200 && response.status < 300) {
       ++stats->http_2xx;
+      consecutive_503 = 0;
     } else if (response.status == 503) {
       ++stats->http_503;
+      if (!response.keep_alive) {
+        ::close(fd);
+        fd = -1;
+      }
+      // Honor the server's shed-load hint before retrying (the next
+      // loop iteration re-sends); count the retry it causes.
+      InterruptibleSleep(
+          BackoffMs(response.retry_after_ms, consecutive_503, rng), stop);
+      ++consecutive_503;
+      ++stats->retries;
+      continue;
     } else {
       ++stats->http_other;
+      consecutive_503 = 0;
     }
     if (!response.keep_alive) {
       ::close(fd);
@@ -287,6 +348,7 @@ int RunLoad(const Options& options) {
     total.http_503 += s.http_503;
     total.http_other += s.http_other;
     total.errors += s.errors;
+    total.retries += s.retries;
     total.latencies_ms.insert(total.latencies_ms.end(),
                               s.latencies_ms.begin(), s.latencies_ms.end());
   }
@@ -296,6 +358,7 @@ int RunLoad(const Options& options) {
   std::printf(
       "{\"qps\": %.1f, \"requests\": %llu, \"http_2xx\": %llu, "
       "\"http_503\": %llu, \"http_other\": %llu, \"errors\": %llu, "
+      "\"retries\": %llu, "
       "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}\n",
       elapsed_s > 0 ? static_cast<double>(requests) / elapsed_s : 0.0,
       static_cast<unsigned long long>(requests),
@@ -303,6 +366,7 @@ int RunLoad(const Options& options) {
       static_cast<unsigned long long>(total.http_503),
       static_cast<unsigned long long>(total.http_other),
       static_cast<unsigned long long>(total.errors),
+      static_cast<unsigned long long>(total.retries),
       Percentile(total.latencies_ms, 0.50),
       Percentile(total.latencies_ms, 0.95),
       Percentile(total.latencies_ms, 0.99));
