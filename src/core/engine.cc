@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 #include "common/fault.h"
 #include "common/timer.h"
 #include "linalg/matrix_io.h"
+#include "linalg/simd/simd.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "par/parallel_for.h"
@@ -168,11 +170,12 @@ Result<std::vector<EngineHit>> LsiEngine::MoreLikeThis(
   }
   linalg::DenseVector latent = index_.DocumentVector(document);
   const auto& all = index_.document_vectors();
+  const std::size_t k = all.cols();
   // Guard degenerate (near-zero) latent vectors — see LsiIndex::Search.
   double max_norm = 0.0;
   std::vector<double> norms(NumDocuments(), 0.0);
   for (std::size_t d = 0; d < NumDocuments(); ++d) {
-    norms[d] = all.Row(d).Norm();
+    norms[d] = std::sqrt(linalg::simd::SquaredNorm(all.RowPtr(d), k));
     max_norm = std::max(max_norm, norms[d]);
   }
   const double floor = 1e-12 * max_norm;
@@ -184,7 +187,8 @@ Result<std::vector<EngineHit>> LsiEngine::MoreLikeThis(
       scores[d] = 0.0;
       continue;
     }
-    scores[d] = Dot(latent, all.Row(d)) / (self_norm * norms[d]);
+    scores[d] = linalg::simd::Dot(latent.data(), all.RowPtr(d), k) /
+                (self_norm * norms[d]);
   }
   auto ranked = RankScores(scores, top_k == 0 ? 0 : top_k + 1);
   ranked.erase(std::remove_if(ranked.begin(), ranked.end(),
@@ -215,12 +219,13 @@ Result<std::vector<RelatedTerm>> LsiEngine::RelatedTerms(
 
   linalg::DenseMatrix term_vectors = index_.TermVectors();
   linalg::DenseVector anchor_vector = term_vectors.Row(anchor);
+  const std::size_t k = term_vectors.cols();
   double anchor_norm = anchor_vector.Norm();
   // Guard terms that fold to numerically nothing (cf. LsiIndex::Search).
   double max_norm = 0.0;
   std::vector<double> norms(NumTerms(), 0.0);
   for (std::size_t t = 0; t < NumTerms(); ++t) {
-    norms[t] = term_vectors.Row(t).Norm();
+    norms[t] = std::sqrt(linalg::simd::SquaredNorm(term_vectors.RowPtr(t), k));
     max_norm = std::max(max_norm, norms[t]);
   }
   const double floor = 1e-12 * max_norm;
@@ -228,7 +233,8 @@ Result<std::vector<RelatedTerm>> LsiEngine::RelatedTerms(
   if (anchor_norm > floor) {
     for (std::size_t t = 0; t < NumTerms(); ++t) {
       if (t == anchor || norms[t] <= floor) continue;
-      scores[t] = Dot(anchor_vector, term_vectors.Row(t)) /
+      scores[t] = linalg::simd::Dot(anchor_vector.data(),
+                                    term_vectors.RowPtr(t), k) /
                   (anchor_norm * norms[t]);
     }
   }

@@ -1,11 +1,14 @@
 #include "core/lsi_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/check.h"
 #include "linalg/operators.h"
+#include "linalg/simd/simd.h"
 #include "obs/span.h"
+#include "par/parallel_for.h"
 
 namespace lsi::core {
 namespace {
@@ -67,7 +70,8 @@ void LsiIndex::RecomputeDocumentNorms() {
   document_norms_.assign(document_vectors_.rows(), 0.0);
   max_document_norm_ = 0.0;
   for (std::size_t j = 0; j < document_vectors_.rows(); ++j) {
-    document_norms_[j] = document_vectors_.Row(j).Norm();
+    document_norms_[j] = std::sqrt(linalg::simd::SquaredNorm(
+        document_vectors_.RowPtr(j), document_vectors_.cols()));
     max_document_norm_ = std::max(max_document_norm_, document_norms_[j]);
   }
 }
@@ -170,6 +174,7 @@ Result<std::vector<SearchResult>> LsiIndex::Search(
   obs::ScopedSpan span("score");
   LSI_ASSIGN_OR_RETURN(linalg::DenseVector folded, FoldInQuery(query));
   const std::size_t m = NumDocuments();
+  const std::size_t k = document_vectors_.cols();
   std::vector<double> scores(m, 0.0);
   // Documents (or queries) orthogonal to the latent subspace fold to
   // numerically-zero vectors; cosines against those are rounding noise,
@@ -178,11 +183,20 @@ Result<std::vector<SearchResult>> LsiIndex::Search(
   const double query_floor = 1e-12 * query.Norm();
   double folded_norm = folded.Norm();
   if (folded_norm > query_floor) {
-    for (std::size_t j = 0; j < m; ++j) {
-      if (document_norms_[j] <= doc_floor) continue;
-      scores[j] = Dot(folded, document_vectors_.Row(j)) /
-                  (folded_norm * document_norms_[j]);
-    }
+    // Row-parallel over disjoint score slots; each cosine reads one
+    // contiguous V_k D_k row through the SIMD dot kernel. The grain
+    // depends only on k, so the partition — and the scores — are
+    // identical at every LSI_THREADS setting.
+    const std::size_t grain =
+        std::max<std::size_t>(64, (1 << 16) / std::max<std::size_t>(1, k));
+    par::ParallelFor(0, m, grain, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t j = begin; j < end; ++j) {
+        if (document_norms_[j] <= doc_floor) continue;
+        scores[j] =
+            linalg::simd::Dot(folded.data(), document_vectors_.RowPtr(j), k) /
+            (folded_norm * document_norms_[j]);
+      }
+    });
   }
   return RankScores(scores, top_k);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "linalg/simd/simd.h"
 #include "par/parallel_for.h"
 
 namespace lsi::linalg {
@@ -117,9 +118,7 @@ DenseMatrix DenseMatrix::LeftColumns(std::size_t k) const {
 }
 
 double DenseMatrix::FrobeniusNorm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
-  return std::sqrt(acc);
+  return std::sqrt(simd::SquaredNorm(data_.data(), data_.size()));
 }
 
 DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
@@ -128,6 +127,8 @@ DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
   // Row-parallel over disjoint output rows; each row keeps the serial
   // i-k-j order (streams through rows of b, cache friendly), so the
   // result is bit-identical to the serial kernel at any thread count.
+  // The j loop is a contiguous axpy panel — the SIMD layer vectorizes it
+  // without reordering the per-element k-ascending additions.
   par::ParallelFor(
       0, a.rows(), FlopGrain(a.cols() * b.cols()),
       [&](std::size_t row_begin, std::size_t row_end) {
@@ -137,8 +138,7 @@ DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
           for (std::size_t k = 0; k < a.cols(); ++k) {
             double aik = arow[k];
             if (aik == 0.0) continue;
-            const double* brow = b.RowPtr(k);
-            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+            simd::Axpy(crow, aik, b.RowPtr(k), b.cols());
           }
         }
       });
@@ -160,10 +160,8 @@ DenseMatrix MultiplyAtB(const DenseMatrix& a, const DenseMatrix& b) {
           for (std::size_t i = 0; i < a.cols(); ++i) {
             double aki = arow[i];
             if (aki == 0.0) continue;
-            double* crow = c.RowPtr(i);
-            for (std::size_t j = col_begin; j < col_end; ++j) {
-              crow[j] += aki * brow[j];
-            }
+            simd::Axpy(c.RowPtr(i) + col_begin, aki, brow + col_begin,
+                       col_end - col_begin);
           }
         }
       });
@@ -181,10 +179,7 @@ DenseMatrix MultiplyABt(const DenseMatrix& a, const DenseMatrix& b) {
           const double* arow = a.RowPtr(i);
           double* crow = c.RowPtr(i);
           for (std::size_t j = 0; j < b.rows(); ++j) {
-            const double* brow = b.RowPtr(j);
-            double acc = 0.0;
-            for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-            crow[j] = acc;
+            crow[j] = simd::Dot(arow, b.RowPtr(j), a.cols());
           }
         }
       });
@@ -198,12 +193,7 @@ DenseVector Multiply(const DenseMatrix& a, const DenseVector& x) {
   par::ParallelFor(0, a.rows(), FlopGrain(a.cols()),
                    [&](std::size_t row_begin, std::size_t row_end) {
                      for (std::size_t i = row_begin; i < row_end; ++i) {
-                       const double* row = a.RowPtr(i);
-                       double acc = 0.0;
-                       for (std::size_t j = 0; j < a.cols(); ++j) {
-                         acc += row[j] * x[j];
-                       }
-                       y[i] = acc;
+                       y[i] = simd::Dot(a.RowPtr(i), x.data(), a.cols());
                      }
                    });
   return y;
@@ -218,12 +208,11 @@ DenseVector MultiplyTranspose(const DenseMatrix& a, const DenseVector& x) {
   par::ParallelFor(0, a.cols(), FlopGrain(a.rows()),
                    [&](std::size_t col_begin, std::size_t col_end) {
                      for (std::size_t i = 0; i < a.rows(); ++i) {
-                       const double* row = a.RowPtr(i);
                        double xi = x[i];
                        if (xi == 0.0) continue;
-                       for (std::size_t j = col_begin; j < col_end; ++j) {
-                         y[j] += row[j] * xi;
-                       }
+                       simd::Axpy(y.data() + col_begin, xi,
+                                  a.RowPtr(i) + col_begin,
+                                  col_end - col_begin);
                      }
                    });
   return y;

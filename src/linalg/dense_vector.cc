@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "linalg/simd/simd.h"
 
 namespace lsi::linalg {
 
@@ -28,9 +29,7 @@ void DenseVector::Scale(double alpha) {
 double DenseVector::Norm() const { return std::sqrt(SquaredNorm()); }
 
 double DenseVector::SquaredNorm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
-  return acc;
+  return simd::SquaredNorm(data_.data(), data_.size());
 }
 
 double DenseVector::Sum() const {
@@ -47,14 +46,12 @@ double DenseVector::Normalize() {
 
 void DenseVector::Axpy(double alpha, const DenseVector& x) {
   LSI_CHECK(x.size() == size());
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x[i];
+  simd::Axpy(data_.data(), alpha, x.data(), data_.size());
 }
 
 double Dot(const DenseVector& a, const DenseVector& b) {
   LSI_CHECK(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 double Distance(const DenseVector& a, const DenseVector& b) {

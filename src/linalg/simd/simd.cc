@@ -1,0 +1,150 @@
+#include "linalg/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "linalg/simd/simd_kernels.h"
+#include "obs/metrics.h"
+
+namespace lsi::linalg::simd {
+namespace {
+
+using internal::Avx2Kernels;
+using internal::KernelTable;
+using internal::NeonKernels;
+using internal::ScalarKernels;
+
+const KernelTable* TableFor(Path path) {
+  switch (path) {
+    case Path::kScalar:
+      return &ScalarKernels();
+    case Path::kAvx2:
+      return Avx2Kernels();
+    case Path::kNeon:
+      return NeonKernels();
+  }
+  return nullptr;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+bool HostHasAvx2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+#endif
+
+/// Widest path this host can execute.
+Path DetectBestPath() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (HostHasAvx2() && Avx2Kernels() != nullptr) return Path::kAvx2;
+#elif defined(__aarch64__)
+  if (NeonKernels() != nullptr) return Path::kNeon;
+#endif
+  return Path::kScalar;
+}
+
+/// LSI_SIMD override if set and usable, else the widest supported path.
+Path ResolveAutoPath() {
+  const char* env = std::getenv("LSI_SIMD");
+  if (env != nullptr && *env != '\0') {
+    Path requested;
+    if (!ParsePathName(env, &requested)) {
+      LSI_LOG(Warning) << "LSI_SIMD=" << env
+                       << " is not scalar|avx2|neon; using auto dispatch";
+    } else if (!PathSupported(requested)) {
+      LSI_LOG(Warning) << "LSI_SIMD=" << env
+                       << " is not supported on this host; using auto dispatch";
+    } else {
+      return requested;
+    }
+  }
+  return DetectBestPath();
+}
+
+// Active table + path id. Kernels read the table with one relaxed atomic
+// load; resolution latches on first use. SetPath/ResetPath store both
+// fields — callers may not race them against in-flight kernels (same
+// contract as par::SetThreads), so the two stores need no joint
+// atomicity.
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<int> g_path{-1};
+
+void Activate(Path path) {
+  g_path.store(static_cast<int>(path), std::memory_order_relaxed);
+  g_table.store(TableFor(path), std::memory_order_release);
+  // Mirror the choice as a gauge so /metrics and --stats dumps show the
+  // active kernel path (0 scalar, 1 avx2, 2 neon).
+  obs::MetricsRegistry::Global().GetGauge("lsi.simd.path")
+      .Set(static_cast<double>(static_cast<int>(path)));
+}
+
+const KernelTable& Active() {
+  const KernelTable* table = g_table.load(std::memory_order_acquire);
+  if (table != nullptr) return *table;
+  Activate(ResolveAutoPath());
+  return *g_table.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+Path ActivePath() {
+  Active();  // Ensure the choice is latched.
+  return static_cast<Path>(g_path.load(std::memory_order_relaxed));
+}
+
+bool PathSupported(Path path) {
+  if (TableFor(path) == nullptr) return false;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (path == Path::kAvx2) return HostHasAvx2();
+#endif
+  return true;
+}
+
+bool SetPath(Path path) {
+  if (!PathSupported(path)) return false;
+  Activate(path);
+  return true;
+}
+
+void ResetPath() { Activate(ResolveAutoPath()); }
+
+const char* PathName(Path path) {
+  switch (path) {
+    case Path::kScalar:
+      return "scalar";
+    case Path::kAvx2:
+      return "avx2";
+    case Path::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool ParsePathName(const std::string& name, Path* out) {
+  for (Path path : {Path::kScalar, Path::kAvx2, Path::kNeon}) {
+    if (name == PathName(path)) {
+      *out = path;
+      return true;
+    }
+  }
+  return false;
+}
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  return Active().dot(a, b, n);
+}
+
+double SquaredNorm(const double* a, std::size_t n) {
+  return Active().squared_norm(a, n);
+}
+
+void Axpy(double* y, double alpha, const double* x, std::size_t n) {
+  Active().axpy(y, alpha, x, n);
+}
+
+double SparseDot(const double* values, const std::size_t* cols,
+                 std::size_t nnz, const double* x) {
+  return Active().sparse_dot(values, cols, nnz, x);
+}
+
+}  // namespace lsi::linalg::simd

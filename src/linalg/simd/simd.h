@@ -1,0 +1,71 @@
+#ifndef LSI_LINALG_SIMD_SIMD_H_
+#define LSI_LINALG_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <string>
+
+namespace lsi::linalg::simd {
+
+/// Which instruction set the kernel layer dispatches to. Exactly one
+/// path is active at a time, process-wide; it is resolved once on first
+/// use from the host CPU (cpuid / architecture) unless overridden by the
+/// LSI_SIMD environment variable or SetPath().
+enum class Path {
+  kScalar = 0,  // Portable C++ loops; available everywhere.
+  kAvx2 = 1,    // x86-64 AVX2 + FMA (256-bit, 4 doubles per lane group).
+  kNeon = 2,    // aarch64 Advanced SIMD (128-bit, 2 doubles per lane group).
+};
+
+/// The currently active dispatch path. Resolves and latches the
+/// automatic choice (LSI_SIMD env override, else the widest supported
+/// instruction set) on first call.
+Path ActivePath();
+
+/// True if `path` can run on this host.
+bool PathSupported(Path path);
+
+/// Forces the active path. Returns false (and leaves the dispatch
+/// unchanged) if the host cannot execute `path`. Safe to call between
+/// parallel regions; do not call concurrently with kernel use. Intended
+/// for benchmarks and the scalar-vs-SIMD agreement tests.
+bool SetPath(Path path);
+
+/// Restores automatic resolution (LSI_SIMD env override, else widest
+/// supported path), as if ActivePath() had never been called.
+void ResetPath();
+
+/// Short stable name for a path: "scalar", "avx2", "neon".
+const char* PathName(Path path);
+
+/// Parses a PathName spelling. Returns false on anything else.
+bool ParsePathName(const std::string& name, Path* out);
+
+// ---------------------------------------------------------------------------
+// Kernels. Each dispatches through the active path's function table.
+// All paths compute the same quantities; lane-parallel reductions split
+// the accumulator, so across *different* paths results agree only to
+// rounding (the agreement tests bound this). Within one path results
+// are deterministic, and the partition handed to these kernels never
+// depends on the thread count, so the lsi::par bit-identical-at-any-
+// LSI_THREADS contract is preserved path by path.
+// ---------------------------------------------------------------------------
+
+/// sum_i a[i] * b[i].
+double Dot(const double* a, const double* b, std::size_t n);
+
+/// sum_i a[i]^2.
+double SquaredNorm(const double* a, std::size_t n);
+
+/// y[i] += alpha * x[i] for i in [0, n). One multiply-add per element in
+/// index order on every path (lanes are disjoint), so this is the safe
+/// building block for kernels that must keep scalar addition order.
+void Axpy(double* y, double alpha, const double* x, std::size_t n);
+
+/// Dot product of a CSR row against a dense vector:
+/// sum_p values[p] * x[cols[p]] for p in [0, nnz).
+double SparseDot(const double* values, const std::size_t* cols,
+                 std::size_t nnz, const double* x);
+
+}  // namespace lsi::linalg::simd
+
+#endif  // LSI_LINALG_SIMD_SIMD_H_

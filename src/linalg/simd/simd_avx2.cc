@@ -1,0 +1,140 @@
+// AVX2 + FMA kernels (x86-64). This translation unit is the only one
+// compiled with -mavx2 -mfma, so every 256-bit instruction the binary
+// can emit lives here; the dispatcher only activates this table after a
+// cpuid probe confirms the host executes AVX2 and FMA.
+//
+// Reduction layout: four independent 256-bit accumulators (16 doubles in
+// flight) hide the FMA latency chain that serializes the scalar loop;
+// they are folded pairwise, then horizontally, then the scalar tail is
+// added last. The fold order is fixed, so results are deterministic for
+// this path — but the split accumulator means they differ from the
+// scalar path by rounding, which the agreement tests bound.
+
+#include "linalg/simd/simd_kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace lsi::linalg::simd::internal {
+namespace {
+
+double HorizontalSum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d sum2 = _mm_add_pd(lo, hi);
+  __m128d swapped = _mm_unpackhi_pd(sum2, sum2);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, swapped));
+}
+
+double DotAvx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  double total = HorizontalSum(
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+double SquaredNormAvx2(const double* a, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d v0 = _mm256_loadu_pd(a + i);
+    __m256d v1 = _mm256_loadu_pd(a + i + 4);
+    acc0 = _mm256_fmadd_pd(v0, v0, acc0);
+    acc1 = _mm256_fmadd_pd(v1, v1, acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256d v = _mm256_loadu_pd(a + i);
+    acc0 = _mm256_fmadd_pd(v, v, acc0);
+  }
+  double total = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) total += a[i] * a[i];
+  return total;
+}
+
+void AxpyAvx2(double* y, double alpha, const double* x, std::size_t n) {
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(valpha, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(
+        y + i + 4, _mm256_fmadd_pd(valpha, _mm256_loadu_pd(x + i + 4),
+                                   _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(valpha, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double SparseDotAvx2(const double* values, const std::size_t* cols,
+                     std::size_t nnz, const double* x) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t p = 0;
+  for (; p + 8 <= nnz; p += 8) {
+    // Column indices are 64-bit, so one 256-bit load carries 4 of them
+    // and i64gather pulls the 4 matching x entries.
+    __m256i idx0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols + p));
+    __m256i idx1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols + p + 4));
+    __m256d gathered0 = _mm256_i64gather_pd(x, idx0, 8);
+    __m256d gathered1 = _mm256_i64gather_pd(x, idx1, 8);
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(values + p), gathered0, acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(values + p + 4), gathered1, acc1);
+  }
+  for (; p + 4 <= nnz; p += 4) {
+    __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols + p));
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(values + p),
+                           _mm256_i64gather_pd(x, idx, 8), acc0);
+  }
+  double total = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; p < nnz; ++p) total += values[p] * x[cols[p]];
+  return total;
+}
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() {
+  static const KernelTable table = {DotAvx2, SquaredNormAvx2, AxpyAvx2,
+                                    SparseDotAvx2};
+  return &table;
+}
+
+}  // namespace lsi::linalg::simd::internal
+
+#else  // !x86-64
+
+namespace lsi::linalg::simd::internal {
+
+const KernelTable* Avx2Kernels() { return nullptr; }
+
+}  // namespace lsi::linalg::simd::internal
+
+#endif

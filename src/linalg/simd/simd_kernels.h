@@ -1,0 +1,34 @@
+#ifndef LSI_LINALG_SIMD_SIMD_KERNELS_H_
+#define LSI_LINALG_SIMD_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+namespace lsi::linalg::simd::internal {
+
+/// One function pointer per kernel; each architecture file fills a table
+/// with its implementations and the dispatcher (simd.cc) swaps a single
+/// pointer. Keeping every intrinsic behind this table is what the
+/// no-raw-intrinsics lint rule enforces: no other translation unit may
+/// emit instruction-set-specific code.
+struct KernelTable {
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  double (*squared_norm)(const double* a, std::size_t n);
+  void (*axpy)(double* y, double alpha, const double* x, std::size_t n);
+  double (*sparse_dot)(const double* values, const std::size_t* cols,
+                       std::size_t nnz, const double* x);
+};
+
+/// Portable C++ table; defined for every build.
+const KernelTable& ScalarKernels();
+
+/// AVX2+FMA table, or nullptr when this binary was built without x86-64
+/// support. The caller must still check cpuid before activating it.
+const KernelTable* Avx2Kernels();
+
+/// NEON table, or nullptr when this binary was built without aarch64
+/// support.
+const KernelTable* NeonKernels();
+
+}  // namespace lsi::linalg::simd::internal
+
+#endif  // LSI_LINALG_SIMD_SIMD_KERNELS_H_

@@ -1,0 +1,109 @@
+// NEON kernels (aarch64 Advanced SIMD). NEON is architecturally
+// mandatory on aarch64, so no feature probe or special compile flags are
+// needed — the dispatcher activates this table whenever the binary was
+// built for aarch64 (subject to the LSI_SIMD override).
+//
+// Same accumulator discipline as the AVX2 file: four independent 128-bit
+// accumulators (8 doubles in flight) folded in a fixed order, scalar
+// tail last. Deterministic per path; differs from scalar by rounding.
+
+#include "linalg/simd/simd_kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace lsi::linalg::simd::internal {
+namespace {
+
+double DotNeon(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  float64x2_t acc2 = vdupq_n_f64(0.0);
+  float64x2_t acc3 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    acc2 = vfmaq_f64(acc2, vld1q_f64(a + i + 4), vld1q_f64(b + i + 4));
+    acc3 = vfmaq_f64(acc3, vld1q_f64(a + i + 6), vld1q_f64(b + i + 6));
+  }
+  for (; i + 2 <= n; i += 2) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+  }
+  double total = vaddvq_f64(
+      vaddq_f64(vaddq_f64(acc0, acc1), vaddq_f64(acc2, acc3)));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+double SquaredNormNeon(const double* a, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float64x2_t v0 = vld1q_f64(a + i);
+    float64x2_t v1 = vld1q_f64(a + i + 2);
+    acc0 = vfmaq_f64(acc0, v0, v0);
+    acc1 = vfmaq_f64(acc1, v1, v1);
+  }
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t v = vld1q_f64(a + i);
+    acc0 = vfmaq_f64(acc0, v, v);
+  }
+  double total = vaddvq_f64(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) total += a[i] * a[i];
+  return total;
+}
+
+void AxpyNeon(double* y, double alpha, const double* x, std::size_t n) {
+  const float64x2_t valpha = vdupq_n_f64(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f64(y + i, vfmaq_f64(vld1q_f64(y + i), valpha, vld1q_f64(x + i)));
+    vst1q_f64(y + i + 2,
+              vfmaq_f64(vld1q_f64(y + i + 2), valpha, vld1q_f64(x + i + 2)));
+  }
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i, vfmaq_f64(vld1q_f64(y + i), valpha, vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double SparseDotNeon(const double* values, const std::size_t* cols,
+                     std::size_t nnz, const double* x) {
+  // No gather on NEON; assemble each lane pair from scalar loads. The
+  // win comes from the vector FMA and the split accumulators.
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  std::size_t p = 0;
+  for (; p + 4 <= nnz; p += 4) {
+    double g0[2] = {x[cols[p]], x[cols[p + 1]]};
+    double g1[2] = {x[cols[p + 2]], x[cols[p + 3]]};
+    acc0 = vfmaq_f64(acc0, vld1q_f64(values + p), vld1q_f64(g0));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(values + p + 2), vld1q_f64(g1));
+  }
+  double total = vaddvq_f64(vaddq_f64(acc0, acc1));
+  for (; p < nnz; ++p) total += values[p] * x[cols[p]];
+  return total;
+}
+
+}  // namespace
+
+const KernelTable* NeonKernels() {
+  static const KernelTable table = {DotNeon, SquaredNormNeon, AxpyNeon,
+                                    SparseDotNeon};
+  return &table;
+}
+
+}  // namespace lsi::linalg::simd::internal
+
+#else  // !aarch64
+
+namespace lsi::linalg::simd::internal {
+
+const KernelTable* NeonKernels() { return nullptr; }
+
+}  // namespace lsi::linalg::simd::internal
+
+#endif

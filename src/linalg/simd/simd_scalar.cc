@@ -1,0 +1,43 @@
+// Portable scalar kernels: the reference semantics every SIMD path must
+// reproduce (to rounding for split-accumulator reductions, exactly for
+// Axpy, which performs one multiply-add per element in index order).
+// These are also the deterministic baseline the LSI_SIMD=scalar pin and
+// the cross-path agreement tests compare against.
+
+#include "linalg/simd/simd_kernels.h"
+
+namespace lsi::linalg::simd::internal {
+namespace {
+
+double DotScalar(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double SquaredNormScalar(const double* a, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * a[i];
+  return acc;
+}
+
+void AxpyScalar(double* y, double alpha, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double SparseDotScalar(const double* values, const std::size_t* cols,
+                       std::size_t nnz, const double* x) {
+  double acc = 0.0;
+  for (std::size_t p = 0; p < nnz; ++p) acc += values[p] * x[cols[p]];
+  return acc;
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = {DotScalar, SquaredNormScalar, AxpyScalar,
+                                    SparseDotScalar};
+  return table;
+}
+
+}  // namespace lsi::linalg::simd::internal

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "linalg/simd/simd.h"
 #include "par/parallel_for.h"
 
 namespace lsi::linalg {
@@ -80,11 +81,10 @@ DenseVector SparseMatrix::Multiply(const DenseVector& x) const {
   // bit-identical to the serial kernel at any thread count.
   auto rows_kernel = [&](std::size_t row_begin, std::size_t row_end) {
     for (std::size_t i = row_begin; i < row_end; ++i) {
-      double acc = 0.0;
-      for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-        acc += values_[p] * x[col_indices_[p]];
-      }
-      y[i] = acc;
+      const std::size_t begin = row_offsets_[i];
+      y[i] = simd::SparseDot(values_.data() + begin,
+                             col_indices_.data() + begin,
+                             row_offsets_[i + 1] - begin, x.data());
     }
   };
   if (values_.size() < kMinParallelNnz) {
@@ -132,9 +132,7 @@ DenseMatrix SparseMatrix::MultiplyDense(const DenseMatrix& b) const {
     for (std::size_t i = row_begin; i < row_end; ++i) {
       double* crow = c.RowPtr(i);
       for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-        double v = values_[p];
-        const double* brow = b.RowPtr(col_indices_[p]);
-        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+        simd::Axpy(crow, values_[p], b.RowPtr(col_indices_[p]), b.cols());
       }
     }
   };
@@ -155,9 +153,7 @@ DenseMatrix SparseMatrix::MultiplyTransposeDense(const DenseMatrix& b) const {
     for (std::size_t i = row_begin; i < row_end; ++i) {
       const double* brow = b.RowPtr(i);
       for (std::size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
-        double v = values_[p];
-        double* crow = c.RowPtr(col_indices_[p]);
-        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+        simd::Axpy(c.RowPtr(col_indices_[p]), values_[p], brow, b.cols());
       }
     }
     return c;

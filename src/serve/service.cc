@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/simd/simd.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "par/par.h"
@@ -334,6 +335,9 @@ HttpResponse LsiService::HandleStatusz() {
   status.emplace_back("uptime_s", JsonValue(uptime_s));
   status.emplace_back("threads",
                       JsonValue(static_cast<double>(par::Threads())));
+  status.emplace_back(
+      "simd", JsonValue(std::string(
+                  linalg::simd::PathName(linalg::simd::ActivePath()))));
   status.emplace_back("engine", JsonValue(std::move(engine)));
   status.emplace_back("batch", JsonValue(std::move(batch)));
   status.emplace_back("cache", JsonValue(std::move(cache)));

@@ -1,0 +1,263 @@
+// Tests for the runtime-dispatched SIMD kernel layer: per-path property
+// sweeps over ragged sizes and unaligned offsets, scalar bit-exactness,
+// cross-path agreement at the matrix level, and the LSI_SIMD override.
+
+#include "linalg/simd/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/dense_vector.h"
+#include "linalg/random_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace lsi::linalg::simd {
+namespace {
+
+// Every path the host can actually execute. kScalar is always first so
+// sweeps compare SIMD paths against the scalar answer.
+std::vector<Path> SupportedPaths() {
+  std::vector<Path> paths = {Path::kScalar};
+  for (Path p : {Path::kAvx2, Path::kNeon}) {
+    if (PathSupported(p)) paths.push_back(p);
+  }
+  return paths;
+}
+
+/// Pins a path for one test body; restores auto dispatch on destruction
+/// so the pin cannot leak into later tests.
+class ScopedPath {
+ public:
+  explicit ScopedPath(Path path) { EXPECT_TRUE(SetPath(path)); }
+  ~ScopedPath() { ResetPath(); }
+};
+
+double ReferenceDot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Relative tolerance for SIMD-vs-scalar disagreement: split accumulators
+// and FMA reassociate the sum, so results agree to rounding, not bits.
+double Tol(double reference, std::size_t n) {
+  return 1e-13 * (std::abs(reference) + static_cast<double>(n));
+}
+
+// Fills padded buffers and returns pointers `offset` doubles past the
+// allocation start, so kernels see every alignment mod 32 bytes.
+struct RaggedBuffers {
+  RaggedBuffers(std::size_t n, std::size_t offset, unsigned seed)
+      : a_store(n + offset + 4, 0.0), b_store(n + offset + 4, 0.0) {
+    lsi::Rng rng(seed);
+    a = a_store.data() + offset;
+    b = b_store.data() + offset;
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.Uniform(-2.0, 2.0);
+      b[i] = rng.Uniform(-2.0, 2.0);
+    }
+  }
+  std::vector<double> a_store, b_store;
+  double* a;
+  double* b;
+};
+
+TEST(SimdTest, PathNamesRoundTrip) {
+  for (Path p : {Path::kScalar, Path::kAvx2, Path::kNeon}) {
+    Path parsed;
+    ASSERT_TRUE(ParsePathName(PathName(p), &parsed)) << PathName(p);
+    EXPECT_EQ(parsed, p);
+  }
+  Path parsed;
+  EXPECT_FALSE(ParsePathName("altivec", &parsed));
+  EXPECT_FALSE(ParsePathName("", &parsed));
+}
+
+TEST(SimdTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(PathSupported(Path::kScalar));
+#if defined(__aarch64__)
+  EXPECT_TRUE(PathSupported(Path::kNeon));
+  EXPECT_FALSE(PathSupported(Path::kAvx2));
+#else
+  EXPECT_FALSE(PathSupported(Path::kNeon));
+#endif
+}
+
+TEST(SimdTest, SetPathRejectsUnsupported) {
+  const Path before = ActivePath();
+  const Path missing = PathSupported(Path::kAvx2) ? Path::kNeon : Path::kAvx2;
+  if (!PathSupported(missing)) {
+    EXPECT_FALSE(SetPath(missing));
+    EXPECT_EQ(ActivePath(), before);  // Failed pin must not change paths.
+  }
+  ResetPath();
+}
+
+// The core property sweep: every kernel, every supported path, every
+// size 0..67 (covering all main-loop/remainder/tail splits), at every
+// offset 0..3 doubles (covering all 32-byte alignments).
+TEST(SimdTest, RaggedSweepMatchesScalarOnEveryPath) {
+  for (Path path : SupportedPaths()) {
+    ScopedPath pin(path);
+    for (std::size_t n = 0; n <= 67; ++n) {
+      for (std::size_t offset = 0; offset < 4; ++offset) {
+        RaggedBuffers buf(n, offset, static_cast<unsigned>(97 + 131 * n));
+        const double want_dot = ReferenceDot(buf.a, buf.b, n);
+        EXPECT_NEAR(Dot(buf.a, buf.b, n), want_dot, Tol(want_dot, n))
+            << PathName(path) << " dot n=" << n << " off=" << offset;
+        const double want_sq = ReferenceDot(buf.a, buf.a, n);
+        EXPECT_NEAR(SquaredNorm(buf.a, n), want_sq, Tol(want_sq, n))
+            << PathName(path) << " sqnorm n=" << n << " off=" << offset;
+
+        std::vector<double> want_y(buf.b, buf.b + n);
+        for (std::size_t i = 0; i < n; ++i) want_y[i] += 1.75 * buf.a[i];
+        std::vector<double> got_y(buf.b, buf.b + n);
+        Axpy(got_y.data(), 1.75, buf.a, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_NEAR(got_y[i], want_y[i], Tol(want_y[i], 1))
+              << PathName(path) << " axpy n=" << n << " off=" << offset
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdTest, SparseDotRaggedSweepMatchesScalarOnEveryPath) {
+  // x is a dense vector; the sparse row gathers a scattered, unsorted
+  // subset of its entries — the same shape CSR SpMV feeds the kernel.
+  constexpr std::size_t kDim = 257;
+  std::vector<double> x(kDim);
+  lsi::Rng xrng(5);
+  for (double& v : x) v = xrng.Uniform(-1.0, 1.0);
+  for (Path path : SupportedPaths()) {
+    ScopedPath pin(path);
+    for (std::size_t nnz = 0; nnz <= 67; ++nnz) {
+      for (std::size_t offset = 0; offset < 4; ++offset) {
+        std::vector<double> vstore(nnz + offset, 0.0);
+        std::vector<std::size_t> cstore(nnz + offset, 0);
+        double* values = vstore.data() + offset;
+        std::size_t* cols = cstore.data() + offset;
+        lsi::Rng rng(static_cast<unsigned>(11 + 7 * nnz + offset));
+        for (std::size_t i = 0; i < nnz; ++i) {
+          values[i] = rng.Uniform(-2.0, 2.0);
+          cols[i] = static_cast<std::size_t>(
+              rng.Uniform(0.0, static_cast<double>(kDim)));
+          if (cols[i] >= kDim) cols[i] = kDim - 1;
+        }
+        double want = 0.0;
+        for (std::size_t i = 0; i < nnz; ++i) want += values[i] * x[cols[i]];
+        EXPECT_NEAR(SparseDot(values, cols, nnz, x.data()), want,
+                    Tol(want, nnz))
+            << PathName(path) << " nnz=" << nnz << " off=" << offset;
+      }
+    }
+  }
+}
+
+// With LSI_SIMD=scalar (or SetPath(kScalar)) results must be bit-exact
+// against plain loops — the determinism anchor the cross-path CI leg
+// and the docs promise.
+TEST(SimdTest, ScalarPathIsBitExact) {
+  ScopedPath pin(Path::kScalar);
+  for (std::size_t n : {1u, 7u, 32u, 67u}) {
+    RaggedBuffers buf(n, 1, 1234 + static_cast<unsigned>(n));
+    EXPECT_EQ(Dot(buf.a, buf.b, n), ReferenceDot(buf.a, buf.b, n)) << n;
+    EXPECT_EQ(SquaredNorm(buf.a, n), ReferenceDot(buf.a, buf.a, n)) << n;
+  }
+}
+
+// Each path must be deterministic run-to-run: same inputs, same bits.
+TEST(SimdTest, EveryPathIsDeterministic) {
+  for (Path path : SupportedPaths()) {
+    ScopedPath pin(path);
+    RaggedBuffers buf(67, 3, 42);
+    const double first = Dot(buf.a, buf.b, 67);
+    for (int rep = 0; rep < 8; ++rep) {
+      EXPECT_EQ(Dot(buf.a, buf.b, 67), first) << PathName(path);
+    }
+  }
+}
+
+// Matrix-level agreement: GEMM, A^T B panels, and CSR SpMV computed on
+// each SIMD path agree with the scalar path to rounding. This covers
+// the dense_matrix.cc / sparse_matrix.cc integration, not just the raw
+// kernels.
+TEST(SimdTest, MatrixProductsAgreeAcrossPaths) {
+  lsi::Rng rng(7);
+  DenseMatrix a = GaussianMatrix(23, 17, rng);
+  DenseMatrix b = GaussianMatrix(17, 13, rng);
+
+  SparseMatrixBuilder builder(23, 17);
+  lsi::Rng srng(9);
+  for (std::size_t i = 0; i < 23; ++i) {
+    for (std::size_t j = 0; j < 17; ++j) {
+      if (srng.Uniform(0.0, 1.0) < 0.3) {
+        builder.Add(i, j, srng.Uniform(-1.0, 1.0));
+      }
+    }
+  }
+  SparseMatrix sparse = builder.Build();
+  DenseVector x(17, 0.0);
+  for (std::size_t i = 0; i < 17; ++i) x[i] = srng.Uniform(-1.0, 1.0);
+
+  DenseMatrix gemm_ref, atb_ref;
+  DenseVector spmv_ref;
+  {
+    ScopedPath pin(Path::kScalar);
+    gemm_ref = Multiply(a, b);
+    atb_ref = MultiplyAtB(a, Multiply(a, b));
+    spmv_ref = sparse.Multiply(x);
+  }
+  for (Path path : SupportedPaths()) {
+    if (path == Path::kScalar) continue;
+    ScopedPath pin(path);
+    DenseMatrix gemm = Multiply(a, b);
+    DenseMatrix atb = MultiplyAtB(a, Multiply(a, b));
+    DenseVector spmv = sparse.Multiply(x);
+    ASSERT_EQ(gemm.rows(), gemm_ref.rows());
+    for (std::size_t i = 0; i < gemm.rows(); ++i) {
+      for (std::size_t j = 0; j < gemm.cols(); ++j) {
+        EXPECT_NEAR(gemm(i, j), gemm_ref(i, j), 1e-12) << PathName(path);
+      }
+    }
+    for (std::size_t i = 0; i < atb.rows(); ++i) {
+      for (std::size_t j = 0; j < atb.cols(); ++j) {
+        EXPECT_NEAR(atb(i, j), atb_ref(i, j), 1e-11) << PathName(path);
+      }
+    }
+    for (std::size_t i = 0; i < spmv.size(); ++i) {
+      EXPECT_NEAR(spmv[i], spmv_ref[i], 1e-12) << PathName(path);
+    }
+  }
+}
+
+// The LSI_SIMD env override is consulted when dispatch (re)resolves.
+TEST(SimdTest, EnvOverrideSelectsScalar) {
+  ASSERT_EQ(setenv("LSI_SIMD", "scalar", /*overwrite=*/1), 0);
+  ResetPath();  // Drop the latched table so the env var is re-read.
+  EXPECT_EQ(ActivePath(), Path::kScalar);
+  ASSERT_EQ(unsetenv("LSI_SIMD"), 0);
+  ResetPath();
+}
+
+TEST(SimdTest, EnvOverrideIgnoresGarbage) {
+  // An unknown value logs a warning and falls back to the best path —
+  // it must not crash or wedge dispatch.
+  ASSERT_EQ(setenv("LSI_SIMD", "quantum", /*overwrite=*/1), 0);
+  ResetPath();
+  const Path active = ActivePath();
+  EXPECT_TRUE(PathSupported(active));
+  ASSERT_EQ(unsetenv("LSI_SIMD"), 0);
+  ResetPath();
+}
+
+}  // namespace
+}  // namespace lsi::linalg::simd

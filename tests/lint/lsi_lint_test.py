@@ -130,6 +130,43 @@ class LintFixture(unittest.TestCase):
         self.assertEqual(self.rules_for(findings, "src/core/ok.cc"), [])
         self.assertEqual(self.rules_for(findings, "src/common/logging.cc"), [])
 
+    def test_no_raw_intrinsics_fires_outside_simd_layer(self):
+        self.write(
+            "src/core/bad.cc",
+            "#include <immintrin.h>\n"
+            "__m256d Acc() { return _mm256_setzero_pd(); }\n",
+        )
+        self.write("src/linalg/bad_neon.cc", "float64x2_t v = vdupq_n_f64(0.0);\n")
+        self.write(
+            "tools/bad_tool.cc",
+            "double F(const double* a) { return _mm_cvtsd_f64(_mm_load_sd(a)); }\n",
+        )
+        self.write(
+            "src/linalg/simd/simd_avx2.cc",
+            "#include <immintrin.h>\n"
+            "__m256d Acc() { return _mm256_setzero_pd(); }\n",
+        )
+        self.write(
+            "src/core/ok.cc",
+            "// _mm256_fmadd_pd is mentioned only in this comment\n"
+            "double F() { return 0.0; }\n",
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/core/bad.cc"),
+            ["no-raw-intrinsics", "no-raw-intrinsics"],
+        )
+        self.assertEqual(
+            self.rules_for(findings, "src/linalg/bad_neon.cc"),
+            ["no-raw-intrinsics"],
+        )
+        self.assertEqual(
+            self.rules_for(findings, "tools/bad_tool.cc"), ["no-raw-intrinsics"]
+        )
+        self.assertEqual(self.rules_for(findings, "src/linalg/simd/simd_avx2.cc"), [])
+        self.assertEqual(self.rules_for(findings, "src/core/ok.cc"), [])
+
     def test_include_guard_mismatch_reported(self):
         self.write(
             "src/core/bad.h",

@@ -24,6 +24,14 @@ Rules (scoped to library code under src/ unless noted):
                     and tests are front-ends and exempt). Diagnostics go
                     through LSI_LOG (common/logging.h); snprintf into a
                     caller buffer is formatting, not output, and is fine.
+  no-raw-intrinsics SIMD intrinsics (<immintrin.h>/<arm_neon.h>, _mm*/
+                    __m256*/float64x2_t/v*_f64) outside src/linalg/simd/.
+                    Only simd_avx2.cc is compiled with -mavx2, so an
+                    intrinsic anywhere else either fails to build or —
+                    worse — executes unguarded on hosts without the
+                    instruction set. All vector code goes behind the
+                    lsi::linalg::simd dispatch layer. Scoped to src/ and
+                    tools/.
   include-guard     Headers open with `#ifndef LSI_<PATH>_H_` matching
                     their path (src/core/engine.h -> LSI_CORE_ENGINE_H_).
   fault-point       LSI_FAULT_POINT takes a single string literal matching
@@ -86,6 +94,19 @@ LINE_RULES = [
         ),
         "library code logs through LSI_LOG, not stdout/stderr",
     ),
+    (
+        "no-raw-intrinsics",
+        re.compile(
+            r"(#\s*include\s*<(?:immintrin|x86intrin|arm_neon|emmintrin|"
+            r"xmmintrin|smmintrin|tmmintrin|nmmintrin|avx\w*intrin)\.h>"
+            r"|\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b"
+            r"|\bfloat64x[12]_t\b"
+            r"|\bv(?:fma|mla|add|sub|mul|ld1|st1|dup|mov|get|set|addv)"
+            r"\w*_f64\b)"
+        ),
+        "raw SIMD intrinsics live in src/linalg/simd/ only; call the "
+        "lsi::linalg::simd dispatch layer instead",
+    ),
 ]
 
 # Rule -> predicate(relative posix path) deciding whether a file is in
@@ -101,6 +122,8 @@ RULE_SCOPE = {
     "no-raw-mutex": lambda p: _in_src(p) and p != "src/common/mutex.h",
     "no-stdio": lambda p: _in_src(p)
     and p not in ("src/common/logging.cc", "src/common/check.h"),
+    "no-raw-intrinsics": lambda p: (p.startswith("src/") or p.startswith("tools/"))
+    and not p.startswith("src/linalg/simd/"),
     "include-guard": lambda p: _in_src(p) and p.endswith(".h"),
     "fault-point": lambda p: (p.startswith("src/") or p.startswith("tools/"))
     and p != "src/common/fault.h",

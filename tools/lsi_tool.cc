@@ -15,7 +15,11 @@
 //       Prints latent-space synonyms of a term.
 //
 //   lsi_tool info <engine.bin>
-//       Prints engine dimensions.
+//       Prints engine dimensions and the active SIMD dispatch path.
+//
+//   lsi_tool simd
+//       Prints the active SIMD kernel path (scalar | avx2 | neon) and
+//       exits. Honors LSI_SIMD; scripts use this to label benchmarks.
 //
 //   lsi_tool stats <engine.bin> [query text...]
 //       Loads an engine, optionally runs a query, and dumps the metrics
@@ -51,6 +55,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "linalg/simd/simd.h"
 #include "obs/export.h"
 #include "par/par.h"
 #include "serve/server.h"
@@ -68,6 +73,7 @@ int Usage() {
                "  lsi_tool similar <engine.bin> <document-index>\n"
                "  lsi_tool related <engine.bin> <term>\n"
                "  lsi_tool info <engine.bin>\n"
+               "  lsi_tool simd\n"
                "  lsi_tool stats <engine.bin> [query text...]\n"
                "  lsi_tool serve <engine.bin> [--port=N] [--host=A]\n"
                "                 [--cache-mb=N] [--batch-max=N] "
@@ -211,8 +217,17 @@ int CommandInfo(int argc, char** argv) {
     std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("documents: %zu\nterms:     %zu\nrank:      %zu\n",
-              engine->NumDocuments(), engine->NumTerms(), engine->rank());
+  std::printf("documents: %zu\nterms:     %zu\nrank:      %zu\nsimd:      %s\n",
+              engine->NumDocuments(), engine->NumTerms(), engine->rank(),
+              lsi::linalg::simd::PathName(lsi::linalg::simd::ActivePath()));
+  return 0;
+}
+
+/// `simd` subcommand: print the dispatch path this process resolved
+/// (after LSI_SIMD), one word, machine-readable.
+int CommandSimd() {
+  std::printf("%s\n",
+              lsi::linalg::simd::PathName(lsi::linalg::simd::ActivePath()));
   return 0;
 }
 
@@ -401,6 +416,8 @@ int main(int argc, char** argv) {
     code = CommandRelated(args_count, args_data);
   } else if (std::strcmp(args_data[1], "info") == 0) {
     code = CommandInfo(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "simd") == 0) {
+    code = CommandSimd();
   } else if (std::strcmp(args_data[1], "stats") == 0) {
     code = CommandStats(args_count, args_data, &dump_format);
   } else if (std::strcmp(args_data[1], "serve") == 0) {
