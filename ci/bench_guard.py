@@ -31,7 +31,7 @@ modes fail loudly with an added/removed diff.
 Usage:
   bench_guard.py <benchmark_json> [--threshold 0.9]
   bench_guard.py speedup <benchmark_json> [--threshold 0.9]
-  bench_guard.py emit <benchmark_json> --pr N --out BENCH_N.json
+  bench_guard.py emit <benchmark_json>... --pr N --out BENCH_N.json
       [--commit SHA] [--threads N] [--build-type T] [--dispatch-path P]
   bench_guard.py compare <current_json> --baseline-dir DIR
       [--tolerance 0.15]
@@ -51,6 +51,8 @@ PARALLEL_SUFFIX = "/4"
 # Kernels persisted into the BENCH_<pr>.json trajectory. Prefix match:
 # every non-errored instance (per path, per size, per thread count) is
 # recorded, so the trajectory gains rows as dispatch paths appear.
+# The serve-path rows come from bench_s2_serve_perf; emit accepts
+# multiple JSON files so one snapshot spans both binaries.
 TRAJECTORY_PREFIXES = [
     "BM_SparseMatVecThreads",
     "BM_GramApplyThreads",
@@ -59,6 +61,12 @@ TRAJECTORY_PREFIXES = [
     "BM_SimdDot",
     "BM_SpmvPath",
     "BM_GemmPath",
+    "BM_HttpParseRequest",
+    "BM_JsonParse",
+    "BM_JsonSerializeHits",
+    "BM_QueryCacheHit",
+    "BM_BatcherRoundTrip",
+    "BM_ServiceHandleCachedQuery",
 ]
 
 BENCH_SCHEMA_VERSION = 1
@@ -146,12 +154,21 @@ def trajectory_kernels(times):
 
 
 def run_emit(args):
-    try:
-        times = load_times(args.json_path)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"bench guard: cannot read {args.json_path}: {err}",
-              file=sys.stderr)
-        return 1
+    times = {}
+    for json_path in args.json_paths:
+        try:
+            loaded = load_times(json_path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench guard: cannot read {json_path}: {err}",
+                  file=sys.stderr)
+            return 1
+        clashes = sorted(set(times) & set(loaded))
+        if clashes:
+            print(f"bench guard: {json_path} re-reports "
+                  f"{', '.join(clashes)}; each benchmark must come from "
+                  "exactly one file", file=sys.stderr)
+            return 1
+        times.update(loaded)
     kernels = trajectory_kernels(times)
     if not kernels:
         print("bench guard: no trajectory kernels found in the JSON output",
@@ -275,7 +292,9 @@ def main(argv=None):
     p_speed.set_defaults(func=run_speedup)
 
     p_emit = sub.add_parser("emit", help="write a BENCH_<pr>.json snapshot")
-    p_emit.add_argument("json_path", help="google-benchmark JSON output")
+    p_emit.add_argument("json_paths", nargs="+",
+                        help="google-benchmark JSON output file(s); "
+                        "kernels are merged across them")
     p_emit.add_argument("--pr", type=int, required=True)
     p_emit.add_argument("--out", required=True)
     p_emit.add_argument("--commit", default="unknown")

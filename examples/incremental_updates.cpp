@@ -70,7 +70,7 @@ int main() {
     for (const auto& [term, count] : arrivals->corpus.document(d).counts()) {
       vec[term] = static_cast<double>(count);
     }
-    auto appended = index->AppendDocument(vec);
+    auto appended = index->FoldInDocument(vec);
     if (!appended.ok()) {
       std::fprintf(stderr, "%s\n", appended.status().ToString().c_str());
       return 1;

@@ -248,6 +248,24 @@ Result<std::vector<RelatedTerm>> LsiEngine::RelatedTerms(
   return related;
 }
 
+Result<LsiEngine::FoldInResult> LsiEngine::FoldInDocument(
+    std::string_view name, std::string_view text) {
+  linalg::DenseVector vec(NumTerms(), 0.0);
+  for (const auto& [term, count] : AnalyzeQueryCounts(text)) {
+    vec[term] = text::LocalTermWeight(weighting_, count) *
+                global_weights_[term];
+  }
+  FoldInResult result;
+  LSI_ASSIGN_OR_RETURN(result.document,
+                       index_.FoldInDocument(vec, &result.residual_angle));
+  document_names_.emplace_back(name);
+  return result;
+}
+
+Status LsiEngine::RemoveDocument(std::size_t document) {
+  return index_.MarkDeleted(document);
+}
+
 Result<std::string> LsiEngine::DocumentName(std::size_t document) const {
   if (document >= document_names_.size()) {
     return Status::OutOfRange("DocumentName: index out of range");

@@ -92,6 +92,26 @@ class LsiEngine {
   /// Name of document `index` (as given at corpus build time).
   Result<std::string> DocumentName(std::size_t document) const;
 
+  /// Folds a new document into the latent space without recomputing the
+  /// SVD: `text` runs through the same analyze/weight pipeline as the
+  /// corpus, and the resulting term vector lands via
+  /// LsiIndex::FoldInDocument. Returns the new document's index and its
+  /// residual angle (the drift signal — see LsiIndex::FoldInDocument).
+  /// Out-of-vocabulary terms are dropped; a document with no known
+  /// terms folds to the zero vector (searchable never, representable
+  /// exactly).
+  struct FoldInResult {
+    std::size_t document = 0;
+    double residual_angle = 0.0;
+  };
+  Result<FoldInResult> FoldInDocument(std::string_view name,
+                                      std::string_view text);
+
+  /// Tombstones `document` (see LsiIndex::MarkDeleted): it stops
+  /// appearing in Query/QueryBatch results. The name is retained so
+  /// historical ids keep resolving.
+  Status RemoveDocument(std::size_t document);
+
   /// Persists the engine as one file: vocabulary, global weights,
   /// document names, and weighting scheme, followed by the embedded LSI
   /// factors. Crash-safe: the bytes land via `<path>.tmp` + atomic

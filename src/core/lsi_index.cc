@@ -68,6 +68,8 @@ LsiIndex::LsiIndex(linalg::SvdResult svd,
 
 void LsiIndex::RecomputeDocumentNorms() {
   document_norms_.assign(document_vectors_.rows(), 0.0);
+  deleted_.assign(document_vectors_.rows(), 0);
+  num_deleted_ = 0;
   max_document_norm_ = 0.0;
   for (std::size_t j = 0; j < document_vectors_.rows(); ++j) {
     document_norms_[j] = std::sqrt(linalg::simd::SquaredNorm(
@@ -124,18 +126,54 @@ Result<LsiIndex> LsiIndex::FromSvd(linalg::SvdResult svd) {
   return LsiIndex(std::move(svd));
 }
 
-Result<std::size_t> LsiIndex::AppendDocument(
-    const linalg::DenseVector& term_vector) {
+Result<std::size_t> LsiIndex::FoldInDocument(
+    const linalg::DenseVector& term_vector, double* residual_angle) {
   if (term_vector.size() != NumTerms()) {
     return Status::InvalidArgument(
-        "AppendDocument: vector dimension must equal the number of terms");
+        "FoldInDocument: vector dimension must equal the number of terms");
   }
   linalg::DenseVector folded =
       linalg::MultiplyTranspose(svd_.u, term_vector);
+  if (residual_angle != nullptr) {
+    // U_k has orthonormal columns, so ||U_k^T d|| is the length of d's
+    // projection onto span(U_k) and the residual angle is
+    // acos(||U_k^T d|| / ||d||). Guard rounding: the ratio can exceed 1
+    // by an ulp. A zero document projects exactly (angle 0).
+    const double document_norm = term_vector.Norm();
+    if (document_norm == 0.0) {
+      *residual_angle = 0.0;
+    } else {
+      const double ratio =
+          std::min(1.0, std::max(0.0, folded.Norm() / document_norm));
+      *residual_angle = std::acos(ratio);
+    }
+  }
   document_vectors_.AppendRow(folded);
   document_norms_.push_back(folded.Norm());
   max_document_norm_ = std::max(max_document_norm_, document_norms_.back());
+  deleted_.push_back(0);
   return NumDocuments() - 1;
+}
+
+Status LsiIndex::MarkDeleted(std::size_t j) {
+  if (j >= NumDocuments()) {
+    return Status::OutOfRange("MarkDeleted: document index out of range");
+  }
+  if (deleted_.size() < NumDocuments()) deleted_.resize(NumDocuments(), 0);
+  if (deleted_[j] != 0) return Status::OK();
+  deleted_[j] = 1;
+  ++num_deleted_;
+  const std::size_t k = document_vectors_.cols();
+  for (std::size_t i = 0; i < k; ++i) document_vectors_(j, i) = 0.0;
+  const bool was_max = document_norms_[j] >= max_document_norm_;
+  document_norms_[j] = 0.0;
+  if (was_max) {
+    max_document_norm_ = 0.0;
+    for (double norm : document_norms_) {
+      max_document_norm_ = std::max(max_document_norm_, norm);
+    }
+  }
+  return Status::OK();
 }
 
 double LsiIndex::SingularValue(std::size_t i) const {
@@ -198,7 +236,17 @@ Result<std::vector<SearchResult>> LsiIndex::Search(
       }
     });
   }
-  return RankScores(scores, top_k);
+  if (num_deleted_ == 0) return RankScores(scores, top_k);
+  // Tombstoned documents must not appear at all (their zeroed vectors
+  // already score 0): rank everything, drop them, then truncate.
+  std::vector<SearchResult> ranked = RankScores(scores, 0);
+  ranked.erase(std::remove_if(ranked.begin(), ranked.end(),
+                              [&](const SearchResult& r) {
+                                return deleted_[r.document] != 0;
+                              }),
+               ranked.end());
+  if (top_k != 0 && ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
 }
 
 std::vector<SearchResult> RankScores(const std::vector<double>& scores,

@@ -2,6 +2,7 @@
 #define LSI_CORE_LSI_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -114,12 +115,36 @@ class LsiIndex {
   /// document becomes searchable immediately, represented by U_k^T d.
   /// Quality degrades as folded documents shift the corpus statistics;
   /// rebuild periodically. Returns the new document's index.
-  Result<std::size_t> AppendDocument(const linalg::DenseVector& term_vector);
+  ///
+  /// When `residual_angle` is non-null it receives the angle (radians)
+  /// between the document and its projection onto span(U_k) — 0 when
+  /// the document lies entirely inside the latent subspace, pi/2 when
+  /// it is orthogonal to it. This is the per-document drift signal the
+  /// live layer aggregates to decide when a re-SVD is due (the paper's
+  /// §4 perturbation analysis bounds subspace quality in exactly these
+  /// terms). A zero document reports 0 (it is represented exactly).
+  Result<std::size_t> FoldInDocument(const linalg::DenseVector& term_vector,
+                                     double* residual_angle = nullptr);
 
   /// Number of documents folded in since the build.
   std::size_t NumFoldedDocuments() const {
     return NumDocuments() - svd_.v.rows();
   }
+
+  /// Tombstones document `j`: zeroes its latent vector so it can never
+  /// score, and excludes it from Search results entirely. Idempotent.
+  /// Deletion marks are an in-memory overlay — Save() writes the zeroed
+  /// row but not the flag (rebuild the overlay from the system of
+  /// record, e.g. the live layer's WAL, after Load()).
+  Status MarkDeleted(std::size_t j);
+
+  /// True when document `j` has been tombstoned by MarkDeleted().
+  bool IsDeleted(std::size_t j) const {
+    return j < deleted_.size() && deleted_[j] != 0;
+  }
+
+  /// Number of tombstoned documents.
+  std::size_t NumDeleted() const { return num_deleted_; }
 
   /// Serializes the index (SVD factors + document vectors, including
   /// folded-in ones) to a binary file. Crash-safe: writes `path + ".tmp"`
@@ -156,6 +181,10 @@ class LsiIndex {
   // zero out documents that fold to numerically-nothing.
   std::vector<double> document_norms_;
   double max_document_norm_ = 0.0;
+  // Tombstone overlay: deleted_[j] != 0 excludes document j from
+  // results. Not serialized (see MarkDeleted).
+  std::vector<std::uint8_t> deleted_;
+  std::size_t num_deleted_ = 0;
 };
 
 /// Ranks `scores` and returns the top_k indices by descending score

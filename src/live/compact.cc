@@ -1,0 +1,131 @@
+#include "live/compact.h"
+
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix_io.h"
+#include "live/wal.h"
+
+namespace lsi::live {
+namespace {
+
+struct TsvDocument {
+  std::string name;
+  std::string body;
+};
+
+/// Parses `path` with exactly LoadCorpusFromFile's line rules, but
+/// keeps the raw text instead of analyzing it — compaction works at the
+/// text level so the rewritten file round-trips through the analyzer
+/// identically to a never-compacted one.
+Result<std::vector<TsvDocument>> ReadTsvDocuments(const std::string& path) {
+  std::ifstream input(path);
+  if (!input.is_open()) {
+    return Status::NotFound("compact: cannot open corpus file: " + path);
+  }
+  std::vector<TsvDocument> documents;
+  std::size_t line_number = 0;
+  std::string line;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    TsvDocument doc;
+    std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      doc.name = "line" + std::to_string(line_number);
+      doc.body = line;
+    } else {
+      doc.name = line.substr(0, tab);
+      doc.body = line.substr(tab + 1);
+    }
+    if (doc.name.empty()) doc.name = "line" + std::to_string(line_number);
+    documents.push_back(std::move(doc));
+  }
+  if (input.bad()) {
+    return Status::Internal("compact: I/O error while reading: " + path);
+  }
+  return documents;
+}
+
+Status WriteTsvDocuments(const std::string& path,
+                         const std::vector<TsvDocument>& documents) {
+  linalg::io_internal::AtomicFile file(path);
+  if (!file.ok()) {
+    return Status::InvalidArgument("compact: cannot open for write: " + path +
+                                   ".tmp");
+  }
+  for (const TsvDocument& doc : documents) {
+    // Names are always written explicitly (auto-assigned "line<N>"
+    // names included) so they survive the line renumbering.
+    const std::string line = doc.name + "\t" + doc.body + "\n";
+    LSI_RETURN_IF_ERROR(file.writer().WriteBytes(line.data(), line.size()));
+  }
+  return file.Commit();
+}
+
+void RemoveByName(std::vector<TsvDocument>& documents,
+                  const std::string& name) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    if (documents[i].name == name) continue;
+    if (kept != i) documents[kept] = std::move(documents[i]);
+    ++kept;
+  }
+  documents.resize(kept);
+}
+
+}  // namespace
+
+Result<std::size_t> CountTsvDocuments(const std::string& path) {
+  LSI_ASSIGN_OR_RETURN(std::vector<TsvDocument> documents,
+                       ReadTsvDocuments(path));
+  return documents.size();
+}
+
+Result<CompactStats> CompactLive(const std::string& corpus_path,
+                                 const std::string& wal_path) {
+  CompactStats stats;
+  LSI_ASSIGN_OR_RETURN(std::vector<TsvDocument> documents,
+                       ReadTsvDocuments(corpus_path));
+  stats.base_documents = documents.size();
+
+  LSI_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                       Wal::Open(wal_path, documents.size()));
+  stats.truncated_bytes = wal->truncated_bytes();
+  for (const WalRecord& record : wal->replayed()) {
+    switch (record.op) {
+      case WalOp::kAdd:
+        documents.push_back({record.name, record.text});
+        break;
+      case WalOp::kDelete:
+        RemoveByName(documents, record.name);
+        break;
+      case WalOp::kUpdate:
+        RemoveByName(documents, record.name);
+        documents.push_back({record.name, record.text});
+        break;
+    }
+    ++stats.replayed_records;
+  }
+  LSI_RETURN_IF_ERROR(wal->Close());
+  stats.output_documents = documents.size();
+
+  // Publish order matters: corpus first, then the WAL reset. A crash in
+  // the gap leaves a mismatch the next Wal::Open refuses loudly.
+  LSI_RETURN_IF_ERROR(WriteTsvDocuments(corpus_path, documents));
+  LSI_RETURN_IF_ERROR(Wal::Reset(wal_path, documents.size()));
+  return stats;
+}
+
+Result<CompactStats> ResetWal(const std::string& corpus_path,
+                              const std::string& wal_path) {
+  CompactStats stats;
+  LSI_ASSIGN_OR_RETURN(std::size_t documents, CountTsvDocuments(corpus_path));
+  stats.base_documents = documents;
+  stats.output_documents = documents;
+  LSI_RETURN_IF_ERROR(Wal::Reset(wal_path, documents));
+  return stats;
+}
+
+}  // namespace lsi::live

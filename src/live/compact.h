@@ -1,0 +1,46 @@
+#ifndef LSI_LIVE_COMPACT_H_
+#define LSI_LIVE_COMPACT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace lsi::live {
+
+/// What a compaction did.
+struct CompactStats {
+  std::size_t base_documents = 0;    ///< Docs in the input corpus.tsv.
+  std::size_t replayed_records = 0;  ///< WAL records folded in.
+  std::size_t output_documents = 0;  ///< Docs in the rewritten corpus.tsv.
+  std::uint64_t truncated_bytes = 0; ///< Torn WAL tail clipped, if any.
+};
+
+/// Folds the WAL into the corpus: rewrites `corpus_path` (the TSV file
+/// LoadCorpusFromFile reads) with every WAL add/delete/update applied at
+/// the text level, then resets `wal_path` to a fresh empty log pinned to
+/// the new document count. Run offline — not against a serving process.
+///
+/// Both rewrites are individually atomic (AtomicFile), but a crash
+/// between them leaves a new corpus paired with the old WAL. That state
+/// is detected loudly at the next open (base-document mismatch); recover
+/// by re-running with `reset_wal_only` — document counts prove which
+/// half landed.
+Result<CompactStats> CompactLive(const std::string& corpus_path,
+                                 const std::string& wal_path);
+
+/// The `--reset-wal` escape hatch: discards the WAL and re-pins a fresh
+/// empty one to the current corpus document count. Any writes only the
+/// old WAL knew about are lost — this is for recovering an interrupted
+/// compact, where the corpus already contains them.
+Result<CompactStats> ResetWal(const std::string& corpus_path,
+                              const std::string& wal_path);
+
+/// Documents `path` holds under LoadCorpusFromFile's rules (TSV lines,
+/// '#' and empty lines skipped) — the count a WAL gets pinned to.
+Result<std::size_t> CountTsvDocuments(const std::string& path);
+
+}  // namespace lsi::live
+
+#endif  // LSI_LIVE_COMPACT_H_

@@ -1,0 +1,251 @@
+#include "live/wal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace lsi::live {
+namespace {
+
+using linalg::io_internal::AtomicFile;
+using linalg::io_internal::CheckMagic;
+using linalg::io_internal::FileHandle;
+using linalg::io_internal::Reader;
+using linalg::io_internal::Writer;
+
+constexpr char kWalMagic[4] = {'L', 'S', 'W', '1'};
+
+Status CreateEmptyLog(const std::string& path, std::uint64_t base_documents) {
+  AtomicFile file(path);
+  if (!file.ok()) {
+    return Status::InvalidArgument("wal: cannot open for write: " + path +
+                                   ".tmp");
+  }
+  Writer& writer = file.writer();
+  LSI_RETURN_IF_ERROR(writer.WriteBytes(kWalMagic, 4));
+  writer.BeginSection();
+  LSI_RETURN_IF_ERROR(writer.WriteU64(base_documents));
+  LSI_RETURN_IF_ERROR(writer.EndSection());
+  return file.Commit();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       std::uint64_t base_documents) {
+  if (LSI_FAULT_POINT("live.wal.open")) {
+    return fault::InjectedFailure("live.wal.open");
+  }
+  if (!FileExists(path)) {
+    // Fresh log: publish the header via AtomicFile so even a crash
+    // during creation leaves either no file or a complete empty log.
+    LSI_RETURN_IF_ERROR(CreateEmptyLog(path, base_documents));
+  }
+
+  auto wal = std::unique_ptr<Wal>(new Wal());
+  wal->path_ = path;
+  wal->file_ = std::make_unique<FileHandle>(path, "r+b");
+  if (!wal->file_->ok()) {
+    return Status::NotFound("wal: cannot open for read/write: " + path);
+  }
+
+  std::FILE* fp = wal->file_->get();
+  std::uint64_t good_end = 0;
+  {
+    Reader reader(fp);
+    const std::uint64_t file_size = reader.remaining();
+    LSI_RETURN_IF_ERROR(CheckMagic(reader, kWalMagic));
+    reader.BeginSection();
+    LSI_ASSIGN_OR_RETURN(std::uint64_t base, reader.ReadU64());
+    LSI_RETURN_IF_ERROR(reader.EndSection());
+    if (base != base_documents) {
+      return Status::FailedPrecondition(
+          "wal: header base_documents (" + std::to_string(base) +
+          ") does not match the corpus (" + std::to_string(base_documents) +
+          "); corpus.tsv and the WAL disagree — likely an interrupted "
+          "compaction or mixed-up data directory. Restore the matching "
+          "corpus or re-initialize with `lsi_tool compact --reset-wal`.");
+    }
+    good_end = file_size - reader.remaining();
+
+    // Replay until the file runs out or a record fails to parse. A
+    // failure — torn tail from a crash mid-append, flipped bit — clips
+    // the log back to the last intact record; everything before it was
+    // acknowledged and stays.
+    while (reader.remaining() > 0) {
+      if (LSI_FAULT_POINT("live.wal.replay")) {
+        return fault::InjectedFailure("live.wal.replay");
+      }
+      WalRecord record;
+      bool ok = [&]() {
+        reader.BeginSection();
+        Result<std::uint64_t> op = reader.ReadU64();
+        if (!op.ok() || *op > static_cast<std::uint64_t>(WalOp::kUpdate)) {
+          return false;
+        }
+        Result<std::uint64_t> seq = reader.ReadU64();
+        if (!seq.ok()) return false;
+        Result<std::string> name = reader.ReadString(kWalMaxNameBytes);
+        if (!name.ok()) return false;
+        Result<std::string> text = reader.ReadString(kWalMaxTextBytes);
+        if (!text.ok()) return false;
+        if (!reader.EndSection().ok()) return false;
+        record.op = static_cast<WalOp>(*op);
+        record.seq = *seq;
+        record.name = *std::move(name);
+        record.text = *std::move(text);
+        return true;
+      }();
+      // Sequence numbers are dense and 1-based; a record that passed
+      // its CRC but carries the wrong seq means the log was spliced or
+      // rewritten — treat it like a torn tail rather than serve it.
+      if (!ok || record.seq != wal->replayed_.size() + 1) break;
+      wal->replayed_.push_back(std::move(record));
+      good_end = file_size - reader.remaining();
+    }
+    wal->truncated_bytes_ = file_size - good_end;
+  }
+
+  if (wal->truncated_bytes_ > 0) {
+    if (::ftruncate(::fileno(fp), static_cast<off_t>(good_end)) != 0) {
+      return Status::Internal("wal: cannot truncate torn tail: " + path);
+    }
+    obs::MetricsRegistry::Global()
+        .GetCounter("lsi.live.wal.truncated_bytes")
+        .Increment(wal->truncated_bytes_);
+  }
+  if (std::fseek(fp, static_cast<long>(good_end), SEEK_SET) != 0) {
+    return Status::Internal("wal: cannot seek to log end: " + path);
+  }
+
+  wal->base_documents_ = base_documents;
+  wal->record_count_ = wal->replayed_.size();
+  wal->committed_size_ = good_end;
+  wal->previous_size_ = good_end;
+  wal->writer_ = std::make_unique<Writer>(fp);
+  obs::MetricsRegistry::Global()
+      .GetCounter("lsi.live.wal.replayed_records")
+      .Increment(wal->record_count_);
+  return wal;
+}
+
+Status Wal::Reset(const std::string& path, std::uint64_t base_documents) {
+  return CreateEmptyLog(path, base_documents);
+}
+
+Status Wal::TruncateTo(std::uint64_t size) {
+  std::FILE* fp = file_->get();
+  // Drop any buffered bytes destined past the cut before truncating;
+  // a later flush would otherwise resurrect them.
+  (void)std::fflush(fp);
+  if (::ftruncate(::fileno(fp), static_cast<off_t>(size)) != 0 ||
+      std::fseek(fp, static_cast<long>(size), SEEK_SET) != 0) {
+    broken_ = true;
+    return Status::Internal(
+        "wal: rollback truncate failed; log state unknown, refusing "
+        "further writes: " + path_);
+  }
+  std::clearerr(fp);
+  return Status::OK();
+}
+
+Result<std::uint64_t> Wal::Append(WalOp op, const std::string& name,
+                                  const std::string& text) {
+  if (broken_) {
+    return Status::Internal("wal: log is in an unknown state after a "
+                            "failed rollback; reopen to recover");
+  }
+  if (closed_) return Status::FailedPrecondition("wal: already closed");
+  if (name.size() > kWalMaxNameBytes) {
+    return Status::InvalidArgument("wal: document name too large");
+  }
+  if (text.size() > kWalMaxTextBytes) {
+    return Status::InvalidArgument("wal: document text too large");
+  }
+  if (LSI_FAULT_POINT("live.wal.append")) {
+    return fault::InjectedFailure("live.wal.append");
+  }
+
+  const std::uint64_t seq = record_count_ + 1;
+  Status written = [&]() {
+    writer_->BeginSection();
+    LSI_RETURN_IF_ERROR(writer_->WriteU64(static_cast<std::uint64_t>(op)));
+    LSI_RETURN_IF_ERROR(writer_->WriteU64(seq));
+    LSI_RETURN_IF_ERROR(writer_->WriteString(name));
+    LSI_RETURN_IF_ERROR(writer_->WriteString(text));
+    LSI_RETURN_IF_ERROR(writer_->EndSection());
+    std::FILE* fp = file_->get();
+    if (std::fflush(fp) != 0) {
+      return Status::Internal("wal: fflush failed: " + path_);
+    }
+    if (LSI_FAULT_POINT("live.wal.sync")) {
+      return fault::InjectedFailure("live.wal.sync");
+    }
+    if (::fsync(::fileno(fp)) != 0) {
+      return Status::Internal("wal: fsync failed: " + path_);
+    }
+    return Status::OK();
+  }();
+  if (!written.ok()) {
+    // The record is not acknowledged; clip any partial bytes so the
+    // on-disk log still holds exactly the acknowledged prefix.
+    LSI_RETURN_IF_ERROR(TruncateTo(committed_size_));
+    return written;
+  }
+
+  const long pos = std::ftell(file_->get());
+  if (pos < 0) {
+    broken_ = true;
+    return Status::Internal("wal: ftell failed after append: " + path_);
+  }
+  previous_size_ = committed_size_;
+  committed_size_ = static_cast<std::uint64_t>(pos);
+  record_count_ = seq;
+  can_abort_ = true;
+  return seq;
+}
+
+Status Wal::AbortLast() {
+  if (broken_) {
+    return Status::Internal("wal: log is in an unknown state; reopen");
+  }
+  if (!can_abort_) {
+    return Status::FailedPrecondition("wal: no appended record to abort");
+  }
+  LSI_RETURN_IF_ERROR(TruncateTo(previous_size_));
+  if (::fsync(::fileno(file_->get())) != 0) {
+    broken_ = true;
+    return Status::Internal("wal: fsync failed after abort: " + path_);
+  }
+  committed_size_ = previous_size_;
+  record_count_ -= 1;
+  can_abort_ = false;
+  return Status::OK();
+}
+
+Status Wal::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  writer_.reset();
+  if (file_ == nullptr) return Status::OK();
+  if (!broken_) {
+    if (std::fflush(file_->get()) != 0 ||
+        ::fsync(::fileno(file_->get())) != 0) {
+      (void)file_->Close();
+      return Status::Internal("wal: final sync failed: " + path_);
+    }
+  }
+  return file_->Close();
+}
+
+}  // namespace lsi::live

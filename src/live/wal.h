@@ -1,0 +1,134 @@
+#ifndef LSI_LIVE_WAL_H_
+#define LSI_LIVE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix_io.h"
+
+namespace lsi::live {
+
+/// Mutation kinds a live index accepts. The on-disk encoding (u64) is
+/// part of the WAL format; never renumber.
+enum class WalOp : std::uint64_t {
+  kAdd = 0,
+  kDelete = 1,
+  kUpdate = 2,
+};
+
+/// One logical write, as logged and as replayed. `text` is empty for
+/// deletes; `seq` is 1-based and dense (record i on disk carries i+1).
+struct WalRecord {
+  WalOp op = WalOp::kAdd;
+  std::uint64_t seq = 0;
+  std::string name;
+  std::string text;
+};
+
+/// Append-only write-ahead log for live index mutations, built on the
+/// checksummed-section machinery the persistence formats share.
+///
+/// Format ("LSW" + version byte, host endian like every other format):
+///   [4B magic]
+///   [header section: u64 base_documents][CRC32C]
+///   [record section: u64 op, u64 seq, string name, string text][CRC32C]*
+///
+/// `base_documents` pins the WAL to the corpus snapshot it was opened
+/// against: replaying add/delete records only makes sense against the
+/// exact document set the log started from, so Open() refuses a WAL
+/// whose header disagrees with the caller's corpus (the signature of an
+/// interrupted compaction or a mixed-up data directory).
+///
+/// Durability contract: Append() returns OK only after the record's
+/// bytes are fflushed AND fsynced. On any append failure the file is
+/// truncated back to the previous record boundary, so the log on disk
+/// always contains exactly the acknowledged records — a torn tail from
+/// a real crash is clipped the same way during replay.
+///
+/// Fault points: live.wal.open, live.wal.append, live.wal.sync,
+/// live.wal.replay.
+class Wal {
+ public:
+  /// Opens (or creates) the log at `path`. A fresh log is created with
+  /// `base_documents` in its header via AtomicFile, so even the header
+  /// write is crash-safe. An existing log is replayed: every intact
+  /// record lands in `replayed()`, and a torn or corrupt tail is
+  /// truncated off (its byte count is reported in truncated_bytes()).
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           std::uint64_t base_documents);
+
+  /// Replaces the log at `path` (existing or not) with a fresh empty
+  /// one whose header carries `base_documents`, via AtomicFile — the
+  /// second half of compaction, and the `--reset-wal` escape hatch for
+  /// a WAL/corpus pair left disagreeing by an interrupted compact.
+  static Status Reset(const std::string& path, std::uint64_t base_documents);
+
+  ~Wal() = default;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Records recovered by Open() from an existing file, in log order.
+  const std::vector<WalRecord>& replayed() const { return replayed_; }
+
+  /// Bytes clipped off the tail during replay (0 for a clean log).
+  std::uint64_t truncated_bytes() const { return truncated_bytes_; }
+
+  /// The document count of the corpus this log is paired with.
+  std::uint64_t base_documents() const { return base_documents_; }
+
+  /// Total acknowledged records (replayed + appended). The next
+  /// Append() gets sequence number record_count() + 1.
+  std::uint64_t record_count() const { return record_count_; }
+
+  /// Appends one record, assigns it the next sequence number, and
+  /// syncs it to disk before returning OK. On failure the log is
+  /// rolled back to the previous record boundary; if even the rollback
+  /// fails the Wal marks itself broken and refuses further appends.
+  Result<std::uint64_t> Append(WalOp op, const std::string& name,
+                               const std::string& text);
+
+  /// Undoes the most recent successful Append() by truncating it off
+  /// the log — the rollback half of a two-phase "log then apply" write
+  /// whose apply step failed. Only the latest record can be aborted,
+  /// and only once.
+  Status AbortLast();
+
+  /// Syncs and closes the underlying file. Further appends fail.
+  Status Close();
+
+ private:
+  Wal() = default;
+
+  /// Truncates the file to `size` bytes and repositions the write
+  /// cursor there. Marks the Wal broken on failure.
+  Status TruncateTo(std::uint64_t size);
+
+  std::string path_;
+  std::unique_ptr<linalg::io_internal::FileHandle> file_;
+  std::unique_ptr<linalg::io_internal::Writer> writer_;
+  std::vector<WalRecord> replayed_;
+  std::uint64_t base_documents_ = 0;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  /// File size at the last record boundary (== current end of file
+  /// after a successful append).
+  std::uint64_t committed_size_ = 0;
+  /// File size before the most recent append; AbortLast() truncates to
+  /// this. Reset to committed_size_ after an abort.
+  std::uint64_t previous_size_ = 0;
+  bool can_abort_ = false;
+  bool broken_ = false;
+  bool closed_ = false;
+};
+
+/// Limits a single record must respect (enforced on both ends so a
+/// corrupt length field cannot trigger a huge allocation at replay).
+inline constexpr std::uint64_t kWalMaxNameBytes = 1ULL << 12;
+inline constexpr std::uint64_t kWalMaxTextBytes = 1ULL << 24;
+
+}  // namespace lsi::live
+
+#endif  // LSI_LIVE_WAL_H_

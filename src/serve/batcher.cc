@@ -17,7 +17,16 @@ std::vector<double> BatchSizeBuckets() {
 
 QueryBatcher::QueryBatcher(const core::LsiEngine& engine,
                            BatcherOptions options)
-    : engine_(engine), options_(options) {
+    : QueryBatcher(
+          EngineProvider([engine_ptr = &engine] {
+            // Non-owning alias: the caller guarantees the engine
+            // outlives the batcher, exactly as before snapshots existed.
+            return EngineSnapshot(EngineSnapshot(), engine_ptr);
+          }),
+          options) {}
+
+QueryBatcher::QueryBatcher(EngineProvider provider, BatcherOptions options)
+    : provider_(std::move(provider)), options_(options) {
   if (options_.max_batch == 0) options_.max_batch = 1;
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
@@ -118,6 +127,10 @@ void QueryBatcher::FlusherLoop() {
 }
 
 void QueryBatcher::RunBatch(std::vector<Pending> batch) {
+  // One snapshot for the whole flush: every request in the batch sees
+  // the same epoch, and a concurrent publish cannot pull the engine out
+  // from under the fan-out.
+  const EngineSnapshot engine = provider_();
   // QueryBatch takes one top_k, so group requests by it; order within a
   // group follows submission order.
   std::map<std::size_t, std::vector<std::size_t>> groups;
@@ -128,7 +141,7 @@ void QueryBatcher::RunBatch(std::vector<Pending> batch) {
     std::vector<std::string> queries;
     queries.reserve(indices.size());
     for (const std::size_t i : indices) queries.push_back(batch[i].query);
-    auto results = engine_.QueryBatch(queries, top_k);
+    auto results = engine->QueryBatch(queries, top_k);
     if (results.ok()) {
       for (std::size_t j = 0; j < indices.size(); ++j) {
         batch[indices[j]].promise.set_value(std::move((*results)[j]));
@@ -138,7 +151,7 @@ void QueryBatcher::RunBatch(std::vector<Pending> batch) {
       // healthy requests still succeed and each failure maps to its own
       // request.
       for (const std::size_t i : indices) {
-        batch[i].promise.set_value(engine_.Query(batch[i].query, top_k));
+        batch[i].promise.set_value(engine->Query(batch[i].query, top_k));
       }
     }
   }

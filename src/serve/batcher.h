@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -48,8 +50,19 @@ struct BatcherOptions {
 class QueryBatcher {
  public:
   using QueryResult = Result<std::vector<core::EngineHit>>;
+  using EngineSnapshot = std::shared_ptr<const core::LsiEngine>;
+  /// Called once per flush to pin the engine the whole batch runs
+  /// against. A live index hands out its current epoch snapshot here;
+  /// for a static engine the provider returns the same (non-owning)
+  /// pointer forever.
+  using EngineProvider = std::function<EngineSnapshot()>;
 
+  /// Batches against a fixed engine the caller keeps alive.
   QueryBatcher(const core::LsiEngine& engine, BatcherOptions options = {});
+
+  /// Batches against whatever engine `provider` returns at flush time.
+  QueryBatcher(EngineProvider provider, BatcherOptions options = {});
+
   ~QueryBatcher();
 
   QueryBatcher(const QueryBatcher&) = delete;
@@ -77,7 +90,7 @@ class QueryBatcher {
   void FlusherLoop();
   void RunBatch(std::vector<Pending> batch);
 
-  const core::LsiEngine& engine_;
+  EngineProvider provider_;
   BatcherOptions options_;
 
   mutable Mutex mutex_;

@@ -1,9 +1,11 @@
 #include "serve/service.h"
 
 #include <cmath>
+#include <functional>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "linalg/simd/simd.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -91,6 +93,52 @@ HttpResponse MethodNotAllowed(const char* allow) {
   return response;
 }
 
+HttpResponse RetryLater(std::string_view message) {
+  HttpResponse response = JsonError(503, message);
+  response.extra_headers.emplace_back("Retry-After", "1");
+  return response;
+}
+
+/// HTTP mapping for live-write Statuses. FailedPrecondition means the
+/// engine is draining/closed — retryable against the next incarnation —
+/// so it maps to 503 rather than the generic 500.
+HttpResponse WriteStatusToResponse(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return JsonError(400, status.message());
+    case StatusCode::kNotFound:
+      return JsonError(404, status.message());
+    case StatusCode::kFailedPrecondition:
+      return RetryLater(status.message());
+    default:
+      return JsonError(500, status.message());
+  }
+}
+
+const char* WriteRouteName(live::WalOp op) {
+  switch (op) {
+    case live::WalOp::kAdd:
+      return "add";
+    case live::WalOp::kDelete:
+      return "delete";
+    case live::WalOp::kUpdate:
+      return "update";
+  }
+  return "unknown";
+}
+
+/// Decrements the in-flight write gauge on every exit path.
+class ScopedInflight {
+ public:
+  explicit ScopedInflight(std::atomic<std::size_t>& count) : count_(count) {}
+  ~ScopedInflight() { count_.fetch_sub(1, std::memory_order_acq_rel); }
+  ScopedInflight(const ScopedInflight&) = delete;
+  ScopedInflight& operator=(const ScopedInflight&) = delete;
+
+ private:
+  std::atomic<std::size_t>& count_;
+};
+
 }  // namespace
 
 HttpResponse JsonError(int status, std::string_view message) {
@@ -101,14 +149,51 @@ HttpResponse JsonError(int status, std::string_view message) {
   return response;
 }
 
-LsiService::LsiService(const core::LsiEngine& engine, ServiceOptions options)
+LsiService::LsiService(const core::LsiEngine* engine, live::LiveEngine* live,
+                       ServiceOptions options)
     : engine_(engine),
+      live_(live),
       options_(options),
       cache_(options.cache),
-      batcher_(engine, options.batch),
+      batcher_(live != nullptr
+                   ? QueryBatcher::EngineProvider(
+                         [live] { return live->Snapshot(); })
+                   : QueryBatcher::EngineProvider([engine] {
+                       return QueryBatcher::EngineSnapshot(
+                           QueryBatcher::EngineSnapshot(), engine);
+                     }),
+               options.batch),
       start_time_(std::chrono::steady_clock::now()) {}
 
-void LsiService::Shutdown() { batcher_.Stop(); }
+LsiService::LsiService(const core::LsiEngine& engine, ServiceOptions options)
+    : LsiService(&engine, nullptr, options) {}
+
+LsiService::LsiService(live::LiveEngine& live, ServiceOptions options)
+    : LsiService(nullptr, &live, options) {}
+
+void LsiService::Shutdown() {
+  batcher_.Stop();
+  // Drain guarantee: acknowledged writes are already durable in the
+  // WAL; publishing the pending epoch makes them visible too, so a
+  // health check after drain observes everything that was acked.
+  if (live_ != nullptr) (void)live_->Flush();
+}
+
+QueryBatcher::EngineSnapshot LsiService::CurrentEngine() const {
+  if (live_ != nullptr) return live_->Snapshot();
+  return QueryBatcher::EngineSnapshot(QueryBatcher::EngineSnapshot(),
+                                      engine_);
+}
+
+std::string LsiService::CacheKey(const core::LsiEngine& engine,
+                                 const std::string& query,
+                                 std::size_t top_k) const {
+  std::string key = QueryCache::Key(engine.AnalyzeQueryCounts(query), top_k);
+  if (live_ != nullptr) {
+    key += "|e" + std::to_string(live_->epoch());
+  }
+  return key;
+}
 
 HttpResponse LsiService::Handle(
     const HttpRequest& request,
@@ -145,14 +230,114 @@ HttpResponse LsiService::Handle(
     if (request.method != "POST") return MethodNotAllowed("POST");
     return HandleRelated(request);
   }
+  if (path == "/add") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleWrite(live::WalOp::kAdd, request);
+  }
+  if (path == "/delete") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleWrite(live::WalOp::kDelete, request);
+  }
+  if (path == "/update") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleWrite(live::WalOp::kUpdate, request);
+  }
   return JsonError(404, "no such route: " + path);
+}
+
+HttpResponse LsiService::HandleWrite(live::WalOp op,
+                                     const HttpRequest& request) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string route = WriteRouteName(op);
+  registry.GetCounter("lsi.serve.live." + route + ".requests").Increment();
+  if (live_ == nullptr) {
+    return JsonError(403, "server is read-only; restart `lsi_tool serve` "
+                          "with --live to enable writes");
+  }
+
+  // Per-route kill points, exercised by the fault-torture job: a faulted
+  // route refuses before touching the WAL, exactly like overload.
+  bool faulted = false;
+  switch (op) {
+    case live::WalOp::kAdd:
+      faulted = LSI_FAULT_POINT("serve.add.route");
+      break;
+    case live::WalOp::kDelete:
+      faulted = LSI_FAULT_POINT("serve.delete.route");
+      break;
+    case live::WalOp::kUpdate:
+      faulted = LSI_FAULT_POINT("serve.update.route");
+      break;
+  }
+  if (faulted ||
+      inflight_writes_.fetch_add(1, std::memory_order_acq_rel) >=
+          options_.max_pending_writes) {
+    if (!faulted) inflight_writes_.fetch_sub(1, std::memory_order_acq_rel);
+    registry.GetCounter("lsi.serve.live." + route + ".rejected").Increment();
+    return RetryLater("write backlog full, retry later");
+  }
+  ScopedInflight inflight(inflight_writes_);
+
+  auto body = JsonValue::Parse(request.body);
+  if (!body.ok()) return JsonError(400, body.status().message());
+  if (!body->is_object()) {
+    return JsonError(400, "request body must be a JSON object");
+  }
+  const JsonValue* name = body->Find("name");
+  if (name == nullptr || !name->is_string() || name->string_value().empty()) {
+    return JsonError(400, "body must have a non-empty string name");
+  }
+  const JsonValue* text = body->Find("text");
+  if (op == live::WalOp::kDelete) {
+    if (text != nullptr) {
+      return JsonError(400, "delete takes only a name");
+    }
+  } else {
+    if (text == nullptr || !text->is_string()) {
+      return JsonError(400, "body must have a string text");
+    }
+    if (text->string_value().size() > options_.max_document_bytes) {
+      return JsonError(400, "text exceeds max_document_bytes (" +
+                                std::to_string(options_.max_document_bytes) +
+                                ")");
+    }
+  }
+
+  Result<live::WriteReceipt> receipt = std::invoke([&] {
+    switch (op) {
+      case live::WalOp::kAdd:
+        return live_->Add(name->string_value(), text->string_value());
+      case live::WalOp::kDelete:
+        return live_->Delete(name->string_value());
+      case live::WalOp::kUpdate:
+        return live_->Update(name->string_value(), text->string_value());
+    }
+    return Result<live::WriteReceipt>(
+        Status::Internal("serve: unknown write op"));
+  });
+  if (!receipt.ok()) {
+    registry.GetCounter("lsi.serve.live." + route + ".errors").Increment();
+    return WriteStatusToResponse(receipt.status());
+  }
+
+  JsonValue::Object reply;
+  reply.emplace_back("seq", JsonValue(static_cast<double>(receipt->seq)));
+  if (op != live::WalOp::kDelete) {
+    reply.emplace_back("document",
+                       JsonValue(static_cast<double>(receipt->document)));
+  }
+  if (op != live::WalOp::kAdd) {
+    reply.emplace_back("removed",
+                       JsonValue(static_cast<double>(receipt->removed)));
+  }
+  reply.emplace_back("epoch", JsonValue(static_cast<double>(receipt->epoch)));
+  return JsonOk(JsonValue(std::move(reply)).Serialize());
 }
 
 Result<std::vector<core::EngineHit>> LsiService::RunQuery(
     const std::string& query, std::size_t top_k,
     std::chrono::steady_clock::time_point deadline) {
-  const std::string key =
-      QueryCache::Key(engine_.AnalyzeQueryCounts(query), top_k);
+  const std::string key = CacheKey(*CurrentEngine(), query, top_k);
   if (auto cached = cache_.Get(key)) {
     return std::move(*cached);
   }
@@ -222,9 +407,12 @@ HttpResponse LsiService::HandleQuery(
   std::vector<std::optional<std::future<QueryBatcher::QueryResult>>> futures(
       queries.size());
   std::vector<std::string> keys(queries.size());
+  // One snapshot keys the whole request; the batcher pins its own per
+  // flush, so an epoch publish mid-request costs at most a cache miss.
+  const QueryBatcher::EngineSnapshot snapshot = CurrentEngine();
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const std::string& text = queries[i].string_value();
-    keys[i] = QueryCache::Key(engine_.AnalyzeQueryCounts(text), top_k);
+    keys[i] = CacheKey(*snapshot, text, top_k);
     if (auto cached = cache_.Get(keys[i])) {
       results.emplace_back(std::move(*cached));
       continue;
@@ -268,7 +456,7 @@ HttpResponse LsiService::HandleRelated(const HttpRequest& request) {
                    &top_k_error)) {
     return JsonError(400, top_k_error);
   }
-  auto related = engine_.RelatedTerms(term->string_value(), top_k);
+  auto related = CurrentEngine()->RelatedTerms(term->string_value(), top_k);
   if (!related.ok()) return StatusToResponse(related.status());
   JsonValue::Array items;
   items.reserve(related->size());
@@ -291,12 +479,14 @@ HttpResponse LsiService::HandleStatusz() {
                                     start_time_)
           .count();
 
+  const QueryBatcher::EngineSnapshot snapshot = CurrentEngine();
   JsonValue::Object engine;
-  engine.emplace_back("documents",
-                      JsonValue(static_cast<double>(engine_.NumDocuments())));
+  engine.emplace_back(
+      "documents", JsonValue(static_cast<double>(snapshot->NumDocuments())));
   engine.emplace_back("terms",
-                      JsonValue(static_cast<double>(engine_.NumTerms())));
-  engine.emplace_back("rank", JsonValue(static_cast<double>(engine_.rank())));
+                      JsonValue(static_cast<double>(snapshot->NumTerms())));
+  engine.emplace_back("rank",
+                      JsonValue(static_cast<double>(snapshot->rank())));
 
   JsonValue::Object batch;
   batch.emplace_back("queue_depth",
@@ -342,6 +532,38 @@ HttpResponse LsiService::HandleStatusz() {
   status.emplace_back("batch", JsonValue(std::move(batch)));
   status.emplace_back("cache", JsonValue(std::move(cache)));
   status.emplace_back("requests", JsonValue(std::move(requests)));
+  if (live_ != nullptr) {
+    const live::LiveStats live_stats = live_->stats();
+    JsonValue::Object live;
+    live.emplace_back("epoch",
+                      JsonValue(static_cast<double>(live_stats.epoch)));
+    live.emplace_back("wal_records",
+                      JsonValue(static_cast<double>(live_stats.wal_records)));
+    live.emplace_back("documents",
+                      JsonValue(static_cast<double>(live_stats.documents)));
+    live.emplace_back("tombstones",
+                      JsonValue(static_cast<double>(live_stats.tombstones)));
+    live.emplace_back(
+        "folded_since_refresh",
+        JsonValue(static_cast<double>(live_stats.folded_since_refresh)));
+    live.emplace_back(
+        "pending_writes",
+        JsonValue(static_cast<double>(live_stats.pending_writes)));
+    live.emplace_back("drift_mean_radians",
+                      JsonValue(live_stats.drift_mean_radians));
+    live.emplace_back("drift_max_radians",
+                      JsonValue(live_stats.drift_max_radians));
+    live.emplace_back("publishes",
+                      JsonValue(static_cast<double>(live_stats.publishes)));
+    live.emplace_back("refreshes",
+                      JsonValue(static_cast<double>(live_stats.refreshes)));
+    live.emplace_back(
+        "refresh_failures",
+        JsonValue(static_cast<double>(live_stats.refresh_failures)));
+    live.emplace_back("refresh_in_progress",
+                      JsonValue(live_stats.refresh_in_progress));
+    status.emplace_back("live", JsonValue(std::move(live)));
+  }
   return JsonOk(JsonValue(std::move(status)).Serialize());
 }
 

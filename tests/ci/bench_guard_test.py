@@ -157,6 +157,38 @@ class EmitModeTest(BenchGuardTestBase):
         rc, _ = self.emit([("BM_TextPipeline", 11.0, "us")])
         self.assertEqual(rc, 1)
 
+    def test_emit_merges_multiple_inputs(self):
+        # The CI job feeds one substrate and one serve-path JSON file;
+        # a single snapshot must span both binaries.
+        substrate = self.write_json("s1.json", gbench_json(TRAJ))
+        serve = self.write_json("s2.json", gbench_json([
+            ("BM_HttpParseRequest", 300.0, "ns"),
+            ("BM_JsonParse", 1.2, "us"),
+            ("BM_JsonSerializeHits", 2.5, "us"),
+            ("BM_QueryCacheHit/8", 90.0, "ns"),
+            ("BM_BatcherRoundTrip/16", 40.0, "us"),
+            ("BM_ServiceHandleCachedQuery", 1.1, "us"),
+        ]))
+        out = os.path.join(self.tmp.name, "BENCH_8.json")
+        rc = self.run_guard([
+            "emit", substrate, serve, "--pr", "8", "--out", out,
+            "--commit", "abc1234", "--threads", "4",
+            "--build-type", "Release", "--dispatch-path", "avx2"])
+        self.assertEqual(rc, 0)
+        with open(out) as f:
+            snap = json.load(f)
+        self.assertIn("BM_SimdDot/avx2/128", snap["kernels"])
+        self.assertEqual(snap["kernels"]["BM_HttpParseRequest"], 300.0)
+        self.assertEqual(snap["kernels"]["BM_QueryCacheHit/8"], 90.0)
+        self.assertEqual(snap["kernels"]["BM_BatcherRoundTrip/16"], 40e3)
+
+    def test_emit_rejects_duplicate_names_across_inputs(self):
+        a = self.write_json("a.json", gbench_json(TRAJ))
+        b = self.write_json("b.json", gbench_json(TRAJ))
+        out = os.path.join(self.tmp.name, "BENCH_8.json")
+        rc = self.run_guard(["emit", a, b, "--pr", "8", "--out", out])
+        self.assertEqual(rc, 1)
+
 
 class CompareModeTest(BenchGuardTestBase):
     def snapshot(self, pr, kernels, name=None):

@@ -35,14 +35,14 @@ LsiIndex BuildSmall() {
   return LsiIndex::Build(SmallCorpusMatrix(), options).value();
 }
 
-TEST(LsiIndexFoldInTest, AppendDocumentGrowsIndex) {
+TEST(LsiIndexFoldInTest, FoldInDocumentGrowsIndex) {
   LsiIndex index = BuildSmall();
   EXPECT_EQ(index.NumDocuments(), 5u);
   EXPECT_EQ(index.NumFoldedDocuments(), 0u);
   DenseVector doc(6, 0.0);
   doc[0] = 2.0;
   doc[1] = 1.0;
-  auto appended = index.AppendDocument(doc);
+  auto appended = index.FoldInDocument(doc);
   ASSERT_TRUE(appended.ok());
   EXPECT_EQ(appended.value(), 5u);
   EXPECT_EQ(index.NumDocuments(), 6u);
@@ -51,7 +51,7 @@ TEST(LsiIndexFoldInTest, AppendDocumentGrowsIndex) {
 
 TEST(LsiIndexFoldInTest, RejectsWrongDimension) {
   LsiIndex index = BuildSmall();
-  EXPECT_FALSE(index.AppendDocument(DenseVector(4, 1.0)).ok());
+  EXPECT_FALSE(index.FoldInDocument(DenseVector(4, 1.0)).ok());
 }
 
 TEST(LsiIndexFoldInTest, FoldedDocumentMatchesFoldInQuery) {
@@ -60,7 +60,7 @@ TEST(LsiIndexFoldInTest, FoldedDocumentMatchesFoldInQuery) {
   doc[2] = 3.0;
   doc[4] = 1.0;
   auto folded_query = index.FoldInQuery(doc);
-  auto appended = index.AppendDocument(doc);
+  auto appended = index.FoldInDocument(doc);
   ASSERT_TRUE(folded_query.ok() && appended.ok());
   DenseVector stored = index.DocumentVector(appended.value());
   EXPECT_LT(Distance(stored, folded_query.value()), 1e-12);
@@ -73,7 +73,7 @@ TEST(LsiIndexFoldInTest, FoldedDocumentIsSearchable) {
   SparseMatrix matrix = SmallCorpusMatrix();
   DenseVector column(6, 0.0);
   for (std::size_t i = 0; i < 6; ++i) column[i] = matrix.At(i, 2);
-  auto appended = index.AppendDocument(column);
+  auto appended = index.FoldInDocument(column);
   ASSERT_TRUE(appended.ok());
   auto results = index.Search(column, 2);
   ASSERT_TRUE(results.ok());
@@ -105,7 +105,7 @@ TEST(LsiIndexPersistenceTest, SaveLoadRoundTrip) {
 TEST(LsiIndexPersistenceTest, FoldedDocumentsSurviveSaveLoad) {
   LsiIndex index = BuildSmall();
   DenseVector doc(6, 1.0);
-  ASSERT_TRUE(index.AppendDocument(doc).ok());
+  ASSERT_TRUE(index.FoldInDocument(doc).ok());
   std::string path = TempPath("lsi_index_folded.bin");
   ASSERT_TRUE(index.Save(path).ok());
   auto loaded = LsiIndex::Load(path);

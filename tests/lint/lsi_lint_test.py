@@ -237,6 +237,64 @@ class LintFixture(unittest.TestCase):
         code, findings = run_lint(self.root)
         self.assertEqual(code, 0, findings)
 
+    def test_route_without_fault_point_reported(self):
+        self.write(
+            "src/serve/service.cc",
+            'HttpResponse F(const std::string& path) {\n'
+            '  if (path == "/bulk") { return HandleBulk(); }\n'
+            "}\n",
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/serve/service.cc"),
+            ["route-fault-point"],
+        )
+        self.assertIn("/bulk", findings[0]["message"])
+        self.assertEqual(findings[0]["line"], 2)
+
+    def test_route_with_matching_fault_point_is_clean(self):
+        self.write(
+            "src/serve/service.cc",
+            'HttpResponse F(const std::string& path) {\n'
+            '  if (path == "/bulk") {\n'
+            '    if (LSI_FAULT_POINT("serve.bulk.route")) { return Retry(); }\n'
+            "  }\n"
+            "}\n",
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 0, findings)
+
+    def test_grandfathered_routes_need_no_fault_point(self):
+        self.write(
+            "src/serve/service.cc",
+            'HttpResponse F(const std::string& path) {\n'
+            '  if (path == "/healthz") { return Ok(); }\n'
+            '  if (path == "/query") { return HandleQuery(); }\n'
+            "}\n",
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 0, findings)
+
+    def test_route_check_skips_single_file_runs_and_non_serve_code(self):
+        # A literal `path == "/x"` outside src/serve is not a route.
+        self.write(
+            "src/core/walker.cc",
+            'bool AtRoot(const std::string& path) { return path == "/root"; }\n',
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 0, findings)
+        # Single-file runs cannot see fault points in other files, so the
+        # cross-file route check stays quiet there.
+        self.write(
+            "src/serve/routes.cc",
+            'HttpResponse F(const std::string& path) {\n'
+            '  if (path == "/bulk") { return HandleBulk(); }\n'
+            "}\n",
+        )
+        code, findings = run_lint(self.root, ("src/serve/routes.cc",))
+        self.assertEqual(code, 0, findings)
+
     def test_allowlist_suppresses_and_reports_stale_entries(self):
         self.write("src/serve/threads.cc", "std::thread t([] {});\n")
         allow = os.path.join(self.root, "allow.txt")

@@ -1,0 +1,249 @@
+#include "live/wal.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+
+namespace lsi::live {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string bytes;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+TEST(LiveWalTest, CreatesEmptyLogAndRoundTrips) {
+  const std::string path = TempPath("wal_roundtrip.log");
+  std::remove(path.c_str());
+  {
+    auto wal = Wal::Open(path, 7);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    EXPECT_EQ((*wal)->base_documents(), 7u);
+    EXPECT_TRUE((*wal)->replayed().empty());
+    EXPECT_EQ((*wal)->truncated_bytes(), 0u);
+
+    auto s1 = (*wal)->Append(WalOp::kAdd, "doc-a", "alpha beta gamma");
+    ASSERT_TRUE(s1.ok());
+    EXPECT_EQ(s1.value(), 1u);
+    auto s2 = (*wal)->Append(WalOp::kDelete, "doc-b", "");
+    ASSERT_TRUE(s2.ok());
+    EXPECT_EQ(s2.value(), 2u);
+    auto s3 = (*wal)->Append(WalOp::kUpdate, "doc-a", "delta");
+    ASSERT_TRUE(s3.ok());
+    EXPECT_EQ(s3.value(), 3u);
+    EXPECT_EQ((*wal)->record_count(), 3u);
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+
+  auto reopened = Wal::Open(path, 7);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const std::vector<WalRecord>& records = (*reopened)->replayed();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].op, WalOp::kAdd);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[0].name, "doc-a");
+  EXPECT_EQ(records[0].text, "alpha beta gamma");
+  EXPECT_EQ(records[1].op, WalOp::kDelete);
+  EXPECT_EQ(records[1].text, "");
+  EXPECT_EQ(records[2].op, WalOp::kUpdate);
+  EXPECT_EQ(records[2].text, "delta");
+  // Sequence numbering continues where the replay left off.
+  auto s4 = (*reopened)->Append(WalOp::kAdd, "doc-c", "epsilon");
+  ASSERT_TRUE(s4.ok());
+  EXPECT_EQ(s4.value(), 4u);
+}
+
+TEST(LiveWalTest, RefusesBaseDocumentMismatch) {
+  const std::string path = TempPath("wal_mismatch.log");
+  std::remove(path.c_str());
+  {
+    auto wal = Wal::Open(path, 5);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  auto mismatched = Wal::Open(path, 6);
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LiveWalTest, TruncatesTornTailOnReplay) {
+  const std::string path = TempPath("wal_torn.log");
+  std::remove(path.c_str());
+  // Every append fsyncs, so the on-disk size after each one is the exact
+  // record boundary — captured here to predict truncation precisely.
+  std::vector<std::size_t> boundaries;
+  {
+    auto wal = Wal::Open(path, 1);
+    ASSERT_TRUE(wal.ok());
+    boundaries.push_back(ReadFileBytes(path).size());  // End of header.
+    ASSERT_TRUE((*wal)->Append(WalOp::kAdd, "a", "one two").ok());
+    boundaries.push_back(ReadFileBytes(path).size());
+    ASSERT_TRUE((*wal)->Append(WalOp::kAdd, "b", "three four").ok());
+    boundaries.push_back(ReadFileBytes(path).size());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  const std::string intact = ReadFileBytes(path);
+  ASSERT_EQ(intact.size(), boundaries.back());
+
+  // Chop bytes off the tail: every prefix that keeps the header intact
+  // must replay exactly the records whose boundary fits, clip the rest,
+  // and keep accepting appends.
+  for (std::size_t keep = boundaries[0]; keep < intact.size(); ++keep) {
+    WriteFileBytes(path, intact.substr(0, keep));
+    auto wal = Wal::Open(path, 1);
+    ASSERT_TRUE(wal.ok()) << "prefix " << keep << ": "
+                          << wal.status().ToString();
+    std::size_t expect_replayed = 0;
+    while (expect_replayed + 1 < boundaries.size() &&
+           boundaries[expect_replayed + 1] <= keep) {
+      ++expect_replayed;
+    }
+    const std::size_t replayed = (*wal)->replayed().size();
+    EXPECT_EQ(replayed, expect_replayed) << "prefix " << keep;
+    for (std::size_t i = 0; i < replayed; ++i) {
+      EXPECT_EQ((*wal)->replayed()[i].seq, i + 1);
+    }
+    EXPECT_EQ((*wal)->truncated_bytes(), keep - boundaries[expect_replayed])
+        << "prefix " << keep;
+    // After truncation the log must accept appends again.
+    auto seq = (*wal)->Append(WalOp::kAdd, "c", "five");
+    ASSERT_TRUE(seq.ok()) << "prefix " << keep;
+    EXPECT_EQ(seq.value(), replayed + 1);
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+}
+
+TEST(LiveWalTest, CorruptMiddleByteClipsFromThereOn) {
+  const std::string path = TempPath("wal_corrupt.log");
+  std::remove(path.c_str());
+  {
+    auto wal = Wal::Open(path, 1);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalOp::kAdd, "a", "one").ok());
+    ASSERT_TRUE((*wal)->Append(WalOp::kAdd, "b", "two").ok());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() - 10] ^= 0x5a;  // Somewhere inside record 2.
+  WriteFileBytes(path, bytes);
+
+  auto wal = Wal::Open(path, 1);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ((*wal)->replayed().size(), 1u);
+  EXPECT_EQ((*wal)->replayed()[0].name, "a");
+  EXPECT_GT((*wal)->truncated_bytes(), 0u);
+}
+
+TEST(LiveWalTest, AbortLastRemovesOnlyTheLastRecord) {
+  const std::string path = TempPath("wal_abort.log");
+  std::remove(path.c_str());
+  auto wal = Wal::Open(path, 2);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(WalOp::kAdd, "keep", "kept text").ok());
+  ASSERT_TRUE((*wal)->Append(WalOp::kAdd, "drop", "dropped text").ok());
+  ASSERT_TRUE((*wal)->AbortLast().ok());
+  EXPECT_EQ((*wal)->record_count(), 1u);
+  // Only the latest record can be aborted, and only once.
+  EXPECT_FALSE((*wal)->AbortLast().ok());
+  // The aborted sequence number is reused by the next append.
+  auto seq = (*wal)->Append(WalOp::kAdd, "next", "next text");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 2u);
+  ASSERT_TRUE((*wal)->Close().ok());
+
+  auto reopened = Wal::Open(path, 2);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ((*reopened)->replayed().size(), 2u);
+  EXPECT_EQ((*reopened)->replayed()[0].name, "keep");
+  EXPECT_EQ((*reopened)->replayed()[1].name, "next");
+}
+
+TEST(LiveWalTest, EnforcesRecordSizeLimits) {
+  const std::string path = TempPath("wal_limits.log");
+  std::remove(path.c_str());
+  auto wal = Wal::Open(path, 0);
+  ASSERT_TRUE(wal.ok());
+  const std::string big_name(kWalMaxNameBytes + 1, 'n');
+  EXPECT_FALSE((*wal)->Append(WalOp::kAdd, big_name, "t").ok());
+  EXPECT_EQ((*wal)->record_count(), 0u);
+  // At the limit is fine.
+  const std::string max_name(kWalMaxNameBytes, 'n');
+  EXPECT_TRUE((*wal)->Append(WalOp::kAdd, max_name, "t").ok());
+  ASSERT_TRUE((*wal)->Close().ok());
+}
+
+TEST(LiveWalTest, AppendAfterCloseFails) {
+  const std::string path = TempPath("wal_closed.log");
+  std::remove(path.c_str());
+  auto wal = Wal::Open(path, 0);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Close().ok());
+  EXPECT_FALSE((*wal)->Append(WalOp::kAdd, "a", "b").ok());
+  // Close is idempotent.
+  EXPECT_TRUE((*wal)->Close().ok());
+}
+
+TEST(LiveWalTest, ResetReplacesExistingLog) {
+  const std::string path = TempPath("wal_reset.log");
+  std::remove(path.c_str());
+  {
+    auto wal = Wal::Open(path, 3);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalOp::kAdd, "a", "text").ok());
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  ASSERT_TRUE(Wal::Reset(path, 9).ok());
+  auto reopened = Wal::Open(path, 9);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->replayed().empty());
+  EXPECT_EQ((*reopened)->base_documents(), 9u);
+}
+
+TEST(LiveWalTest, InjectedSyncFailureLeavesNoRecordBehind) {
+  fault::FaultRegistry& faults = fault::FaultRegistry::Global();
+  faults.DisarmAll();
+  const std::string path = TempPath("wal_sync_fault.log");
+  std::remove(path.c_str());
+  {
+    auto wal = Wal::Open(path, 0);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalOp::kAdd, "first", "survives").ok());
+    ASSERT_TRUE(
+        faults.ArmFromString("live.wal.sync=once@1").ok());
+    EXPECT_FALSE((*wal)->Append(WalOp::kAdd, "second", "lost").ok());
+    faults.DisarmAll();
+    EXPECT_EQ((*wal)->record_count(), 1u);
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  auto reopened = Wal::Open(path, 0);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ((*reopened)->replayed().size(), 1u);
+  EXPECT_EQ((*reopened)->replayed()[0].name, "first");
+}
+
+}  // namespace
+}  // namespace lsi::live

@@ -42,6 +42,13 @@ Rules (scoped to library code under src/ unless noted):
                     programming error in the registry). src/common/fault.h
                     defines the macro and is exempt; tests may reuse names
                     deliberately and are not scanned.
+  route-fault-point Every HTTP route dispatched in src/serve (a literal
+                    `path == "/x"` comparison) must declare a fault point
+                    named `serve.<x>.*`, so the fault-torture CI job can
+                    exercise its failure path. Routes that predate the
+                    fault registry (healthz, metrics, statusz, query,
+                    related) are grandfathered; every route added since
+                    ships with its kill switch.
 
 Findings print one per line as `path:line: rule: message`, or as a JSON
 array with --json. Exit status: 0 clean, 1 findings, 2 usage error.
@@ -137,6 +144,15 @@ FAULT_CALL_RE = re.compile(r"\bLSI_FAULT_POINT\s*\(([^)]*)\)")
 FAULT_NAME_RE = re.compile(r'^\s*"([a-z0-9_.]+)"\s*$')
 FAULT_OPEN_RE = re.compile(r"\bLSI_FAULT_POINT\s*\([^)]*$")
 
+# A route dispatch in the service layer: `path == "/query"`.
+ROUTE_RE = re.compile(r'\bpath\s*==\s*"/([a-z0-9_]+)"')
+
+# Routes that predate the fault registry. Everything added after this
+# set was frozen must declare a `serve.<route>.*` fault point.
+GRANDFATHERED_ROUTES = frozenset(
+    {"healthz", "metrics", "statusz", "query", "related"}
+)
+
 
 def strip_noncode(line: str) -> str:
     """Blanks string literals and line comments so patterns only see code.
@@ -170,12 +186,18 @@ def expected_guard(relpath: str) -> str:
     return "LSI_" + token.upper() + "_"
 
 
-def check_file(relpath: str, text: str, fault_points=None):
+def check_file(relpath: str, text: str, fault_points=None, routes=None):
     """Lints one file. `fault_points`, when given, is a dict the caller
     owns mapping fault-point name -> [(path, line)] call sites, filled
-    in here so main() can police cross-file uniqueness."""
+    in here so main() can police cross-file uniqueness. `routes` is the
+    same for dispatched HTTP routes: name -> [(path, line)], collected
+    from src/serve so main() can require a fault point per route."""
     findings = []
     lines = text.splitlines()
+    if routes is not None and relpath.startswith("src/serve/"):
+        for lineno, raw in enumerate(lines, start=1):
+            for m in ROUTE_RE.finditer(strip_comments_keep_strings(raw)):
+                routes.setdefault(m.group(1), []).append((relpath, lineno))
     if RULE_SCOPE["fault-point"](relpath):
         for lineno, raw in enumerate(lines, start=1):
             code = strip_comments_keep_strings(raw)
@@ -321,6 +343,7 @@ def main(argv=None) -> int:
 
     findings = []
     fault_points = {}
+    routes = {}
     for relpath in collect_files(args.root, args.paths):
         try:
             with open(os.path.join(args.root, relpath), encoding="utf-8") as fh:
@@ -328,7 +351,7 @@ def main(argv=None) -> int:
         except OSError as err:
             print(f"lsi_lint: cannot read {relpath}: {err}", file=sys.stderr)
             return 2
-        for finding in check_file(relpath, text, fault_points):
+        for finding in check_file(relpath, text, fault_points, routes):
             if not suppressed(finding):
                 findings.append(finding)
 
@@ -351,6 +374,24 @@ def main(argv=None) -> int:
                 }
                 if not suppressed(finding):
                     findings.append(finding)
+        for route, sites in sorted(routes.items()):
+            if route in GRANDFATHERED_ROUTES:
+                continue
+            prefix = f"serve.{route}."
+            if any(name.startswith(prefix) for name in fault_points):
+                continue
+            path, line = sites[0]
+            finding = {
+                "rule": "route-fault-point",
+                "path": path,
+                "line": line,
+                "message": f'route "/{route}" declares no fault point '
+                f'named "{prefix}*"; every new serve route ships with a '
+                "kill switch the fault-torture job can arm",
+                "snippet": "",
+            }
+            if not suppressed(finding):
+                findings.append(finding)
 
     # Only police allowlist staleness on full-tree runs; a single-file
     # invocation legitimately leaves most entries unused.

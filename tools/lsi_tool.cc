@@ -33,6 +33,26 @@
 //       Flag defaults come from LSI_PORT, LSI_CACHE_MB, LSI_BATCH_MAX,
 //       LSI_DEADLINE_MS (and LSI_THREADS, as everywhere else).
 //
+//   lsi_tool serve --live=<dir> [serve flags] [--rank=N] [--weighting=W]
+//                  [--publish-every=N] [--refresh-ms=N]
+//                  [--drift-threshold=R]
+//       Live mode: <dir>/corpus.tsv is the base corpus and <dir>/wal.log
+//       the write-ahead log (created if missing, replayed if present).
+//       Adds POST /add, /delete, /update; queries run against epoch
+//       snapshots and a background thread re-runs the SVD when fold-in
+//       drift crosses --drift-threshold radians. Drain order on signal:
+//       stop accepting, flush the pending epoch, close the WAL.
+//
+//   lsi_tool add <live-dir> <name> <text...>
+//       Appends one add record to <live-dir>/wal.log without starting a
+//       server; the next live serve (or compact) replays it.
+//
+//   lsi_tool compact <live-dir> [--reset-wal]
+//       Folds <live-dir>/wal.log into <live-dir>/corpus.tsv and resets
+//       the WAL, so the next startup replays nothing. --reset-wal skips
+//       the fold and just re-pins an empty WAL to the current corpus
+//       (escape hatch for a WAL that no longer matches).
+//
 // Any command additionally accepts --stats[=json|prom]: after the
 // command finishes, the metrics registry (solver convergence counters,
 // span timings, latency histograms) is dumped to stdout. The dump starts
@@ -50,12 +70,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "linalg/simd/simd.h"
+#include "live/compact.h"
+#include "live/live_engine.h"
+#include "live/wal.h"
 #include "obs/export.h"
 #include "par/par.h"
 #include "serve/server.h"
@@ -78,6 +102,11 @@ int Usage() {
                "  lsi_tool serve <engine.bin> [--port=N] [--host=A]\n"
                "                 [--cache-mb=N] [--batch-max=N] "
                "[--deadline-ms=N]\n"
+               "  lsi_tool serve --live=<dir> [serve flags] [--rank=N]\n"
+               "                 [--weighting=W] [--publish-every=N]\n"
+               "                 [--refresh-ms=N] [--drift-threshold=R]\n"
+               "  lsi_tool add <live-dir> <name> <text...>\n"
+               "  lsi_tool compact <live-dir> [--reset-wal]\n"
                "\n"
                "flags:\n"
                "  --stats[=json|prom]  dump the metrics registry (solver\n"
@@ -282,6 +311,16 @@ std::size_t SizeFromEnv(const char* name, std::size_t fallback) {
   return fallback;
 }
 
+/// Parses a non-negative double flag value. Returns false on garbage.
+bool ParseDoubleValue(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || value < 0.0) return false;
+  *out = value;
+  return true;
+}
+
 int CommandServe(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::size_t port = SizeFromEnv("LSI_PORT", 8080);
@@ -290,6 +329,9 @@ int CommandServe(int argc, char** argv) {
   std::size_t deadline_ms = SizeFromEnv("LSI_DEADLINE_MS", 2000);
   std::string host = "0.0.0.0";
   const char* engine_path = nullptr;
+  std::string live_dir;
+  lsi::live::LiveOptions live_options;
+  std::size_t refresh_ms = 2000;
 
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
@@ -304,6 +346,21 @@ int CommandServe(int argc, char** argv) {
       ok = ParseSizeValue(arg + 12, &batch_max) && batch_max > 0;
     } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
       ok = ParseSizeValue(arg + 14, &deadline_ms) && deadline_ms > 0;
+    } else if (std::strncmp(arg, "--live=", 7) == 0) {
+      live_dir = arg + 7;
+      ok = !live_dir.empty();
+    } else if (std::strncmp(arg, "--rank=", 7) == 0) {
+      ok = ParseSizeValue(arg + 7, &live_options.engine.rank) &&
+           live_options.engine.rank > 0;
+    } else if (std::strncmp(arg, "--weighting=", 12) == 0) {
+      ok = ParseWeighting(arg + 12, &live_options.engine.weighting);
+    } else if (std::strncmp(arg, "--publish-every=", 16) == 0) {
+      ok = ParseSizeValue(arg + 16, &live_options.publish_every) &&
+           live_options.publish_every > 0;
+    } else if (std::strncmp(arg, "--refresh-ms=", 13) == 0) {
+      ok = ParseSizeValue(arg + 13, &refresh_ms) && refresh_ms > 0;
+    } else if (std::strncmp(arg, "--drift-threshold=", 18) == 0) {
+      ok = ParseDoubleValue(arg + 18, &live_options.drift_threshold_radians);
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown serve flag: %s\n", arg);
       return 2;
@@ -317,18 +374,54 @@ int CommandServe(int argc, char** argv) {
       return 2;
     }
   }
-  if (engine_path == nullptr) return Usage();
+  if ((engine_path == nullptr) == live_dir.empty()) {
+    std::fprintf(stderr,
+                 "serve takes exactly one of <engine.bin> or --live=<dir>\n");
+    return 2;
+  }
 
-  auto engine = lsi::core::LsiEngine::Load(engine_path);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
-    return 1;
+  // Exactly one of these two backs the service.
+  lsi::Result<lsi::core::LsiEngine> engine =
+      lsi::Status::NotFound("not loaded");
+  std::unique_ptr<lsi::live::LiveEngine> live;
+  std::string serving_what;
+  if (live_dir.empty()) {
+    engine = lsi::core::LsiEngine::Load(engine_path);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    serving_what = engine_path;
+  } else {
+    lsi::text::Analyzer analyzer;
+    auto corpus =
+        lsi::text::LoadCorpusFromFile(live_dir + "/corpus.tsv", analyzer);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "load corpus: %s\n",
+                   corpus.status().ToString().c_str());
+      return 1;
+    }
+    live_options.refresh_interval = std::chrono::milliseconds(refresh_ms);
+    auto opened = lsi::live::LiveEngine::Open(
+        std::move(corpus).value(), live_dir + "/wal.log", live_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "live open: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    live = std::move(opened).value();
+    serving_what = live_dir + " (live)";
   }
 
   lsi::serve::ServiceOptions service_options;
   service_options.cache.max_bytes = cache_mb * 1024 * 1024;
   service_options.batch.max_batch = batch_max;
-  lsi::serve::LsiService service(engine.value(), service_options);
+  // Heap-allocated because LsiService is pinned (batcher thread + mutex).
+  std::unique_ptr<lsi::serve::LsiService> service =
+      live != nullptr ? std::make_unique<lsi::serve::LsiService>(
+                            *live, service_options)
+                      : std::make_unique<lsi::serve::LsiService>(
+                            engine.value(), service_options);
 
   lsi::serve::ServerOptions server_options;
   server_options.port = static_cast<int>(port);
@@ -340,7 +433,7 @@ int CommandServe(int argc, char** argv) {
   lsi::serve::HttpServer server(
       [&service](const lsi::serve::HttpRequest& request,
                  std::chrono::steady_clock::time_point deadline) {
-        return service.Handle(request, deadline);
+        return service->Handle(request, deadline);
       },
       server_options);
 
@@ -352,10 +445,14 @@ int CommandServe(int argc, char** argv) {
   std::signal(SIGINT, HandleShutdownSignal);
   std::signal(SIGTERM, HandleShutdownSignal);
 
-  std::printf("serving %s on %s:%d (%zu docs, %zu terms, rank %zu)\n",
-              engine_path, host.c_str(), server.port(),
-              engine->NumDocuments(), engine->NumTerms(), engine->rank());
-  std::fflush(stdout);
+  {
+    const lsi::core::LsiEngine* shape =
+        live != nullptr ? live->Snapshot().get() : &engine.value();
+    std::printf("serving %s on %s:%d (%zu docs, %zu terms, rank %zu)\n",
+                serving_what.c_str(), host.c_str(), server.port(),
+                shape->NumDocuments(), shape->NumTerms(), shape->rank());
+    std::fflush(stdout);
+  }
 
   while (g_shutdown_signal == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -363,9 +460,91 @@ int CommandServe(int argc, char** argv) {
 
   std::printf("shutdown signal received, draining\n");
   std::fflush(stdout);
+  // Drain order: stop accepting connections, flush queued queries and
+  // the pending live epoch, then close the WAL — every acknowledged
+  // write is durable before the process exits.
   server.Stop();
-  service.Shutdown();
+  service->Shutdown();
+  if (live != nullptr) {
+    if (auto closed = live->Close(); !closed.ok()) {
+      std::fprintf(stderr, "wal close: %s\n", closed.ToString().c_str());
+      return 1;
+    }
+  }
   std::printf("drained, exiting\n");
+  return 0;
+}
+
+/// `add` subcommand: append one add record to a live directory's WAL
+/// without starting a server. The next live serve (or compact) replays
+/// it — handy for scripting ingest and for crash-recovery smoke tests.
+int CommandAdd(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string dir = argv[2];
+  const std::string name = argv[3];
+  std::string text;
+  for (int i = 4; i < argc; ++i) {
+    if (!text.empty()) text += ' ';
+    text += argv[i];
+  }
+
+  auto base = lsi::live::CountTsvDocuments(dir + "/corpus.tsv");
+  if (!base.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  auto wal = lsi::live::Wal::Open(dir + "/wal.log", base.value());
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal: %s\n", wal.status().ToString().c_str());
+    return 1;
+  }
+  auto seq = (*wal)->Append(lsi::live::WalOp::kAdd, name, text);
+  if (!seq.ok()) {
+    std::fprintf(stderr, "append: %s\n", seq.status().ToString().c_str());
+    return 1;
+  }
+  if (auto closed = (*wal)->Close(); !closed.ok()) {
+    std::fprintf(stderr, "close: %s\n", closed.ToString().c_str());
+    return 1;
+  }
+  std::printf("appended \"%s\" as record %llu (wal now %zu records over "
+              "%zu base documents)\n",
+              name.c_str(), static_cast<unsigned long long>(seq.value()),
+              (*wal)->record_count(), (*wal)->base_documents());
+  return 0;
+}
+
+/// `compact` subcommand: fold the WAL into corpus.tsv and reset it.
+int CommandCompact(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const char* dir = nullptr;
+  bool reset_only = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reset-wal") == 0) {
+      reset_only = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown compact flag: %s\n", argv[i]);
+      return 2;
+    } else if (dir == nullptr) {
+      dir = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (dir == nullptr) return Usage();
+  const std::string corpus_path = std::string(dir) + "/corpus.tsv";
+  const std::string wal_path = std::string(dir) + "/wal.log";
+  auto stats = reset_only ? lsi::live::ResetWal(corpus_path, wal_path)
+                          : lsi::live::CompactLive(corpus_path, wal_path);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "compact: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu base documents + %zu wal records -> %zu documents"
+              "%s\n",
+              reset_only ? "reset" : "compacted", stats->base_documents,
+              stats->replayed_records, stats->output_documents,
+              stats->truncated_bytes > 0 ? " (torn tail truncated)" : "");
   return 0;
 }
 
@@ -422,6 +601,10 @@ int main(int argc, char** argv) {
     code = CommandStats(args_count, args_data, &dump_format);
   } else if (std::strcmp(args_data[1], "serve") == 0) {
     code = CommandServe(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "add") == 0) {
+    code = CommandAdd(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "compact") == 0) {
+    code = CommandCompact(args_count, args_data);
   } else {
     return Usage();
   }
