@@ -19,9 +19,15 @@ Three modes share this file because they share the JSON parsing:
 
   compare
       Compares a freshly emitted snapshot against the newest committed
-      BENCH_*.json with a lower PR number. Fails on a >15% per-kernel
-      regression and on kernels that disappeared from the output —
-      silence is the failure mode this guard exists to kill.
+      BENCH_*.json with a lower PR number (or against an explicit
+      --baseline file). Fails on a >15% per-kernel regression and on
+      kernels that disappeared from the output — silence is the
+      failure mode this guard exists to kill. Improvements beyond the
+      tolerance are flagged too ([improved]) and a both-directions
+      summary line closes the report, so trajectory reviews see wins
+      as well as losses. --only-prefix restricts the comparison to a
+      kernel subset; CI uses it to hold the serve-path kernels to a
+      tighter 2% bar while the detector hook sits in every Mutex.
 
 Benchmarks that errored (e.g. an AVX2 variant skipped on a non-AVX2
 host) carry no timing fields and are ignored everywhere. A benchmark
@@ -34,7 +40,7 @@ Usage:
   bench_guard.py emit <benchmark_json>... --pr N --out BENCH_N.json
       [--commit SHA] [--threads N] [--build-type T] [--dispatch-path P]
   bench_guard.py compare <current_json> --baseline-dir DIR
-      [--tolerance 0.15]
+      [--baseline FILE] [--tolerance 0.15] [--only-prefix BM_...]...
 """
 
 import argparse
@@ -227,20 +233,36 @@ def run_compare(args):
         print(f"bench guard: cannot read {args.current}: {err}",
               file=sys.stderr)
         return 1
-    baseline = find_baseline(args.baseline_dir, current["pr"])
-    if baseline is None:
-        print(f"bench guard: no baseline BENCH_*.json below pr "
-              f"{current['pr']} in {args.baseline_dir}; nothing to compare")
-        return 0
-    base_pr, base_path = baseline
+    if args.baseline:
+        base_path = args.baseline
+        base_pr = None
+    else:
+        if not args.baseline_dir:
+            print("bench guard: compare needs --baseline or --baseline-dir",
+                  file=sys.stderr)
+            return 1
+        baseline = find_baseline(args.baseline_dir, current["pr"])
+        if baseline is None:
+            print(f"bench guard: no baseline BENCH_*.json below pr "
+                  f"{current['pr']} in {args.baseline_dir}; "
+                  "nothing to compare")
+            return 0
+        base_pr, base_path = baseline
     try:
         base = load_snapshot(base_path)
     except (OSError, json.JSONDecodeError, ValueError) as err:
         print(f"bench guard: cannot read {base_path}: {err}", file=sys.stderr)
         return 1
+    if base_pr is None:
+        base_pr = base.get("pr", "?")
 
-    base_kernels = base["kernels"]
-    cur_kernels = current["kernels"]
+    def in_scope(name):
+        return (not args.only_prefix or
+                any(name.startswith(p) for p in args.only_prefix))
+
+    base_kernels = {n: t for n, t in base["kernels"].items() if in_scope(n)}
+    cur_kernels = {n: t for n, t in current["kernels"].items()
+                   if in_scope(n)}
     failures = []
     missing = sorted(set(base_kernels) - set(cur_kernels))
     if missing:
@@ -249,25 +271,39 @@ def run_compare(args):
             f"from the current run:")
         failures.extend(diff_names(base_kernels, cur_kernels))
 
+    scope = ""
+    if args.only_prefix:
+        scope = f", scope {'|'.join(args.only_prefix)}"
     print(f"trajectory: pr {base_pr} ({base_path}) -> pr {current['pr']}, "
-          f"tolerance {args.tolerance:.0%}")
+          f"tolerance {args.tolerance:.0%}{scope}")
     width = max((len(n) for n in cur_kernels), default=10)
+    counts = {"improved": 0, "regressed": 0, "ok": 0, "new": 0}
     for name in sorted(cur_kernels):
         cur_ns = cur_kernels[name]
         if name not in base_kernels:
+            counts["new"] += 1
             print(f"  {name:<{width}}  {cur_ns:>12.1f}ns  (new)")
             continue
         base_ns = base_kernels[name]
         ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
-        status = "ok"
         if ratio > 1.0 + args.tolerance:
             status = "FAIL"
+            counts["regressed"] += 1
             failures.append(
                 f"{name}: {base_ns:.1f}ns -> {cur_ns:.1f}ns "
                 f"({ratio - 1.0:+.1%}) exceeds {args.tolerance:.0%} "
                 f"regression tolerance")
+        elif ratio < 1.0 - args.tolerance:
+            status = "improved"
+            counts["improved"] += 1
+        else:
+            status = "ok"
+            counts["ok"] += 1
         print(f"  {name:<{width}}  {base_ns:>12.1f}ns -> {cur_ns:>12.1f}ns  "
               f"({ratio - 1.0:+6.1%}) [{status}]")
+    print(f"bench guard: {len(cur_kernels)} kernel(s) compared: "
+          f"{counts['improved']} improved, {counts['regressed']} regressed, "
+          f"{counts['ok']} within tolerance, {counts['new']} new")
 
     for failure in failures:
         print(f"bench guard: {failure}", file=sys.stderr)
@@ -306,10 +342,18 @@ def main(argv=None):
     p_cmp = sub.add_parser("compare",
                            help="compare a snapshot against the trajectory")
     p_cmp.add_argument("current", help="freshly emitted BENCH json")
-    p_cmp.add_argument("--baseline-dir", required=True,
-                       help="directory holding committed BENCH_*.json")
+    p_cmp.add_argument("--baseline-dir",
+                       help="directory holding committed BENCH_*.json; "
+                       "the newest snapshot below the current pr is used")
+    p_cmp.add_argument("--baseline",
+                       help="explicit baseline snapshot file; overrides "
+                       "--baseline-dir discovery (CI pins the serve-path "
+                       "gate to ci/BENCH_8.json this way)")
     p_cmp.add_argument("--tolerance", type=float, default=0.15,
                        help="max tolerated per-kernel slowdown fraction")
+    p_cmp.add_argument("--only-prefix", action="append",
+                       help="restrict the comparison to kernels whose name "
+                       "starts with this prefix (repeatable)")
     p_cmp.set_defaults(func=run_compare)
 
     args = parser.parse_args(argv)

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -104,7 +105,7 @@ class FaultPoint {
   const std::string name_;
   std::atomic<bool> armed_{false};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LSI_LOCK_RANK("fault.point", lock_rank::kFaultPoint)};
   FaultSpec spec_ LSI_GUARDED_BY(mutex_);
   // Schedule position; Arm() zeroes it so specs count from the arm.
   std::uint64_t since_arm_ LSI_GUARDED_BY(mutex_) = 0;
@@ -153,7 +154,8 @@ class FaultRegistry {
  private:
   FaultRegistry();
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{
+      LSI_LOCK_RANK("fault.registry", lock_rank::kFaultRegistry)};
   std::map<std::string, std::unique_ptr<FaultPoint>> points_
       LSI_GUARDED_BY(mutex_);
   std::map<std::string, FaultSpec> pending_ LSI_GUARDED_BY(mutex_);

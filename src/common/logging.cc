@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 
 namespace lsi {
@@ -40,7 +41,8 @@ std::atomic<int>& MinLevel() {
 /// Serializes the final write so concurrent threads cannot interleave
 /// partial lines.
 Mutex& SinkMutex() {
-  static Mutex mutex;
+  static Mutex mutex{
+      LSI_LOCK_RANK("common.logging.sink", lock_rank::kLoggingSink)};
   return mutex;
 }
 

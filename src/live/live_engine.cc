@@ -286,6 +286,12 @@ bool LiveEngine::ShouldRefreshLocked() const {
   return false;
 }
 
+// Lock order across the three phases follows the live band of
+// src/common/lock_ranks.h strictly upward: refresh (20) is never held
+// here (RefresherLoop drops it before calling in), phase 1 and 3 take
+// write (24), and the publish swap nests snapshot (28) inside write —
+// the same write -> snapshot order Open() uses. LSI_DEADLOCK_DETECT=1
+// checks this on every refresh.
 Status LiveEngine::RunRefresh() {
   obs::ScopedSpan span("live.refresh");
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();

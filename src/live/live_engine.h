@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -200,13 +201,15 @@ class LiveEngine {
   const text::Analyzer analyzer_;
 
   /// Guards the published pointer only — the one lock queries touch.
-  mutable Mutex snapshot_mutex_;
+  mutable Mutex snapshot_mutex_{
+      LSI_LOCK_RANK("live.engine.snapshot", lock_rank::kLiveSnapshot)};
   std::shared_ptr<const core::LsiEngine> snapshot_
       LSI_GUARDED_BY(snapshot_mutex_);
   std::atomic<std::uint64_t> epoch_{0};
 
   /// Serializes writers, replay, refresh bookkeeping.
-  mutable Mutex write_mutex_;
+  mutable Mutex write_mutex_{
+      LSI_LOCK_RANK("live.engine.write", lock_rank::kLiveWrite)};
   std::unique_ptr<Wal> wal_ LSI_GUARDED_BY(write_mutex_);
   /// Every document ever accepted (base + adds), in arrival order —
   /// the analyzed system of record a rebuild reconstructs from.
@@ -235,7 +238,8 @@ class LiveEngine {
   std::uint64_t refresh_failures_ LSI_GUARDED_BY(write_mutex_) = 0;
   bool closed_ LSI_GUARDED_BY(write_mutex_) = false;
 
-  Mutex refresh_mutex_;
+  Mutex refresh_mutex_{
+      LSI_LOCK_RANK("live.engine.refresh", lock_rank::kLiveRefresh)};
   CondVar refresh_cv_;
   bool stop_refresher_ LSI_GUARDED_BY(refresh_mutex_) = false;
   std::thread refresher_;

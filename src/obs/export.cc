@@ -86,7 +86,10 @@ ExportFormat FormatFromEnv() {
 
 std::string ExportJson(const MetricsRegistry& metrics,
                        const SpanRegistry& spans) {
-  if (&metrics == &MetricsRegistry::Global()) MirrorFaultMetrics();
+  if (&metrics == &MetricsRegistry::Global()) {
+    MirrorFaultMetrics();
+    MirrorLockMetrics();
+  }
   MetricsSnapshot snapshot = metrics.Snapshot();
   auto span_stats = spans.Snapshot();
 
@@ -146,7 +149,10 @@ std::string ExportJson(const MetricsRegistry& metrics,
 
 std::string ExportPrometheus(const MetricsRegistry& metrics,
                              const SpanRegistry& spans) {
-  if (&metrics == &MetricsRegistry::Global()) MirrorFaultMetrics();
+  if (&metrics == &MetricsRegistry::Global()) {
+    MirrorFaultMetrics();
+    MirrorLockMetrics();
+  }
   MetricsSnapshot snapshot = metrics.Snapshot();
   auto span_stats = spans.Snapshot();
 

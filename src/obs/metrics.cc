@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "dbg/lock_tracker.h"
 
 namespace lsi::obs {
 
@@ -124,6 +125,27 @@ void MirrorFaultMetrics() {
     if (total_triggers > triggers.value()) {
       triggers.Increment(total_triggers - triggers.value());
     }
+  }
+}
+
+void MirrorLockMetrics() {
+  const dbg::LockGraphSnapshot graph = dbg::SnapshotLockGraph();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("lsi.dbg.lock.enabled").Set(graph.enabled ? 1.0 : 0.0);
+  registry.GetGauge("lsi.dbg.lock.classes")
+      .Set(static_cast<double>(graph.classes.size()));
+  registry.GetGauge("lsi.dbg.lock.edges")
+      .Set(static_cast<double>(graph.edges.size()));
+  std::uint64_t acquisitions = 0;
+  for (const dbg::LockClassSnapshot& cls : graph.classes) {
+    acquisitions += cls.acquisitions;
+  }
+  // Counters only increment; mirror by delta like the fault mirror.
+  Counter& acq = registry.GetCounter("lsi.dbg.lock.acquisitions");
+  if (acquisitions > acq.value()) acq.Increment(acquisitions - acq.value());
+  Counter& violations = registry.GetCounter("lsi.dbg.lock.violations");
+  if (graph.violations > violations.value()) {
+    violations.Increment(graph.violations - violations.value());
   }
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -101,6 +102,13 @@ std::vector<double> DefaultLatencyBucketsMs();
 /// (common cannot link obs; the dependency runs the other way).
 void MirrorFaultMetrics();
 
+/// Mirrors the lock tracker's acquired-before graph summary into the
+/// global MetricsRegistry as `lsi.dbg.lock.*` (enabled flag, class /
+/// edge gauges, cumulative acquisition + violation counters). Same
+/// exporter-driven mirror pattern as MirrorFaultMetrics, for the same
+/// layering reason: dbg sits below obs and cannot push.
+void MirrorLockMetrics();
+
 /// A point-in-time copy of every registered metric, sorted by name —
 /// the exporters' input.
 struct MetricsSnapshot {
@@ -150,7 +158,7 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LSI_LOCK_RANK("obs.metrics", lock_rank::kObsMetrics)};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       LSI_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_

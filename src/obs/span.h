@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
@@ -40,7 +41,7 @@ class SpanRegistry {
   void Reset();
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LSI_LOCK_RANK("obs.span", lock_rank::kObsSpan)};
   // CumulativeTimer is the accumulation primitive; the registry's mutex
   // provides the synchronization it doesn't.
   std::map<std::string, CumulativeTimer> spans_ LSI_GUARDED_BY(mutex_);

@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
@@ -18,7 +19,7 @@ namespace {
 /// Intentionally leaked so parallel regions in static destructors (or
 /// late metric exports) never race pool teardown at exit.
 struct Scheduler {
-  Mutex mutex;
+  Mutex mutex{LSI_LOCK_RANK("par.scheduler", lock_rank::kParScheduler)};
   // 0 = automatic value not yet latched.
   std::size_t resolved LSI_GUARDED_BY(mutex) = 0;
   std::shared_ptr<ThreadPool> pool LSI_GUARDED_BY(mutex);
@@ -158,7 +159,7 @@ void internal::RunChunks(std::size_t num_chunks,
 
   RegionsCounter().Increment();
   struct Region {
-    Mutex mutex;
+    Mutex mutex{LSI_LOCK_RANK("par.region", lock_rank::kParRegion)};
     CondVar done;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> abort{false};

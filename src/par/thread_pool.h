@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -45,7 +46,8 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{
+      LSI_LOCK_RANK("par.pool.queue", lock_rank::kParPoolQueue)};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ LSI_GUARDED_BY(mutex_);
   bool stopping_ LSI_GUARDED_BY(mutex_) = false;

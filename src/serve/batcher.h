@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -93,7 +94,8 @@ class QueryBatcher {
   EngineProvider provider_;
   BatcherOptions options_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{
+      LSI_LOCK_RANK("serve.batcher.queue", lock_rank::kServeBatcherQueue)};
   CondVar cv_;
   std::deque<Pending> queue_ LSI_GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point oldest_enqueue_

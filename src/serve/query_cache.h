@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/engine.h"
@@ -86,7 +87,8 @@ class QueryCache {
   };
 
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{
+        LSI_LOCK_RANK("serve.cache.shard", lock_rank::kServeCacheShard)};
     /// Front = most recently used.
     std::list<Entry> lru LSI_GUARDED_BY(mutex);
     std::unordered_map<std::string, std::list<Entry>::iterator> index

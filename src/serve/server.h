@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -105,7 +106,8 @@ class HttpServer {
   bool started_ = false;
   std::atomic<bool> stopping_{false};
 
-  mutable Mutex queue_mutex_;
+  mutable Mutex queue_mutex_{
+      LSI_LOCK_RANK("serve.server.queue", lock_rank::kServeServerQueue)};
   CondVar queue_cv_;
   std::deque<int> pending_fds_ LSI_GUARDED_BY(queue_mutex_);
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "dbg/lock_tracker.h"
 #include "linalg/simd/simd.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -528,6 +529,18 @@ HttpResponse LsiService::HandleStatusz() {
   status.emplace_back(
       "simd", JsonValue(std::string(
                   linalg::simd::PathName(linalg::simd::ActivePath()))));
+  {
+    const dbg::LockGraphSnapshot graph = dbg::SnapshotLockGraph();
+    JsonValue::Object dbg_block;
+    dbg_block.emplace_back("deadlock_detect", JsonValue(graph.enabled));
+    dbg_block.emplace_back(
+        "lock_classes", JsonValue(static_cast<double>(graph.classes.size())));
+    dbg_block.emplace_back(
+        "lock_edges", JsonValue(static_cast<double>(graph.edges.size())));
+    dbg_block.emplace_back(
+        "lock_violations", JsonValue(static_cast<double>(graph.violations)));
+    status.emplace_back("dbg", JsonValue(std::move(dbg_block)));
+  }
   status.emplace_back("engine", JsonValue(std::move(engine)));
   status.emplace_back("batch", JsonValue(std::move(batch)));
   status.emplace_back("cache", JsonValue(std::move(cache)));

@@ -4,6 +4,8 @@ BENCH_<pr>.json emit/compare trajectory, the >15% synthetic regression
 (negative test from the PR acceptance criteria), and the loud failure
 when a benchmark name disappears from the output."""
 
+import contextlib
+import io
 import json
 import os
 import sys
@@ -249,6 +251,83 @@ class CompareModeTest(BenchGuardTestBase):
         bad = self.write_json("current.json", {
             "schema_version": 999, "pr": 7, "kernels": {}})
         self.assertEqual(self.compare(bad), 1)
+
+    def compare_capture(self, argv):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = self.run_guard(argv)
+        return rc, out.getvalue()
+
+    def test_improvement_is_marked_and_summarized(self):
+        # Trajectory reviews must see wins, not only losses: a kernel
+        # that got 2x faster is flagged [improved] and counted in the
+        # closing summary, and the run still passes.
+        self.snapshot(6, {"BM_SimdDot/avx2/128": 100.0,
+                          "BM_SpmvPath/avx2/2000": 50.0})
+        cur = self.snapshot(7, {"BM_SimdDot/avx2/128": 50.0,
+                                "BM_SpmvPath/avx2/2000": 51.0},
+                            name="current.json")
+        rc, out = self.compare_capture([
+            "compare", cur, "--baseline-dir", self.tmp.name,
+            "--tolerance", "0.15"])
+        self.assertEqual(rc, 0)
+        self.assertIn("[improved]", out)
+        self.assertIn("-50.0%", out)
+        self.assertIn("1 improved, 0 regressed, 1 within tolerance, 0 new",
+                      out)
+
+    def test_regression_counted_in_summary(self):
+        self.snapshot(6, {"BM_SimdDot/avx2/128": 100.0})
+        cur = self.snapshot(7, {"BM_SimdDot/avx2/128": 200.0},
+                            name="current.json")
+        rc, out = self.compare_capture([
+            "compare", cur, "--baseline-dir", self.tmp.name,
+            "--tolerance", "0.15"])
+        self.assertEqual(rc, 1)
+        self.assertIn("0 improved, 1 regressed, 0 within tolerance, 0 new",
+                      out)
+
+    def test_explicit_baseline_overrides_discovery(self):
+        # Discovery would pick pr 6 (the newest below 7) and fail on the
+        # 2x regression; pinning --baseline to the pr 5 snapshot passes.
+        self.snapshot(5, {"BM_SimdDot/avx2/128": 21.0})
+        self.snapshot(6, {"BM_SimdDot/avx2/128": 10.0})
+        cur = self.snapshot(7, {"BM_SimdDot/avx2/128": 20.0},
+                            name="current.json")
+        self.assertEqual(self.compare(cur), 1)
+        base5 = os.path.join(self.tmp.name, "BENCH_5.json")
+        self.assertEqual(self.run_guard([
+            "compare", cur, "--baseline", base5,
+            "--tolerance", "0.15"]), 0)
+
+    def test_only_prefix_limits_scope(self):
+        # The CI serve gate holds the serve-path kernels to a 2% bar
+        # while ignoring substrate kernels (and their disappearance).
+        self.snapshot(8, {"BM_ServiceHandleCachedQuery": 100.0,
+                          "BM_HttpParseRequest": 100.0,
+                          "BM_SimdDot/avx2/128": 10.0})
+        cur = self.snapshot(9, {"BM_ServiceHandleCachedQuery": 101.0,
+                                "BM_HttpParseRequest": 101.0},
+                            name="current.json")
+        self.assertEqual(self.run_guard([
+            "compare", cur, "--baseline-dir", self.tmp.name,
+            "--tolerance", "0.02",
+            "--only-prefix", "BM_ServiceHandleCachedQuery",
+            "--only-prefix", "BM_HttpParseRequest"]), 0)
+        # The same 2% bar trips on a 3% serve-path slowdown.
+        worse = self.snapshot(9, {"BM_ServiceHandleCachedQuery": 103.0,
+                                  "BM_HttpParseRequest": 100.0},
+                              name="worse.json")
+        self.assertEqual(self.run_guard([
+            "compare", worse, "--baseline-dir", self.tmp.name,
+            "--tolerance", "0.02",
+            "--only-prefix", "BM_ServiceHandleCachedQuery",
+            "--only-prefix", "BM_HttpParseRequest"]), 1)
+
+    def test_compare_without_any_baseline_arg_fails(self):
+        cur = self.snapshot(7, {"BM_SimdDot/avx2/128": 20.0},
+                            name="current.json")
+        self.assertEqual(self.run_guard(["compare", cur]), 1)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,311 @@
+#include "dbg/lock_tracker.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
+#include "core/engine.h"
+#include "text/analyzer.h"
+
+// Runtime deadlock-detector tests. Conventions:
+//
+//  * Lock-class registration is process-global and permanent, so every
+//    test uses its own "test.dbg.*" names — no test can see another's
+//    classes, and none collide with the production table.
+//  * Single-threaded ordering violations use EXPECT_DEATH: the child
+//    process runs the inversion sequentially (the graph flags the
+//    *potential* deadlock; no interleaving is needed), so the fork
+//    never races live threads.
+//  * Multi-threaded cases install a violation handler instead — a
+//    death test around real threads would be fork-unsafe under TSan.
+
+namespace lsi::dbg {
+namespace {
+
+struct RecordedViolations {
+  static std::vector<Violation>& All() {
+    static std::vector<Violation>* all = new std::vector<Violation>;
+    return *all;
+  }
+  static void Handle(const Violation& violation) {
+    All().push_back(violation);
+  }
+};
+
+class HandlerScope {
+ public:
+  HandlerScope() {
+    RecordedViolations::All().clear();
+    previous_ = SetViolationHandler(&RecordedViolations::Handle);
+    SetDeadlockDetectForTest(true);
+  }
+  ~HandlerScope() {
+    SetDeadlockDetectForTest(false);
+    SetViolationHandler(previous_);
+    ResetLockGraphForTest();
+  }
+
+ private:
+  ViolationHandler previous_;
+};
+
+bool AnyViolationContains(const std::string& kind,
+                          const std::string& needle) {
+  for (const Violation& v : RecordedViolations::All()) {
+    if (v.kind == kind && v.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(LockRankRegistryTest, RegistersOnceAndReturnsStablePointer) {
+  const LockRankInfo* first = RegisterLockRank("test.dbg.stable", 51);
+  const LockRankInfo* second = RegisterLockRank("test.dbg.stable", 51);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first, second);
+  EXPECT_STREQ(first->name, "test.dbg.stable");
+  EXPECT_EQ(first->rank, 51);
+}
+
+TEST(LockRankRegistryTest, ConflictingRankForOneNameIsAViolation) {
+  HandlerScope scope;
+  RegisterLockRank("test.dbg.conflict", 51);
+  RegisterLockRank("test.dbg.conflict", 52);
+  EXPECT_TRUE(AnyViolationContains("rank-conflict", "test.dbg.conflict"));
+}
+
+TEST(LockOrderDeathTest, RankInversionAbortsWithBothSites) {
+  // Outer (rank 58) then inner (rank 54) is a strict rank inversion:
+  // the detector aborts before the second acquire can block, printing
+  // the acquisition sites of both locks.
+  EXPECT_DEATH(
+      {
+        SetDeadlockDetectForTest(true);
+        Mutex outer{LSI_LOCK_RANK("test.dbg.inv_outer", 58)};
+        Mutex inner{LSI_LOCK_RANK("test.dbg.inv_inner", 54)};
+        MutexLock hold_outer(outer);
+        MutexLock hold_inner(inner);
+      },
+      "rank inversion.*test\\.dbg\\.inv_inner.*test\\.dbg\\.inv_outer"
+      "(.|\n)*held:.*dbg_test\\.cc(.|\n)*acquiring:.*dbg_test\\.cc");
+}
+
+TEST(LockOrderDeathTest, AbBaCycleAbortsWithBothClasses) {
+  // Equal ranks pass the rank check, so ordering between a and b is
+  // the graph's job: A->B in one critical section, then B->A later in
+  // the SAME thread — the cumulative acquired-before graph catches the
+  // potential deadlock without any concurrent interleaving.
+  EXPECT_DEATH(
+      {
+        SetDeadlockDetectForTest(true);
+        Mutex a{LSI_LOCK_RANK("test.dbg.ab_a", 56)};
+        Mutex b{LSI_LOCK_RANK("test.dbg.ab_b", 56)};
+        {
+          MutexLock hold_a(a);
+          MutexLock hold_b(b);
+        }
+        {
+          MutexLock hold_b(b);
+          MutexLock hold_a(a);
+        }
+      },
+      "cycle.*test\\.dbg\\.ab_(a|b)(.|\n)*test\\.dbg\\.ab_"
+      "(a|b)(.|\n)*dbg_test\\.cc");
+}
+
+TEST(LockOrderDeathTest, RecursiveAcquireOfOneClassAborts) {
+  EXPECT_DEATH(
+      {
+        SetDeadlockDetectForTest(true);
+        Mutex first{LSI_LOCK_RANK("test.dbg.rec", 56)};
+        Mutex second{LSI_LOCK_RANK("test.dbg.rec", 56)};
+        MutexLock hold_first(first);
+        MutexLock hold_second(second);
+      },
+      "cycle.*test\\.dbg\\.rec.*recursively");
+}
+
+TEST(LockOrderTest, ThreeThreadCycleDetectedAcrossThreads) {
+  HandlerScope scope;
+  Mutex x{LSI_LOCK_RANK("test.dbg.tri_x", 60)};
+  Mutex y{LSI_LOCK_RANK("test.dbg.tri_y", 60)};
+  Mutex z{LSI_LOCK_RANK("test.dbg.tri_z", 60)};
+  // Three threads each take a legal-looking pair; only the union of
+  // their orders is cyclic, so no single thread (and no two-lock
+  // check) can see it. Threads run sequentially — the graph is
+  // cumulative, a real interleaving is not required.
+  std::thread([&] {
+    MutexLock hold_x(x);
+    MutexLock hold_y(y);
+  }).join();
+  EXPECT_TRUE(RecordedViolations::All().empty());
+  std::thread([&] {
+    MutexLock hold_y(y);
+    MutexLock hold_z(z);
+  }).join();
+  EXPECT_TRUE(RecordedViolations::All().empty());
+  std::thread([&] {
+    MutexLock hold_z(z);
+    MutexLock hold_x(x);  // Closes x -> y -> z -> x.
+  }).join();
+  EXPECT_TRUE(AnyViolationContains("cycle", "test.dbg.tri_x"));
+  EXPECT_TRUE(AnyViolationContains("cycle", "test.dbg.tri_z"));
+}
+
+TEST(LockOrderTest, OrderedNestingRecordsEdgesWithoutViolations) {
+  HandlerScope scope;
+  Mutex low{LSI_LOCK_RANK("test.dbg.nest_low", 50)};
+  Mutex high{LSI_LOCK_RANK("test.dbg.nest_high", 62)};
+  {
+    MutexLock hold_low(low);
+    MutexLock hold_high(high);
+  }
+  EXPECT_TRUE(RecordedViolations::All().empty());
+  const LockGraphSnapshot snap = SnapshotLockGraph();
+  EXPECT_TRUE(snap.enabled);
+  bool found_edge = false;
+  for (const LockEdgeSnapshot& edge : snap.edges) {
+    if (edge.from == "test.dbg.nest_low" &&
+        edge.to == "test.dbg.nest_high") {
+      found_edge = true;
+      EXPECT_GE(edge.count, 1u);
+      EXPECT_NE(edge.from_site.find("dbg_test.cc"), std::string::npos)
+          << edge.from_site;
+      EXPECT_NE(edge.to_site.find("dbg_test.cc"), std::string::npos)
+          << edge.to_site;
+    }
+  }
+  EXPECT_TRUE(found_edge);
+}
+
+TEST(LockOrderTest, CondVarWaitReacquireDoesNotFalsePositive) {
+  HandlerScope scope;
+  Mutex mu{LSI_LOCK_RANK("test.dbg.cv_mu", 50)};
+  CondVar cv;
+  std::atomic<bool> ready{false};
+  // Waiter blocks holding only mu; the wait drops mu from its held
+  // stack and the wakeup re-checks the re-acquire. Neither direction
+  // may report: this is the batcher/refresher idiom.
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready.load()) cv.WaitFor(lock, std::chrono::milliseconds(5));
+  });
+  {
+    MutexLock lock(mu);
+    ready.store(true);
+  }
+  cv.NotifyAll();
+  waiter.join();
+  // Timeout path of WaitFor, same thread, plus a plain Wait wakeup.
+  {
+    MutexLock lock(mu);
+    (void)cv.WaitFor(lock, std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(RecordedViolations::All().empty());
+}
+
+TEST(LockOrderTest, CondVarWaitHoldingLaterLockIsReported) {
+  HandlerScope scope;
+  Mutex cv_mu{LSI_LOCK_RANK("test.dbg.cvh_mu", 50)};
+  Mutex later{LSI_LOCK_RANK("test.dbg.cvh_later", 62)};
+  CondVar cv;
+  {
+    MutexLock lock(cv_mu);
+    MutexLock hold_later(later);
+    // Waiting re-acquires cv_mu (rank 50) while still holding the
+    // later lock (rank 62): a real ordering hazard, flagged on wakeup.
+    (void)cv.WaitFor(lock, std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(AnyViolationContains("rank-inversion", "test.dbg.cvh_mu"));
+}
+
+TEST(LockOrderTest, TryLockPushesWithoutOrderingCommitment) {
+  HandlerScope scope;
+  Mutex high{LSI_LOCK_RANK("test.dbg.try_high", 62)};
+  Mutex low{LSI_LOCK_RANK("test.dbg.try_low", 50)};
+  high.Lock();
+  // try-then-back-off against the rank order cannot deadlock and must
+  // not report.
+  ASSERT_TRUE(low.TryLock());
+  low.Unlock();
+  high.Unlock();
+  EXPECT_TRUE(RecordedViolations::All().empty());
+}
+
+TEST(LockOrderTest, UnrankedMutexesAreIgnored) {
+  HandlerScope scope;
+  Mutex plain_a;
+  Mutex plain_b;
+  MutexLock hold_a(plain_a);
+  MutexLock hold_b(plain_b);
+  EXPECT_TRUE(RecordedViolations::All().empty());
+}
+
+TEST(LockOrderTest, DetectorOffQueryResultsAreBitIdentical) {
+  text::Analyzer analyzer;
+  text::Corpus corpus;
+  corpus.AddDocument("space",
+                     analyzer.Analyze("the rocket launched toward the moon "
+                                      "carrying astronauts into orbit"));
+  corpus.AddDocument("cars",
+                     analyzer.Analyze("the engine of the car roared as the "
+                                      "automobile sped down the road"));
+  corpus.AddDocument("food",
+                     analyzer.Analyze("simmer the garlic and tomatoes into "
+                                      "a sauce for the fresh pasta"));
+  core::LsiEngineOptions options;
+  options.rank = 2;
+
+  SetDeadlockDetectForTest(true);
+  auto on_engine = core::LsiEngine::Build(corpus, options);
+  ASSERT_TRUE(on_engine.ok());
+  auto on_hits = on_engine->Query("rocket moon", 3);
+  ASSERT_TRUE(on_hits.ok());
+
+  SetDeadlockDetectForTest(false);
+  auto off_engine = core::LsiEngine::Build(corpus, options);
+  ASSERT_TRUE(off_engine.ok());
+  auto off_hits = off_engine->Query("rocket moon", 3);
+  ASSERT_TRUE(off_hits.ok());
+
+  ResetLockGraphForTest();
+
+  // The tracker observes lock operations but never changes scheduling
+  // or arithmetic: scores must match bit for bit, not approximately.
+  ASSERT_EQ(on_hits->size(), off_hits->size());
+  for (std::size_t i = 0; i < on_hits->size(); ++i) {
+    EXPECT_EQ((*on_hits)[i].document, (*off_hits)[i].document);
+    EXPECT_EQ((*on_hits)[i].document_name, (*off_hits)[i].document_name);
+    EXPECT_EQ((*on_hits)[i].score, (*off_hits)[i].score);
+  }
+}
+
+TEST(LockGraphSnapshotTest, ClassesSortByRankAndCountAcquisitions) {
+  HandlerScope scope;
+  Mutex mu{LSI_LOCK_RANK("test.dbg.snap_count", 57)};
+  for (int i = 0; i < 3; ++i) {
+    MutexLock lock(mu);
+  }
+  const LockGraphSnapshot snap = SnapshotLockGraph();
+  bool found = false;
+  int last_rank = -1;
+  for (const LockClassSnapshot& cls : snap.classes) {
+    EXPECT_GE(cls.rank, last_rank);
+    last_rank = cls.rank;
+    if (cls.name == "test.dbg.snap_count") {
+      found = true;
+      EXPECT_EQ(cls.acquisitions, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lsi::dbg

@@ -237,6 +237,46 @@ class LintFixture(unittest.TestCase):
         code, findings = run_lint(self.root)
         self.assertEqual(code, 0, findings)
 
+    def test_lock_rank_required_on_mutex_declarations(self):
+        self.write(
+            "src/core/bad.h",
+            header(
+                "src/core/bad.h",
+                "class C {\n  mutable Mutex mutex_;\n};",
+            ),
+        )
+        self.write(
+            "src/core/ok.h",
+            header(
+                "src/core/ok.h",
+                "class C {\n"
+                "  mutable Mutex mutex_{\n"
+                '      LSI_LOCK_RANK("core.c", lock_rank::kCoreC)};\n'
+                "};",
+            ),
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(self.rules_for(findings, "src/core/bad.h"), ["lock-rank"])
+        self.assertIn("LSI_LOCK_RANK", findings[0]["message"])
+        self.assertEqual(self.rules_for(findings, "src/core/ok.h"), [])
+
+    def test_lock_rank_ignores_references_locks_and_comments(self):
+        self.write(
+            "src/core/ok.cc",
+            "void F(Mutex& mu) {\n"
+            "  MutexLock lock(mu);\n"
+            "}\n"
+            "// a bare `Mutex m_;` in a comment is not a declaration\n",
+        )
+        # The wrapper header itself declares no rankable instances.
+        self.write(
+            "src/common/mutex.h",
+            header("src/common/mutex.h", "class Mutex { std::mutex mu_; };"),
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 0, findings)
+
     def test_route_without_fault_point_reported(self):
         self.write(
             "src/serve/service.cc",

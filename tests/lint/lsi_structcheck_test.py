@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lsi_structcheck.py.
+
+Builds throwaway repo trees of good/bad fixture snippets and asserts
+that every structural rule fires where it should and stays quiet where
+it should not, that the allowlist suppresses and self-polices, and that
+the real tree is clean. Runs under ctest as `lsi_structcheck_selftest`.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+CHECKER = os.path.join(REPO_ROOT, "tools", "lsi_structcheck.py")
+
+RANK_TABLE = (
+    "#ifndef LSI_COMMON_LOCK_RANKS_H_\n"
+    "#define LSI_COMMON_LOCK_RANKS_H_\n"
+    "#define LSI_LOCK_RANK(name, rank) nullptr\n"
+    "namespace lsi::lock_rank {\n"
+    "inline constexpr int kLiveWrite = 24;\n"
+    "inline constexpr int kObsMetrics = 70;\n"
+    "}  // namespace lsi::lock_rank\n"
+    "#endif  // LSI_COMMON_LOCK_RANKS_H_\n"
+)
+
+
+def run_check(root, extra_args=()):
+    proc = subprocess.run(
+        [sys.executable, CHECKER, "--root", root, "--json", *extra_args],
+        capture_output=True,
+        text=True,
+    )
+    findings = json.loads(proc.stdout) if proc.stdout.strip() else []
+    return proc.returncode, findings
+
+
+class StructcheckFixture(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, relpath, text):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    def rules_for(self, findings, relpath):
+        return sorted(f["rule"] for f in findings if f["path"] == relpath)
+
+    def test_clean_tree_passes(self):
+        self.write("src/common/lock_ranks.h", RANK_TABLE)
+        self.write(
+            "src/live/engine.h",
+            '#include "common/lock_ranks.h"\n'
+            '#include "common/mutex.h"\n'
+            "class Engine {\n"
+            "  Mutex write_mutex_{\n"
+            '      LSI_LOCK_RANK("live.engine.write", '
+            "lock_rank::kLiveWrite)};\n"
+            "  int pending_ LSI_GUARDED_BY(write_mutex_) = 0;\n"
+            "};\n")
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 0, findings)
+        self.assertEqual(findings, [])
+
+    def test_layering_violation_reported_with_allowed_list(self):
+        # common is the second-lowest layer: including serve from it
+        # inverts the DAG.
+        self.write("src/common/bad.cc", '#include "serve/server.h"\n')
+        # live -> core is a legal downward edge.
+        self.write("src/live/ok.cc", '#include "core/engine.h"\n')
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/common/bad.cc"), ["layering"])
+        self.assertEqual(self.rules_for(findings, "src/live/ok.cc"), [])
+        (f,) = [f for f in findings if f["path"] == "src/common/bad.cc"]
+        self.assertIn('"common" may not depend on "serve"', f["message"])
+
+    def test_unknown_subsystem_is_a_layering_finding(self):
+        self.write("src/newsub/thing.cc", "int F() { return 1; }\n")
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/newsub/thing.cc"), ["layering"])
+        self.assertIn("ALLOWED_DEPS", findings[0]["message"])
+
+    def test_same_subsystem_and_unknown_includes_are_fine(self):
+        self.write(
+            "src/core/engine.cc",
+            '#include "core/index.h"\n#include <vector>\n'
+            '#include "gtest/gtest.h"\n')
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 0, findings)
+
+    def test_unranked_mutex_member_reported(self):
+        self.write("src/common/lock_ranks.h", RANK_TABLE)
+        self.write(
+            "src/obs/registry.h",
+            "class Registry {\n"
+            "  mutable Mutex mutex_;\n"
+            "  int value_ LSI_GUARDED_BY(mutex_) = 0;\n"
+            "};\n")
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/obs/registry.h"), ["mutex-rank"])
+        self.assertEqual(findings[0]["line"], 2)
+        self.assertIn("LSI_LOCK_RANK", findings[0]["message"])
+
+    def test_mutex_without_guarded_by_user_reported(self):
+        self.write("src/common/lock_ranks.h", RANK_TABLE)
+        self.write(
+            "src/obs/registry.h",
+            "class Registry {\n"
+            "  mutable Mutex mutex_{\n"
+            '      LSI_LOCK_RANK("obs.metrics", lock_rank::kObsMetrics)};\n'
+            "  int value_ = 0;  // oops: unannotated\n"
+            "};\n")
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/obs/registry.h"), ["mutex-guard"])
+
+    def test_mutex_references_and_wrapper_header_do_not_match(self):
+        self.write(
+            "src/common/mutex.h",
+            "#ifndef LSI_COMMON_MUTEX_H_\n#define LSI_COMMON_MUTEX_H_\n"
+            "class Mutex { std::mutex mu_; };\n"
+            "#endif  // LSI_COMMON_MUTEX_H_\n")
+        self.write(
+            "src/core/user.cc",
+            "void F(Mutex& mu) { MutexLock lock(mu); }\n")
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 0, findings)
+
+    def test_numeric_literal_rank_reported(self):
+        # The deliberately inverted pair from tests/dbg/dbg_test.cc,
+        # as it would look if someone hard-coded it in src/: numeric
+        # ranks bypass the table and are exactly how an inconsistent
+        # AB/BA assignment slips in.
+        self.write("src/common/lock_ranks.h", RANK_TABLE)
+        self.write(
+            "src/live/bad.h",
+            "class Bad {\n"
+            '  Mutex a_{LSI_LOCK_RANK("live.bad.a", 10)};\n'
+            "  int x_ LSI_GUARDED_BY(a_) = 0;\n"
+            "};\n")
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/live/bad.h"), ["rank-table"])
+
+    def test_unknown_rank_constant_reported(self):
+        self.write("src/common/lock_ranks.h", RANK_TABLE)
+        self.write(
+            "src/live/bad.h",
+            "class Bad {\n"
+            '  Mutex a_{LSI_LOCK_RANK("live.bad.a", lock_rank::kNope)};\n'
+            "  int x_ LSI_GUARDED_BY(a_) = 0;\n"
+            "};\n")
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/live/bad.h"), ["rank-table"])
+        self.assertIn("kNope", findings[0]["message"])
+
+    def test_duplicate_rank_names_reported_on_full_runs_only(self):
+        self.write("src/common/lock_ranks.h", RANK_TABLE)
+        body = (
+            "class C {\n"
+            '  Mutex m_{LSI_LOCK_RANK("live.dup", lock_rank::kLiveWrite)};\n'
+            "  int x_ LSI_GUARDED_BY(m_) = 0;\n"
+            "};\n")
+        self.write("src/live/a.h", body)
+        self.write("src/live/b.h", body)
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual([f["rule"] for f in findings], ["rank-unique"])
+        self.assertIn("live.dup", findings[0]["message"])
+        # Single-file runs cannot see the other site.
+        code, findings = run_check(self.root, ("src/live/a.h",))
+        self.assertEqual(code, 0, findings)
+
+    def test_rank_macro_in_comments_is_ignored(self):
+        self.write("src/common/lock_ranks.h", RANK_TABLE)
+        self.write(
+            "src/core/doc.h",
+            '// e.g. Mutex m_{LSI_LOCK_RANK("x", 3)}; would be rejected\n'
+            "int F();\n")
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 0, findings)
+
+    def test_compile_coverage_reports_unbuilt_sources(self):
+        self.write("src/core/built.cc", "int F() { return 1; }\n")
+        self.write("src/core/orphan.cc", "int G() { return 2; }\n")
+        cc_path = os.path.join(self.root, "compile_commands.json")
+        with open(cc_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                [{"directory": self.root, "file": "src/core/built.cc",
+                  "command": "c++ -c src/core/built.cc"}], fh)
+        code, findings = run_check(
+            self.root, ("--compile-commands", cc_path))
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/core/orphan.cc"),
+            ["compile-coverage"])
+        self.assertEqual(self.rules_for(findings, "src/core/built.cc"), [])
+
+    def test_allowlist_suppresses_and_reports_stale_entries(self):
+        self.write("src/common/lock_ranks.h", RANK_TABLE)
+        self.write(
+            "src/obs/lonely.h",
+            "class L {\n"
+            "  Mutex m_{\n"
+            '      LSI_LOCK_RANK("obs.metrics", lock_rank::kObsMetrics)};\n'
+            "};\n")
+        allow = os.path.join(self.root, "allow.txt")
+        with open(allow, "w", encoding="utf-8") as fh:
+            fh.write("mutex-guard src/obs/lonely.h\n")
+        code, findings = run_check(self.root, ("--allowlist", allow))
+        self.assertEqual(code, 0, findings)
+
+        with open(allow, "a", encoding="utf-8") as fh:
+            fh.write("layering src/gone/nothing.cc\n")
+        code, findings = run_check(self.root, ("--allowlist", allow))
+        self.assertEqual(code, 1)
+        self.assertEqual([f["rule"] for f in findings], ["stale-allowlist"])
+
+    def test_compile_coverage_allowlist_entries_are_never_stale(self):
+        self.write("src/core/built.cc", "int F() { return 1; }\n")
+        cc_path = os.path.join(self.root, "compile_commands.json")
+        with open(cc_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                [{"directory": self.root, "file": "src/core/built.cc",
+                  "command": "c++ -c src/core/built.cc"}], fh)
+        allow = os.path.join(self.root, "allow.txt")
+        with open(allow, "w", encoding="utf-8") as fh:
+            fh.write("compile-coverage src/linalg/simd/simd_neon.cc\n")
+        code, findings = run_check(
+            self.root, ("--allowlist", allow, "--compile-commands", cc_path))
+        self.assertEqual(code, 0, findings)
+
+    def test_findings_are_machine_readable(self):
+        self.write("src/common/bad.cc", '#include "serve/server.h"\n')
+        code, findings = run_check(self.root)
+        self.assertEqual(code, 1)
+        (finding,) = findings
+        self.assertEqual(
+            sorted(finding), ["line", "message", "path", "rule", "snippet"])
+        self.assertEqual(finding["line"], 1)
+
+
+class RealTreeIsClean(unittest.TestCase):
+    def test_repo_passes_its_own_structcheck(self):
+        code, findings = run_check(REPO_ROOT)
+        self.assertEqual(code, 0, findings)
+
+    def test_repo_rank_constants_match_macro_sites(self):
+        # Every rank constant in the table is referenced by at least one
+        # LSI_LOCK_RANK site — the table cannot grow dead rows silently.
+        import re
+
+        table_path = os.path.join(
+            REPO_ROOT, "src", "common", "lock_ranks.h")
+        with open(table_path, encoding="utf-8") as fh:
+            constants = set(
+                re.findall(r"inline constexpr int (k\w+)", fh.read()))
+        self.assertTrue(constants)
+        used = set()
+        for dirpath, _, filenames in os.walk(os.path.join(REPO_ROOT, "src")):
+            for name in filenames:
+                if not name.endswith((".h", ".cc")):
+                    continue
+                with open(os.path.join(dirpath, name),
+                          encoding="utf-8") as fh:
+                    used.update(
+                        re.findall(r"lock_rank::(k\w+)", fh.read()))
+        self.assertEqual(constants - used, set(),
+                         "unused rank constants in lock_ranks.h")
+
+
+if __name__ == "__main__":
+    unittest.main()

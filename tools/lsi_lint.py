@@ -42,6 +42,15 @@ Rules (scoped to library code under src/ unless noted):
                     programming error in the registry). src/common/fault.h
                     defines the macro and is exempt; tests may reuse names
                     deliberately and are not scanned.
+  lock-rank         Every `Mutex foo_;` declaration must construct with
+                    LSI_LOCK_RANK("name", lock_rank::k...) on the same
+                    or next line — unranked mutexes are invisible to the
+                    runtime deadlock detector (LSI_DEADLOCK_DETECT=1;
+                    see src/common/lock_ranks.h). The deeper structural
+                    checks (rank uniqueness, table consistency, guarded
+                    users) live in tools/lsi_structcheck.py; this rule
+                    is the fast per-line guard that keeps new mutexes
+                    from landing unranked.
   route-fault-point Every HTTP route dispatched in src/serve (a literal
                     `path == "/x"` comparison) must declare a fault point
                     named `serve.<x>.*`, so the fault-torture CI job can
@@ -134,7 +143,13 @@ RULE_SCOPE = {
     "include-guard": lambda p: _in_src(p) and p.endswith(".h"),
     "fault-point": lambda p: (p.startswith("src/") or p.startswith("tools/"))
     and p != "src/common/fault.h",
+    "lock-rank": lambda p: _in_src(p)
+    and p not in ("src/common/mutex.h", "src/common/lock_ranks.h"),
 }
+
+# A Mutex instance declaration: `Mutex name;` / `Mutex name{...`.
+# References (`Mutex&`) and MutexLock never match.
+MUTEX_DECL_RE = re.compile(r"\bMutex\s+\w+\s*[;{=]")
 
 COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -231,6 +246,26 @@ def check_file(relpath: str, text: str, fault_points=None, routes=None):
                         "line": lineno,
                         "message": "keep the LSI_FAULT_POINT call on one "
                         "line so its name stays lintable",
+                        "snippet": raw.strip()[:120],
+                    }
+                )
+    if RULE_SCOPE["lock-rank"](relpath):
+        for lineno, raw in enumerate(lines, start=1):
+            if not MUTEX_DECL_RE.search(strip_noncode(raw)):
+                continue
+            # "Adjacent": the rank macro sits on the declaration line or
+            # the continuation line right under it.
+            window = "\n".join(lines[lineno - 1 : lineno + 1])
+            if "LSI_LOCK_RANK" not in window:
+                findings.append(
+                    {
+                        "rule": "lock-rank",
+                        "path": relpath,
+                        "line": lineno,
+                        "message": "declare this Mutex's lock class with "
+                        'LSI_LOCK_RANK("<subsystem>.<name>", '
+                        "lock_rank::k...) so LSI_DEADLOCK_DETECT can "
+                        "order it (see src/common/lock_ranks.h)",
                         "snippet": raw.strip()[:120],
                     }
                 )

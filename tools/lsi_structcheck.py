@@ -1,0 +1,402 @@
+#!/usr/bin/env python3
+"""lsi_structcheck: structural analysis lsi_lint's line rules cannot see.
+
+Where lsi_lint polices single lines, this tool checks relationships —
+between subsystems, between a mutex and its rank declaration, and
+between the rank macros scattered through the tree and the one table
+that defines them. It is the static half of the two-sided lock-order
+gate; src/dbg/lock_tracker.h (LSI_DEADLOCK_DETECT=1) is the runtime
+half.
+
+Rules (scoped to src/):
+
+  layering          The subsystem dependency DAG. Each src/<sub>/ may
+                    include headers only from the subsystems listed in
+                    ALLOWED_DEPS (dbg is the bottom layer, serve the
+                    top). A file in a subsystem missing from the table
+                    is itself a finding, so the DAG cannot silently
+                    grow untracked nodes.
+  mutex-rank        Every `Mutex foo_...;` member declaration must
+                    construct with LSI_LOCK_RANK(...) so the runtime
+                    detector knows its class. Unranked mutexes are
+                    invisible to deadlock detection.
+  mutex-guard       Every declared Mutex must have at least one
+                    LSI_GUARDED_BY(<name>) / LSI_PT_GUARDED_BY(<name>)
+                    user in the same file — a mutex guarding nothing
+                    the annotations can see is either dead or hiding
+                    unannotated state from clang -Wthread-safety.
+  rank-table        LSI_LOCK_RANK takes a string literal name matching
+                    [a-z0-9_.]+ and a lock_rank::k* constant defined in
+                    src/common/lock_ranks.h — numeric-literal ranks
+                    would bypass the one table the runtime detector's
+                    reports point people at.
+  rank-unique       Each lock-class name is declared at exactly one
+                    site. Duplicate names would merge distinct mutexes
+                    into one node of the acquired-before graph (and a
+                    rank mismatch between the sites aborts at runtime);
+                    one site per name keeps both analyses honest.
+  compile-coverage  With --compile-commands: every src/**.cc must
+                    appear as a translation unit in the exported
+                    compile_commands.json. A source file CMake does not
+                    compile is invisible to clang -Wthread-safety,
+                    clang-tidy, and the thread-safety CI gate.
+                    Platform-conditional TUs (the SIMD backends) are
+                    allowlisted; this rule is exempt from staleness
+                    policing because which entry is "stale" depends on
+                    the build host's architecture.
+
+Findings print one per line as `path:line: rule: message`, or as a JSON
+array with --json — the same schema as lsi_lint. Exit status: 0 clean,
+1 findings, 2 usage error.
+
+Suppressions: an allowlist file (default tools/structcheck_allowlist.txt)
+with `rule path` lines; `#` starts a comment. Entries (other than
+compile-coverage, see above) must match at least one finding on a
+full-tree run, so stale entries fail the run instead of rotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# The subsystem layering DAG: subsystem -> subsystems it may include.
+# Kept in dependency order, bottom first. This is the *actual* DAG —
+# linalg sits above par/obs because the SVD kernels run on the thread
+# pool and publish solver telemetry — not an aspirational one; changing
+# it is an architectural decision that belongs in this diff-reviewed
+# table, mirrored in DESIGN.md ("Static analysis").
+ALLOWED_DEPS = {
+    "dbg": set(),
+    "common": {"dbg"},
+    "obs": {"dbg", "common"},
+    "par": {"dbg", "common", "obs"},
+    "linalg": {"dbg", "common", "obs", "par"},
+    "text": {"dbg", "common", "linalg"},
+    "model": {"dbg", "common", "linalg", "text"},
+    "core": {"dbg", "common", "linalg", "obs", "par", "text"},
+    "live": {"dbg", "common", "core", "linalg", "obs", "par", "text"},
+    "serve": {"dbg", "common", "core", "linalg", "live", "obs", "par",
+              "text"},
+}
+
+RANK_TABLE_PATH = "src/common/lock_ranks.h"
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+# A Mutex member/variable declaration: `Mutex name;`, `Mutex name{...};`.
+# References (`Mutex&`) and the wrapped `std::mutex` never match. The
+# brace initialiser holds no nested braces (it is one macro call), so a
+# non-greedy [^}]* spans multi-line declarations safely.
+MUTEX_DECL_RE = re.compile(r"\bMutex\s+(\w+)\s*(;|\{[^}]*\}\s*;)", re.DOTALL)
+GUARDED_BY_RE = re.compile(r"\bLSI_(?:PT_)?GUARDED_BY\s*\(\s*([\w]+)\s*\)")
+LOCK_RANK_CALL_RE = re.compile(r"\bLSI_LOCK_RANK\s*\(([^)]*)\)", re.DOTALL)
+LOCK_RANK_ARGS_RE = re.compile(
+    r'^\s*"([a-z0-9_.]+)"\s*,\s*(?:::)?(?:lsi::)?lock_rank::(k\w+)\s*$',
+    re.DOTALL,
+)
+RANK_CONST_RE = re.compile(r"\binline\s+constexpr\s+int\s+(k\w+)\s*=\s*(\d+)")
+
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_comments_keep_strings(line: str) -> str:
+    """Drops // and /* */ comments but keeps string literals (the rank
+    rules inspect the literal itself). Same approach as lsi_lint."""
+    blanked = STRING_RE.sub(
+        lambda m: '"' + "x" * (len(m.group(0)) - 2) + '"', line
+    )
+    cut = blanked.find("//")
+    if cut >= 0:
+        line = line[:cut]
+    return re.sub(r"/\*.*?\*/", "", line)
+
+
+def finding(rule, path, line, message, snippet=""):
+    return {
+        "rule": rule,
+        "path": path,
+        "line": line,
+        "message": message,
+        "snippet": snippet[:120],
+    }
+
+
+def subsystem_of(relpath: str):
+    parts = relpath.split("/")
+    return parts[1] if relpath.startswith("src/") and len(parts) >= 3 else None
+
+
+def load_rank_table(root: str):
+    """Parses lock_rank::k* constants out of src/common/lock_ranks.h.
+    Returns {constant: value} or None when the table file is absent
+    (fixture trees without one skip the existence check)."""
+    path = os.path.join(root, RANK_TABLE_PATH)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        code = "\n".join(
+            strip_comments_keep_strings(l) for l in fh.read().splitlines()
+        )
+    return {name: int(value) for name, value in RANK_CONST_RE.findall(code)}
+
+
+def check_file(relpath, text, rank_table, rank_sites):
+    """Checks one file; appends LSI_LOCK_RANK sites (name -> [(path,
+    line, constant)]) into caller-owned `rank_sites` for the cross-file
+    uniqueness pass."""
+    findings = []
+    lines = text.splitlines()
+    code = "\n".join(strip_comments_keep_strings(l) for l in lines)
+
+    def line_of(offset):
+        return code.count("\n", 0, offset) + 1
+
+    def snippet_at(lineno):
+        return lines[lineno - 1].strip() if lineno <= len(lines) else ""
+
+    # -- layering ---------------------------------------------------
+    sub = subsystem_of(relpath)
+    if sub is not None:
+        if sub not in ALLOWED_DEPS:
+            findings.append(finding(
+                "layering", relpath, 1,
+                f'subsystem "src/{sub}/" is not in the layering DAG; add '
+                "it to ALLOWED_DEPS in tools/lsi_structcheck.py (and to "
+                'DESIGN.md "Static analysis") before building on it'))
+        else:
+            for lineno, raw in enumerate(lines, start=1):
+                m = INCLUDE_RE.match(strip_comments_keep_strings(raw))
+                if m is None:
+                    continue
+                dep = m.group(1).split("/")[0]
+                if dep == sub or dep not in ALLOWED_DEPS:
+                    continue
+                if dep not in ALLOWED_DEPS[sub]:
+                    findings.append(finding(
+                        "layering", relpath, lineno,
+                        f'"{sub}" may not depend on "{dep}" (allowed: '
+                        f"{', '.join(sorted(ALLOWED_DEPS[sub])) or 'none'}); "
+                        "the layering DAG lives in tools/lsi_structcheck.py",
+                        raw.strip()))
+
+    # -- mutex-rank / mutex-guard -----------------------------------
+    # The wrapper's own header declares the type, not instances.
+    if relpath.startswith("src/") and relpath != "src/common/mutex.h":
+        guard_users = set(GUARDED_BY_RE.findall(code))
+        for m in MUTEX_DECL_RE.finditer(code):
+            name, init = m.group(1), m.group(2)
+            lineno = line_of(m.start())
+            if "LSI_LOCK_RANK" not in init:
+                findings.append(finding(
+                    "mutex-rank", relpath, lineno,
+                    f'Mutex "{name}" has no rank: construct it with '
+                    "LSI_LOCK_RANK(\"<subsystem>.<name>\", lock_rank::k...) "
+                    "so LSI_DEADLOCK_DETECT can order it "
+                    "(src/common/lock_ranks.h)",
+                    snippet_at(lineno)))
+            if name not in guard_users:
+                findings.append(finding(
+                    "mutex-guard", relpath, lineno,
+                    f'Mutex "{name}" has no LSI_GUARDED_BY({name}) user in '
+                    "this file; annotate the state it protects or delete "
+                    "the lock",
+                    snippet_at(lineno)))
+
+    # -- rank-table / collection for rank-unique --------------------
+    # The table header defines the macro itself and is exempt.
+    if relpath.startswith("src/") and relpath != RANK_TABLE_PATH:
+        for m in LOCK_RANK_CALL_RE.finditer(code):
+            lineno = line_of(m.start())
+            args = LOCK_RANK_ARGS_RE.match(m.group(1))
+            if args is None:
+                findings.append(finding(
+                    "rank-table", relpath, lineno,
+                    'LSI_LOCK_RANK takes ("[a-z0-9_.]+", lock_rank::k...) '
+                    "— a literal name and a constant from "
+                    "src/common/lock_ranks.h, nothing else",
+                    snippet_at(lineno)))
+                continue
+            name, constant = args.group(1), args.group(2)
+            if rank_table is not None and constant not in rank_table:
+                findings.append(finding(
+                    "rank-table", relpath, lineno,
+                    f"lock_rank::{constant} is not defined in "
+                    f"{RANK_TABLE_PATH}; add it to the right band there "
+                    "first",
+                    snippet_at(lineno)))
+            rank_sites.setdefault(name, []).append((relpath, lineno, constant))
+
+    return findings
+
+
+def load_allowlist(path: str):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise SystemExit(
+                    f"{path}:{lineno}: allowlist lines are `rule path`, "
+                    f"got: {raw.strip()!r}")
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def collect_files(root: str, paths):
+    exts = (".h", ".cc", ".cpp")
+    if not paths:
+        paths = ["src"]
+    for base in paths:
+        absolute = os.path.join(root, base)
+        if os.path.isfile(absolute):
+            if absolute.endswith(exts):
+                yield os.path.relpath(absolute, root).replace(os.sep, "/")
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def compiled_sources(root, compile_commands_path):
+    """Repo-relative paths of every TU in compile_commands.json."""
+    with open(compile_commands_path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    out = set()
+    for entry in entries:
+        file_path = entry.get("file", "")
+        if not os.path.isabs(file_path):
+            file_path = os.path.join(entry.get("directory", ""), file_path)
+        rel = os.path.relpath(os.path.realpath(file_path),
+                              os.path.realpath(root))
+        out.add(rel.replace(os.sep, "/"))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Structural (layering + lock-annotation) checks.")
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)")
+    parser.add_argument(
+        "--allowlist", default=None,
+        help="suppression file (default: <root>/tools/structcheck_allowlist.txt)")
+    parser.add_argument(
+        "--compile-commands", default=None,
+        help="compile_commands.json from CMAKE_EXPORT_COMPILE_COMMANDS; "
+        "enables the compile-coverage rule")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON findings")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories relative to root")
+    args = parser.parse_args(argv)
+
+    allowlist_path = args.allowlist or os.path.join(
+        args.root, "tools", "structcheck_allowlist.txt")
+    allowlist = load_allowlist(allowlist_path)
+    used = [False] * len(allowlist)
+
+    def suppressed(f):
+        for i, (rule, prefix) in enumerate(allowlist):
+            if f["rule"] == rule and f["path"].startswith(prefix):
+                used[i] = True
+                return True
+        return False
+
+    rank_table = load_rank_table(args.root)
+    findings = []
+    rank_sites = {}
+    seen_files = []
+    for relpath in collect_files(args.root, args.paths):
+        seen_files.append(relpath)
+        try:
+            with open(os.path.join(args.root, relpath),
+                      encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as err:
+            print(f"lsi_structcheck: cannot read {relpath}: {err}",
+                  file=sys.stderr)
+            return 2
+        for f in check_file(relpath, text, rank_table, rank_sites):
+            if not suppressed(f):
+                findings.append(f)
+
+    # Cross-file checks need the whole tree in view.
+    if not args.paths:
+        for name, sites in sorted(rank_sites.items()):
+            if len(sites) <= 1:
+                continue
+            where = ", ".join(f"{p}:{l}" for p, l, _ in sites)
+            for path, line, _ in sites[1:]:
+                f = finding(
+                    "rank-unique", path, line,
+                    f'lock class "{name}" is declared at more than one site '
+                    f"({where}); one LSI_LOCK_RANK site per name — reuse the "
+                    "Mutex or pick a new name + rank")
+                if not suppressed(f):
+                    findings.append(f)
+
+    if args.compile_commands is not None:
+        try:
+            compiled = compiled_sources(args.root, args.compile_commands)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"lsi_structcheck: cannot read {args.compile_commands}: "
+                  f"{err}", file=sys.stderr)
+            return 2
+        for relpath in seen_files:
+            if not relpath.startswith("src/") or not relpath.endswith(
+                    (".cc", ".cpp")):
+                continue
+            if relpath not in compiled:
+                f = finding(
+                    "compile-coverage", relpath, 1,
+                    f"{relpath} is not a translation unit in "
+                    f"{args.compile_commands}; un-built sources are "
+                    "invisible to clang -Wthread-safety and clang-tidy")
+                if not suppressed(f):
+                    findings.append(f)
+
+    # Staleness policing on full-tree runs, except compile-coverage:
+    # which SIMD backend compiles depends on the build host, so those
+    # entries are legitimately unused on any given architecture.
+    if not args.paths:
+        for (rule, prefix), was_used in zip(allowlist, used):
+            if rule == "compile-coverage":
+                continue
+            if not was_used:
+                findings.append(finding(
+                    "stale-allowlist",
+                    os.path.relpath(allowlist_path, args.root), 1,
+                    f"allowlist entry `{rule} {prefix}` matches nothing; "
+                    "delete it",
+                    f"{rule} {prefix}"))
+
+    if args.json:
+        json.dump(findings, sys.stdout, indent=2)
+        print()
+    else:
+        for f in findings:
+            print(f"{f['path']}:{f['line']}: {f['rule']}: {f['message']}")
+            if f["snippet"]:
+                print(f"    {f['snippet']}")
+    if findings:
+        print(f"lsi_structcheck: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
