@@ -1,0 +1,138 @@
+// Shard-layer performance: the deterministic top-k merge, a shard-
+// parallel ShardSet batch, and a full Router::Handle scatter-gather
+// over real loopback HTTP backends. Not a paper experiment; tracks
+// regressions in the lsi::shard serving path.
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "shard/router.h"
+#include "shard/shard_set.h"
+#include "text/analyzer.h"
+#include "text/corpus.h"
+
+namespace {
+
+lsi::text::Corpus MakeCorpus() {
+  const char* const docs[][2] = {
+      {"space1", "the rocket launched toward the moon carrying astronauts"},
+      {"space2", "astronauts aboard the orbit station watched the stars"},
+      {"space3", "the lunar lander touched the moon surface near the crater"},
+      {"cars1", "the engine of the car roared as the automobile sped away"},
+      {"cars2", "mechanics repaired the engine and brakes of the automobile"},
+      {"cars3", "the driver steered the car through traffic on the highway"},
+      {"food1", "simmer the garlic and tomatoes into a sauce for the pasta"},
+      {"food2", "bake the bread with garlic butter and serve with pasta"},
+      {"food3", "the chef seasoned the soup with basil garlic and pepper"},
+  };
+  lsi::text::Analyzer analyzer;
+  lsi::text::Corpus corpus;
+  for (const auto& doc : docs) {
+    corpus.AddDocument(doc[0], analyzer.Analyze(doc[1]));
+  }
+  return corpus;
+}
+
+lsi::shard::ShardSet MakeShardSet(std::size_t num_shards) {
+  lsi::shard::ShardSetOptions options;
+  options.num_shards = num_shards;
+  options.engine.rank = 3;
+  options.engine.solver = lsi::core::SvdSolver::kJacobi;
+  auto set = lsi::shard::ShardSet::Build(MakeCorpus(), options);
+  if (!set.ok()) std::abort();
+  return std::move(set).value();
+}
+
+void BM_MergeTopKHits(benchmark::State& state) {
+  // One sorted 32-hit list per shard, globally interleaved ids — the
+  // router's gather workload for a wide query.
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<lsi::core::EngineHit>> sources(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t i = 0; i < 32; ++i) {
+      sources[s].push_back({"doc" + std::to_string(s + i * shards),
+                            s + i * shards, 1.0 / (1.0 + i)});
+    }
+  }
+  for (auto _ : state) {
+    auto copy = sources;
+    auto merged = lsi::core::MergeTopKHits(std::move(copy), 10);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+
+void BM_ShardSetQueryBatch(benchmark::State& state) {
+  const auto set = MakeShardSet(static_cast<std::size_t>(state.range(0)));
+  const std::vector<std::string> queries = {
+      "astronauts near the moon", "repairing a car engine",
+      "garlic pasta sauce", "moon orbit"};
+  for (auto _ : state) {
+    auto results = set.QueryBatch(queries, 5);
+    if (!results.ok()) std::abort();
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+}
+
+void BM_RouterScatterGather(benchmark::State& state) {
+  // End to end: Router::Handle -> N loopback HTTP backends -> merge.
+  // The cache is disabled so every iteration pays the full scatter.
+  const std::size_t num_shards = static_cast<std::size_t>(state.range(0));
+  const auto set = MakeShardSet(num_shards);
+  std::vector<std::unique_ptr<lsi::serve::LsiService>> services;
+  std::vector<std::unique_ptr<lsi::serve::HttpServer>> servers;
+  lsi::shard::RouterOptions options;
+  options.cache.max_bytes = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    services.push_back(
+        std::make_unique<lsi::serve::LsiService>(set.shard(s)));
+    lsi::serve::LsiService* service = services.back().get();
+    lsi::serve::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.host = "127.0.0.1";
+    server_options.threads = 2;
+    servers.push_back(std::make_unique<lsi::serve::HttpServer>(
+        [service](const lsi::serve::HttpRequest& request,
+                  std::chrono::steady_clock::time_point deadline) {
+          return service->Handle(request, deadline);
+        },
+        server_options));
+    if (!servers.back()->Start().ok()) std::abort();
+    options.shards.push_back(
+        {"127.0.0.1:" + std::to_string(servers.back()->port())});
+  }
+  lsi::shard::Router router(std::move(options));
+  if (!router.Start().ok()) std::abort();
+
+  lsi::serve::HttpRequest request;
+  request.method = "POST";
+  request.target = "/query";
+  request.version = "HTTP/1.1";
+  request.body = R"({"query": "astronauts near the moon", "top_k": 5})";
+  request.keep_alive = true;
+  for (auto _ : state) {
+    auto response = router.Handle(
+        request, std::chrono::steady_clock::now() + std::chrono::seconds(5));
+    if (response.status != 200) std::abort();
+    benchmark::DoNotOptimize(response);
+  }
+  router.Stop();
+  for (auto& server : servers) server->Stop();
+}
+
+}  // namespace
+
+BENCHMARK(BM_MergeTopKHits)->Arg(2)->Arg(8);
+BENCHMARK(BM_ShardSetQueryBatch)->Arg(1)->Arg(3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RouterScatterGather)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

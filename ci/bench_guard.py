@@ -57,8 +57,9 @@ PARALLEL_SUFFIX = "/4"
 # Kernels persisted into the BENCH_<pr>.json trajectory. Prefix match:
 # every non-errored instance (per path, per size, per thread count) is
 # recorded, so the trajectory gains rows as dispatch paths appear.
-# The serve-path rows come from bench_s2_serve_perf; emit accepts
-# multiple JSON files so one snapshot spans both binaries.
+# The serve-path rows come from bench_s2_serve_perf and the shard rows
+# from bench_s3_shard_perf; emit accepts multiple JSON files so one
+# snapshot spans all the binaries.
 TRAJECTORY_PREFIXES = [
     "BM_SparseMatVecThreads",
     "BM_GramApplyThreads",
@@ -73,6 +74,9 @@ TRAJECTORY_PREFIXES = [
     "BM_QueryCacheHit",
     "BM_BatcherRoundTrip",
     "BM_ServiceHandleCachedQuery",
+    "BM_MergeTopKHits",
+    "BM_ShardSetQueryBatch",
+    "BM_RouterScatterGather",
 ]
 
 BENCH_SCHEMA_VERSION = 1

@@ -38,7 +38,15 @@
 
 namespace lsi::lock_rank {
 
-// ---- Band 10-19: serving entry points (outermost). ----
+// ---- Band 2-9: shard router (outermost of all). ----
+// The scatter-gather router sits ABOVE the single-node serving layer:
+// its state lock (breaker table, latency rings) is held while resolving
+// metrics handles and while admitting work into the per-backend serve
+// stack, so it ranks below every serve/live/obs lock. Network I/O is
+// never performed under it.
+inline constexpr int kShardRouterState = 4;
+
+// ---- Band 10-19: serving entry points. ----
 // Request-path locks held while calling DOWN into live/fault/obs.
 // serve.server.queue is the accept/dispatch queue; the batcher enqueues
 // under its lock while resolving metrics handles and fault points, so

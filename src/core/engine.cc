@@ -367,4 +367,23 @@ Result<LsiEngine> LsiEngine::Load(const std::string& path) {
                    std::move(document_names));
 }
 
+std::vector<EngineHit> MergeTopKHits(
+    std::vector<std::vector<EngineHit>> sources, std::size_t top_k) {
+  std::vector<EngineHit> merged;
+  std::size_t total = 0;
+  for (const auto& source : sources) total += source.size();
+  merged.reserve(total);
+  for (auto& source : sources) {
+    for (EngineHit& hit : source) merged.push_back(std::move(hit));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const EngineHit& a, const EngineHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.document != b.document) return a.document < b.document;
+              return a.document_name < b.document_name;
+            });
+  if (top_k != 0 && merged.size() > top_k) merged.resize(top_k);
+  return merged;
+}
+
 }  // namespace lsi::core

@@ -141,6 +141,17 @@ class LsiEngine {
   std::vector<std::string> document_names_;
 };
 
+/// Merges per-source ranked hit lists into one list ranked the way
+/// Query() ranks: score descending, ties broken by ascending document
+/// id (RankScores is a stable sort over ids 0..m-1, which is exactly
+/// this ordering), with the name as a final tiebreak for sources whose
+/// id spaces collide. When the sources partition one engine's documents
+/// — each hit keeping its global id — the merge is bit-identical to
+/// querying the unpartitioned engine, which is what lets a shard router
+/// promise exact results. `top_k == 0` keeps everything.
+std::vector<EngineHit> MergeTopKHits(
+    std::vector<std::vector<EngineHit>> sources, std::size_t top_k);
+
 }  // namespace lsi::core
 
 #endif  // LSI_CORE_ENGINE_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "live/compact.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -76,6 +77,7 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::Open(
       MutexLock snapshot_lock(live->snapshot_mutex_);
       live->snapshot_ = std::make_shared<core::LsiEngine>(std::move(base));
     }
+    live->wal_path_ = wal_path;
     LSI_ASSIGN_OR_RETURN(live->wal_, Wal::Open(wal_path, base_documents));
 
     // Replay through the exact path live writes take, then publish the
@@ -207,6 +209,12 @@ Result<WriteReceipt> LiveEngine::Write(WalOp op, const std::string& name,
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   MutexLock lock(write_mutex_);
   if (closed_) return Status::FailedPrecondition("live: engine is closed");
+  if (wal_ == nullptr) {
+    // A failed autocompact could not re-open any WAL; without a log
+    // there is no durability, so writes must fail loudly.
+    return Status::FailedPrecondition(
+        "live: WAL unavailable (autocompact recovery failed)");
+  }
   LSI_RETURN_IF_ERROR(ValidateWrite(op, name, text));
   if (op == WalOp::kDelete && by_name_.find(name) == by_name_.end()) {
     // Refuse before logging: the WAL holds only writes that apply.
@@ -242,11 +250,64 @@ Result<WriteReceipt> LiveEngine::Write(WalOp op, const std::string& name,
   receipt->epoch = epoch_.load(std::memory_order_acquire) +
                    (unpublished_ > 0 ? 1 : 0);
   registry.GetCounter(OpCounterName(op)).Increment();
+  MaybeAutoCompactLocked();
   if (drift_count_ > 0) {
     registry.GetGauge("lsi.live.drift_mean_radians")
         .Set(drift_sum_ / static_cast<double>(drift_count_));
   }
   return receipt;
+}
+
+void LiveEngine::MaybeAutoCompactLocked() {
+  if (options_.corpus_path.empty() || wal_ == nullptr) return;
+  const bool over_bytes =
+      options_.wal_compact_bytes != 0 &&
+      wal_->committed_bytes() >= options_.wal_compact_bytes;
+  const bool over_ops = options_.wal_compact_ops != 0 &&
+                        wal_->record_count() >= options_.wal_compact_ops;
+  if (!over_bytes && !over_ops) return;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (LSI_FAULT_POINT("live.wal.autocompact")) {
+    // Simulated compaction failure before any file is touched: the
+    // acknowledged write that tripped the threshold stays acknowledged;
+    // only the compaction is skipped (and will re-arm on the next
+    // write, since the log is still over the threshold).
+    registry.GetCounter("lsi.live.wal.autocompact_failures").Increment();
+    return;
+  }
+
+  // The WAL must be closed while CompactLive replays and resets the
+  // file underneath it. The write lock is held throughout, so no other
+  // writer can observe the gap.
+  const std::uint64_t old_base = wal_->base_documents();
+  const Status closed = wal_->Close();
+  wal_.reset();
+
+  Result<CompactStats> compacted =
+      closed.ok() ? CompactLive(options_.corpus_path, wal_path_)
+                  : Result<CompactStats>(closed);
+  const std::uint64_t new_base =
+      compacted.ok() ? compacted->output_documents : old_base;
+  Result<std::unique_ptr<Wal>> reopened = Wal::Open(wal_path_, new_base);
+  if (!reopened.ok() && !compacted.ok()) {
+    // A compact that died between the corpus rewrite and the WAL reset
+    // leaves a new corpus paired with the old log; re-pin a fresh log
+    // to whatever document count the corpus actually holds (its records
+    // are already folded into the corpus when this state arises).
+    Result<std::size_t> count = CountTsvDocuments(options_.corpus_path);
+    if (count.ok() && ResetWal(options_.corpus_path, wal_path_).ok()) {
+      reopened = Wal::Open(wal_path_, static_cast<std::uint64_t>(*count));
+    }
+  }
+  if (reopened.ok()) wal_ = std::move(*reopened);
+
+  if (compacted.ok() && reopened.ok()) {
+    ++autocompacts_;
+    registry.GetCounter("lsi.live.wal.autocompact").Increment();
+  } else {
+    registry.GetCounter("lsi.live.wal.autocompact_failures").Increment();
+  }
 }
 
 Result<WriteReceipt> LiveEngine::Add(const std::string& name,
@@ -457,6 +518,7 @@ LiveStats LiveEngine::stats() const {
   stats.publishes = publishes_;
   stats.refreshes = refreshes_;
   stats.refresh_failures = refresh_failures_;
+  stats.autocompacts = autocompacts_;
   stats.refresh_in_progress = refresh_in_progress_;
   return stats;
 }

@@ -47,6 +47,19 @@ struct LiveOptions {
   /// Run the refresher thread. Disable in tests that want to drive
   /// refreshes deterministically via ForceRefresh().
   bool background_refresh = true;
+
+  /// Path of the corpus.tsv this engine's base corpus was loaded from.
+  /// Required for WAL autocompaction (CompactLive rewrites it in
+  /// place); empty disables autocompaction regardless of thresholds.
+  std::string corpus_path;
+
+  /// WAL committed-byte threshold past which an acknowledged write
+  /// triggers an in-process CompactLive (fold the WAL into corpus.tsv,
+  /// reset the log). 0 — the default — disables the byte trigger.
+  std::uint64_t wal_compact_bytes = 0;
+
+  /// Same trigger on WAL record count. 0 disables it.
+  std::uint64_t wal_compact_ops = 0;
 };
 
 /// What a successful write returns.
@@ -74,6 +87,7 @@ struct LiveStats {
   std::uint64_t publishes = 0;
   std::uint64_t refreshes = 0;
   std::uint64_t refresh_failures = 0;
+  std::uint64_t autocompacts = 0;
   bool refresh_in_progress = false;
 };
 
@@ -191,6 +205,7 @@ class LiveEngine {
   Result<WriteReceipt> ApplyLocked(const WalRecord& record)
       LSI_REQUIRES(write_mutex_);
   void EnsurePendingLocked() LSI_REQUIRES(write_mutex_);
+  void MaybeAutoCompactLocked() LSI_REQUIRES(write_mutex_);
   void PublishLocked() LSI_REQUIRES(write_mutex_);
   bool ShouldRefreshLocked() const LSI_REQUIRES(write_mutex_);
   Status RunRefresh();
@@ -233,6 +248,8 @@ class LiveEngine {
   std::size_t tombstones_ LSI_GUARDED_BY(write_mutex_) = 0;
   bool refresh_in_progress_ LSI_GUARDED_BY(write_mutex_) = false;
   std::vector<DeltaOp> refresh_delta_ LSI_GUARDED_BY(write_mutex_);
+  std::string wal_path_ LSI_GUARDED_BY(write_mutex_);
+  std::uint64_t autocompacts_ LSI_GUARDED_BY(write_mutex_) = 0;
   std::uint64_t publishes_ LSI_GUARDED_BY(write_mutex_) = 0;
   std::uint64_t refreshes_ LSI_GUARDED_BY(write_mutex_) = 0;
   std::uint64_t refresh_failures_ LSI_GUARDED_BY(write_mutex_) = 0;

@@ -83,6 +83,10 @@ class Wal {
   /// Append() gets sequence number record_count() + 1.
   std::uint64_t record_count() const { return record_count_; }
 
+  /// On-disk size in bytes at the last record boundary — what the
+  /// autocompact byte threshold compares against.
+  std::uint64_t committed_bytes() const { return committed_size_; }
+
   /// Appends one record, assigns it the next sequence number, and
   /// syncs it to disk before returning OK. On failure the log is
   /// rolled back to the previous record boundary; if even the rollback

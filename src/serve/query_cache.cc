@@ -11,6 +11,7 @@ struct QueryCache::Metrics {
   obs::Counter& misses;
   obs::Counter& evictions;
   obs::Counter& expirations;
+  obs::Counter& partial_rejected;
   obs::Gauge& entries;
   obs::Gauge& bytes;
 
@@ -23,6 +24,8 @@ struct QueryCache::Metrics {
         obs::MetricsRegistry::Global().GetCounter("lsi.serve.cache.evictions"),
         obs::MetricsRegistry::Global().GetCounter(
             "lsi.serve.cache.expirations"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "lsi.serve.cache.partial_rejected"),
         obs::MetricsRegistry::Global().GetGauge("lsi.serve.cache.entries"),
         obs::MetricsRegistry::Global().GetGauge("lsi.serve.cache.bytes"),
     };
@@ -94,7 +97,16 @@ std::optional<std::vector<core::EngineHit>> QueryCache::Get(
 }
 
 void QueryCache::Put(const std::string& key,
-                     const std::vector<core::EngineHit>& hits) {
+                     const std::vector<core::EngineHit>& hits,
+                     bool is_partial) {
+  // Admission check: a degraded (partial) result is an answer over a
+  // subset of the shards — serving it from cache later, after the
+  // missing shards heal, would silently turn a transient brownout into
+  // a persistent wrong answer. Partials are never admitted.
+  if (is_partial) {
+    metrics_->partial_rejected.Increment();
+    return;
+  }
   if (shard_budget_ == 0) return;
   const std::size_t entry_bytes = CacheEntryBytes(key, hits);
   if (entry_bytes > shard_budget_) return;  // Would evict the whole shard.

@@ -59,8 +59,13 @@ class QueryCache {
 
   /// Inserts or refreshes `key`. Entries larger than a shard's whole
   /// budget are not cached. Evicts least-recently-used entries in the
-  /// target shard until its budget holds.
-  void Put(const std::string& key, const std::vector<core::EngineHit>& hits);
+  /// target shard until its budget holds. `is_partial` marks a degraded
+  /// (subset-of-shards) result: those are refused admission outright —
+  /// counted as lsi.serve.cache.partial_rejected — so a brownout never
+  /// poisons the cache with partial answers that would outlive the
+  /// outage.
+  void Put(const std::string& key, const std::vector<core::EngineHit>& hits,
+           bool is_partial = false);
 
   /// Drops every entry (budget accounting resets too).
   void Clear();

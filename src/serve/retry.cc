@@ -1,0 +1,57 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+
+namespace lsi::serve {
+namespace {
+
+/// Strictly parses a non-negative decimal integer (surrounding ASCII
+/// whitespace allowed, nothing else), clamped to `max_value`; -1 on
+/// anything that is not exactly one such token.
+long ParseNonNegativeToken(std::string_view value, long max_value) {
+  std::size_t begin = 0;
+  std::size_t end = value.size();
+  while (begin < end && (value[begin] == ' ' || value[begin] == '\t')) ++begin;
+  while (end > begin && (value[end - 1] == ' ' || value[end - 1] == '\t')) {
+    --end;
+  }
+  if (begin == end) return -1;
+  long parsed = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = value[i];
+    if (c < '0' || c > '9') return -1;
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > max_value) return max_value;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+long ParseRetryAfterMs(std::string_view value) {
+  constexpr long kMaxSeconds = 24L * 60 * 60;
+  const long seconds = ParseNonNegativeToken(value, kMaxSeconds);
+  if (seconds < 0) return -1;
+  return seconds * 1000;
+}
+
+long ParseDeadlineMs(std::string_view value) {
+  constexpr long kMaxMs = 60L * 60 * 1000;
+  return ParseNonNegativeToken(value, kMaxMs);
+}
+
+std::uint64_t BackoffMs(long retry_after_ms, std::uint32_t consecutive,
+                        Rng& rng) {
+  constexpr std::uint64_t kDefaultBaseMs = 10;
+  constexpr std::uint64_t kCapMs = 2000;
+  const std::uint64_t base =
+      retry_after_ms >= 0 ? static_cast<std::uint64_t>(retry_after_ms)
+                          : kDefaultBaseMs;
+  const std::uint32_t exponent = std::min(consecutive, 6u);
+  const std::uint64_t scaled =
+      base >= kCapMs ? kCapMs : std::min(kCapMs, base << exponent);
+  return static_cast<std::uint64_t>(static_cast<double>(scaled) *
+                                    rng.Uniform(0.5, 1.5));
+}
+
+}  // namespace lsi::serve

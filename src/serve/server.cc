@@ -7,10 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "common/fault.h"
+#include "serve/retry.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
@@ -205,6 +207,8 @@ void HttpServer::WorkerLoop() {
 void HttpServer::ServeConnection(int fd) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::Counter& parse_errors = registry.GetCounter("lsi.serve.parse_errors");
+  obs::Counter& deadline_header =
+      registry.GetCounter("lsi.serve.deadline_header");
   obs::Histogram& latency =
       registry.GetHistogram("lsi.serve.request.latency_ms");
   obs::Gauge& in_flight = registry.GetGauge("lsi.serve.in_flight");
@@ -268,7 +272,21 @@ void HttpServer::ServeConnection(int fd) {
     }
 
     const HttpRequest request = parser.TakeRequest();
-    const auto deadline = std::chrono::steady_clock::now() + options_.deadline;
+    const auto now = std::chrono::steady_clock::now();
+    auto deadline = now + options_.deadline;
+    // Deadline propagation: an upstream caller (the shard router) sends
+    // the budget it has left in X-Lsi-Deadline-Ms; honoring the smaller
+    // of that and our own deadline sheds work the caller has already
+    // given up on (the handler answers 504, exactly as for a local
+    // deadline). The header can only shrink the budget, never grow it.
+    if (const std::string* budget = request.FindHeader("x-lsi-deadline-ms")) {
+      const long budget_ms = ParseDeadlineMs(*budget);
+      if (budget_ms >= 0) {
+        deadline = std::min(deadline,
+                            now + std::chrono::milliseconds(budget_ms));
+        deadline_header.Increment();
+      }
+    }
     const bool stopping = stopping_.load(std::memory_order_relaxed);
     const bool keep_alive = request.keep_alive && !stopping;
 

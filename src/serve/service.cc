@@ -208,6 +208,12 @@ HttpResponse LsiService::Handle(
     if (request.method != "GET" && request.method != "HEAD") {
       return MethodNotAllowed("GET");
     }
+    // Shard-drill kill switch: a backend whose health endpoint is
+    // faulted reads as down to the router's breaker without the process
+    // actually dying — how the torture suite drives eject/re-probe.
+    if (LSI_FAULT_POINT("shard.healthz.backend")) {
+      return RetryLater("healthz faulted");
+    }
     HttpResponse response;
     response.body = "ok\n";
     return response;
@@ -225,6 +231,12 @@ HttpResponse LsiService::Handle(
   }
   if (path == "/query") {
     if (request.method != "POST") return MethodNotAllowed("POST");
+    // Shard-drill kill switch for the query path, the backend-side twin
+    // of the router's shard.query.route point: a faulted backend sheds
+    // queries as overload while staying healthy on /healthz.
+    if (LSI_FAULT_POINT("shard.query.backend")) {
+      return RetryLater("query backend faulted");
+    }
     return HandleQuery(request, deadline);
   }
   if (path == "/related") {

@@ -1,0 +1,37 @@
+#include "shard/breaker.h"
+
+#include "serve/retry.h"
+
+namespace lsi::shard {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kHealthy:
+      return "healthy";
+    case BreakerState::kDegraded:
+      return "degraded";
+    case BreakerState::kEjected:
+      return "ejected";
+  }
+  return "unknown";
+}
+
+BreakerState Breaker::OnFailure(long retry_after_ms,
+                                std::chrono::steady_clock::time_point now) {
+  ++consecutive_;
+  if (consecutive_ < options_.eject_threshold) {
+    state_ = BreakerState::kDegraded;
+    return state_;
+  }
+  // Ejection: back off before the next probe, doubling with each
+  // failure past the threshold so a long outage settles at the cap
+  // instead of hammering a struggling backend.
+  state_ = BreakerState::kEjected;
+  next_probe_ =
+      now + std::chrono::milliseconds(serve::BackoffMs(
+                retry_after_ms, consecutive_ - options_.eject_threshold,
+                rng_));
+  return state_;
+}
+
+}  // namespace lsi::shard

@@ -1,0 +1,82 @@
+#ifndef LSI_SHARD_FETCH_H_
+#define LSI_SHARD_FETCH_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace lsi::shard {
+
+/// One in-flight HTTP/1.1 request to a shard backend, as a poll-driven
+/// state machine: non-blocking connect -> send -> read, never blocking
+/// inside Step(). Keeping the fetch non-blocking is what makes hedging
+/// cheap — a scatter worker can hold the primary and the hedge open at
+/// once and take whichever completes first, instead of abandoning a
+/// request that might still win.
+///
+/// Single response per connection, Content-Length framing only (which
+/// is all the lsi server emits). Not thread-safe; each fetch belongs to
+/// one scatter worker.
+class Fetch {
+ public:
+  enum class State { kIdle, kConnecting, kSending, kReading, kDone, kFailed };
+
+  struct Response {
+    int status = 0;
+    std::string body;
+    /// Parsed Retry-After header in milliseconds; -1 when absent.
+    long retry_after_ms = -1;
+  };
+
+  Fetch() = default;
+  ~Fetch() { Abort(); }
+  Fetch(const Fetch&) = delete;
+  Fetch& operator=(const Fetch&) = delete;
+
+  /// Starts a non-blocking connect to `host` (numeric IPv4) and queues
+  /// `request` (a fully serialized HTTP request) for sending. An
+  /// unparseable address fails immediately; connection refusal surfaces
+  /// later through state() == kFailed.
+  Status Start(const std::string& host, int port, std::string request);
+
+  State state() const { return state_; }
+  bool active() const {
+    return state_ == State::kConnecting || state_ == State::kSending ||
+           state_ == State::kReading;
+  }
+
+  /// The socket to poll while active(), and the events to poll for.
+  int fd() const { return fd_; }
+  short poll_events() const;
+
+  /// Advances the state machine as far as the socket allows without
+  /// blocking. Call after poll() reports readiness (calling it when
+  /// nothing is ready is merely wasted work).
+  void Step();
+
+  /// The parsed response; meaningful once state() == kDone.
+  const Response& response() const { return response_; }
+  const std::string& error() const { return error_; }
+
+  /// Closes the socket and returns to kIdle, abandoning any response in
+  /// flight. Safe in any state; Start() may be called again after.
+  void Abort();
+
+ private:
+  void Fail(std::string message);
+  /// Parses whatever is buffered; true once the response is complete.
+  bool TryParse();
+
+  State state_ = State::kIdle;
+  int fd_ = -1;
+  std::string outgoing_;   // Unsent request bytes.
+  std::string incoming_;   // Raw response bytes.
+  std::size_t head_end_ = std::string::npos;
+  std::size_t content_length_ = 0;
+  Response response_;
+  std::string error_;
+};
+
+}  // namespace lsi::shard
+
+#endif  // LSI_SHARD_FETCH_H_

@@ -316,6 +316,58 @@ class LintFixture(unittest.TestCase):
         code, findings = run_lint(self.root)
         self.assertEqual(code, 0, findings)
 
+    def test_shard_routes_need_fault_points_with_no_grandfathering(self):
+        # The shard router postdates the fault registry: even routes that
+        # serve grandfathers (like /query) must ship a shard.<route>.*
+        # fault point when dispatched from src/shard.
+        self.write(
+            "src/shard/router.cc",
+            'HttpResponse F(const std::string& path) {\n'
+            '  if (path == "/query") { return HandleQuery(); }\n'
+            "}\n",
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/shard/router.cc"),
+            ["route-fault-point"],
+        )
+        self.assertIn("shard.query.", findings[0]["message"])
+
+    def test_shard_route_with_matching_fault_point_is_clean(self):
+        self.write(
+            "src/shard/router.cc",
+            'HttpResponse F(const std::string& path) {\n'
+            '  if (path == "/query") {\n'
+            '    if (LSI_FAULT_POINT("shard.query.route")) { return Retry(); }\n'
+            "  }\n"
+            "}\n",
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 0, findings)
+
+    def test_serve_fault_point_does_not_satisfy_a_shard_route(self):
+        # Namespaces are per-layer: a serve.query.* point cannot stand in
+        # for the shard router's own kill switch.
+        self.write(
+            "src/shard/router.cc",
+            'HttpResponse F(const std::string& path) {\n'
+            '  if (path == "/related") { return HandleRelated(); }\n'
+            "}\n",
+        )
+        self.write(
+            "src/serve/service.cc",
+            'HttpResponse G(const std::string& path) {\n'
+            '  if (LSI_FAULT_POINT("serve.related.route")) { return Retry(); }\n'
+            "}\n",
+        )
+        code, findings = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            self.rules_for(findings, "src/shard/router.cc"),
+            ["route-fault-point"],
+        )
+
     def test_route_check_skips_single_file_runs_and_non_serve_code(self):
         # A literal `path == "/x"` outside src/serve is not a route.
         self.write(

@@ -1,0 +1,156 @@
+// WAL autocompaction: when LiveOptions names the corpus file and a
+// byte/op threshold, a write that pushes the log over the line folds
+// the WAL into corpus.tsv in-process and restarts the log — exactly
+// once per crossing, without ever failing the acknowledged write.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "core/engine.h"
+#include "live/compact.h"
+#include "live/live_engine.h"
+#include "text/corpus_io.h"
+
+namespace lsi::live {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Writes a three-document corpus.tsv and loads it back, so the engine
+/// sees exactly the on-disk base that CompactLive will rewrite.
+struct Fixture {
+  std::string corpus_path;
+  std::string wal_path;
+  text::Corpus corpus;
+
+  explicit Fixture(const char* tag) {
+    corpus_path = TempPath((std::string(tag) + "_corpus.tsv").c_str());
+    wal_path = TempPath((std::string(tag) + "_wal.log").c_str());
+    std::remove(corpus_path.c_str());
+    std::remove(wal_path.c_str());
+    std::ofstream out(corpus_path);
+    out << "space1\tthe rocket launched toward the moon with astronauts\n"
+        << "cars1\tthe engine of the car roared down the open road\n"
+        << "food1\tsimmer the garlic and tomatoes into a pasta sauce\n";
+    out.close();
+    text::Analyzer analyzer;
+    auto loaded = text::LoadCorpusFromFile(corpus_path, analyzer);
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    if (loaded.ok()) corpus = std::move(loaded).value();
+  }
+
+  LiveOptions Options(std::uint64_t compact_ops) const {
+    LiveOptions options;
+    options.engine.rank = 2;
+    options.engine.solver = core::SvdSolver::kJacobi;
+    options.background_refresh = false;
+    options.corpus_path = corpus_path;
+    options.wal_compact_ops = compact_ops;
+    return options;
+  }
+};
+
+TEST(AutocompactTest, FiresExactlyOncePerThresholdCrossing) {
+  Fixture fx("autocompact_ops");
+  auto live = LiveEngine::Open(fx.corpus, fx.wal_path, fx.Options(3));
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  LiveEngine& engine = **live;
+
+  // Writes 1 and 2 stay under the threshold: the WAL just grows.
+  ASSERT_TRUE(engine.Add("space2", "the orbit station watched the moon").ok());
+  ASSERT_TRUE(engine.Add("cars2", "mechanics repaired the old engine").ok());
+  EXPECT_EQ(engine.stats().autocompacts, 0u);
+  EXPECT_EQ(engine.stats().wal_records, 2u);
+
+  // Write 3 crosses: the WAL folds into corpus.tsv and restarts empty.
+  ASSERT_TRUE(engine.Add("food2", "bake the bread with garlic butter").ok());
+  EXPECT_EQ(engine.stats().autocompacts, 1u);
+  EXPECT_EQ(engine.stats().wal_records, 0u);
+  auto on_disk = CountTsvDocuments(fx.corpus_path);
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_EQ(*on_disk, 6u);  // 3 base + 3 folded adds.
+
+  // Under the threshold again: no re-trigger until the next crossing.
+  ASSERT_TRUE(engine.Add("space3", "the lander touched the moon crater").ok());
+  ASSERT_TRUE(engine.Delete("cars1").ok());
+  EXPECT_EQ(engine.stats().autocompacts, 1u);
+  ASSERT_TRUE(engine.Add("food3", "knead the dough for fresh pasta").ok());
+  EXPECT_EQ(engine.stats().autocompacts, 2u);
+  EXPECT_EQ(engine.stats().wal_records, 0u);
+  on_disk = CountTsvDocuments(fx.corpus_path);
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_EQ(*on_disk, 7u);  // 6 + 2 adds - 1 delete.
+
+  // All seven survivors are still searchable after two compactions.
+  EXPECT_EQ(engine.stats().documents, 7u);
+  ASSERT_TRUE(engine.Close().ok());
+
+  // A restart replays the compacted state: fresh base, empty log.
+  text::Analyzer analyzer;
+  auto reloaded = text::LoadCorpusFromFile(fx.corpus_path, analyzer);
+  ASSERT_TRUE(reloaded.ok());
+  auto reopened =
+      LiveEngine::Open(std::move(reloaded).value(), fx.wal_path, fx.Options(3));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->stats().documents, 7u);
+  EXPECT_EQ((*reopened)->stats().wal_records, 0u);
+  ASSERT_TRUE((*reopened)->Close().ok());
+}
+
+TEST(AutocompactTest, ByteThresholdTriggersToo) {
+  Fixture fx("autocompact_bytes");
+  LiveOptions options = fx.Options(0);
+  options.wal_compact_bytes = 1;  // Any committed record crosses.
+  auto live = LiveEngine::Open(fx.corpus, fx.wal_path, std::move(options));
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  ASSERT_TRUE((*live)->Add("space2", "stars over the quiet moon").ok());
+  EXPECT_EQ((*live)->stats().autocompacts, 1u);
+  EXPECT_EQ((*live)->stats().wal_records, 0u);
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+TEST(AutocompactTest, DisabledByDefaultAndWithoutCorpusPath) {
+  Fixture fx("autocompact_off");
+  LiveOptions options = fx.Options(1);
+  options.corpus_path.clear();  // Threshold set but no corpus to fold into.
+  auto live = LiveEngine::Open(fx.corpus, fx.wal_path, std::move(options));
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  ASSERT_TRUE((*live)->Add("space2", "stars over the quiet moon").ok());
+  ASSERT_TRUE((*live)->Add("cars2", "a new engine for the automobile").ok());
+  EXPECT_EQ((*live)->stats().autocompacts, 0u);
+  EXPECT_EQ((*live)->stats().wal_records, 2u);
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+TEST(AutocompactTest, CompactionFailureNeverFailsTheWrite) {
+  Fixture fx("autocompact_fault");
+  auto live = LiveEngine::Open(fx.corpus, fx.wal_path, fx.Options(1));
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  LiveEngine& engine = **live;
+
+  ASSERT_TRUE(fault::FaultRegistry::Global()
+                  .ArmFromString("live.wal.autocompact=once@1")
+                  .ok());
+  // The write that trips the threshold is acknowledged even though the
+  // compaction it triggered was simulated away.
+  ASSERT_TRUE(engine.Add("space2", "the orbit station and the moon").ok());
+  EXPECT_EQ(engine.stats().autocompacts, 0u);
+  EXPECT_EQ(engine.stats().wal_records, 1u);
+
+  // Still over the threshold, fault expired: the next write compacts.
+  ASSERT_TRUE(engine.Add("cars2", "mechanics repaired the engine").ok());
+  EXPECT_EQ(engine.stats().autocompacts, 1u);
+  EXPECT_EQ(engine.stats().wal_records, 0u);
+  fault::FaultRegistry::Global().DisarmAll();
+  ASSERT_TRUE(engine.Close().ok());
+}
+
+}  // namespace
+}  // namespace lsi::live

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace lsi::serve {
 namespace {
 
@@ -114,6 +116,27 @@ TEST(QueryCacheTest, TtlExpiresEntries) {
   fake_now += std::chrono::milliseconds(2);
   EXPECT_FALSE(cache.Get("k").has_value());  // Expired and dropped.
   EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(QueryCacheTest, PartialResultsAreNeverAdmitted) {
+  QueryCache cache(SingleShard(1 << 20));
+  obs::Counter& rejected =
+      obs::MetricsRegistry::Global().GetCounter("lsi.serve.cache.partial_rejected");
+  const std::uint64_t before = rejected.value();
+
+  cache.Put("k", Hits("degraded"), /*is_partial=*/true);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(rejected.value(), before + 1);
+
+  // The same key admits a full result afterwards; a later partial Put
+  // must not evict or shadow it.
+  cache.Put("k", Hits("full"));
+  cache.Put("k", Hits("degraded"), /*is_partial=*/true);
+  auto hit = cache.Get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].document_name, "full0");
+  EXPECT_EQ(rejected.value(), before + 2);
 }
 
 TEST(QueryCacheTest, ClearDropsEverything) {

@@ -1,0 +1,60 @@
+#include "serve/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lsi::serve {
+namespace {
+
+TEST(ParseRetryAfterMsTest, DeltaSecondsConvertToMilliseconds) {
+  EXPECT_EQ(ParseRetryAfterMs("1"), 1000);
+  EXPECT_EQ(ParseRetryAfterMs("30"), 30000);
+  EXPECT_EQ(ParseRetryAfterMs("0"), 0);
+  EXPECT_EQ(ParseRetryAfterMs("  2  "), 2000);  // Surrounding space is fine.
+}
+
+TEST(ParseRetryAfterMsTest, GarbageAndHttpDatesAreRejected) {
+  EXPECT_EQ(ParseRetryAfterMs(""), -1);
+  EXPECT_EQ(ParseRetryAfterMs("   "), -1);
+  EXPECT_EQ(ParseRetryAfterMs("-5"), -1);
+  EXPECT_EQ(ParseRetryAfterMs("1.5"), -1);
+  EXPECT_EQ(ParseRetryAfterMs("1x"), -1);
+  // HTTP-date form is legal per RFC but not a delta; callers fall back
+  // to their own backoff.
+  EXPECT_EQ(ParseRetryAfterMs("Fri, 31 Dec 1999 23:59:59 GMT"), -1);
+}
+
+TEST(ParseRetryAfterMsTest, HugeValuesClampToADay) {
+  EXPECT_EQ(ParseRetryAfterMs("999999999"), 24L * 60 * 60 * 1000);
+}
+
+TEST(ParseDeadlineMsTest, ParsesMillisecondsWithClamp) {
+  EXPECT_EQ(ParseDeadlineMs("250"), 250);
+  EXPECT_EQ(ParseDeadlineMs("0"), 0);
+  EXPECT_EQ(ParseDeadlineMs("garbage"), -1);
+  EXPECT_EQ(ParseDeadlineMs("-1"), -1);
+  EXPECT_EQ(ParseDeadlineMs(""), -1);
+  EXPECT_EQ(ParseDeadlineMs("99999999999"), 60L * 60 * 1000);
+}
+
+TEST(BackoffMsTest, HonorsServerHintAndGrowsWithFailures) {
+  Rng rng(7);
+  // With a 1000ms hint, the first backoff jitters around the hint.
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t ms = BackoffMs(1000, 0, rng);
+    EXPECT_GE(ms, 500u);
+    EXPECT_LE(ms, 1500u);
+  }
+  // Without a hint, backoff starts small and doubles per failure, but
+  // never exceeds the 2s cap (plus 1.5x jitter).
+  for (std::uint32_t consecutive = 0; consecutive < 12; ++consecutive) {
+    const std::uint64_t ms = BackoffMs(-1, consecutive, rng);
+    EXPECT_LE(ms, 3000u) << consecutive;
+  }
+  std::uint64_t early = BackoffMs(-1, 0, rng);
+  EXPECT_LE(early, 15u);  // 10ms base, jitter <= 1.5x.
+}
+
+}  // namespace
+}  // namespace lsi::serve

@@ -1,0 +1,66 @@
+#include "shard/breaker.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lsi::shard {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+Breaker MakeBreaker(std::uint32_t threshold = 3) {
+  BreakerOptions options;
+  options.eject_threshold = threshold;
+  return Breaker(options, Rng(42));
+}
+
+TEST(BreakerTest, StartsHealthyAndDegradesBeforeEjecting) {
+  Breaker breaker = MakeBreaker(3);
+  const auto now = steady_clock::now();
+  EXPECT_EQ(breaker.state(), BreakerState::kHealthy);
+  EXPECT_EQ(breaker.OnFailure(-1, now), BreakerState::kDegraded);
+  EXPECT_EQ(breaker.OnFailure(-1, now), BreakerState::kDegraded);
+  EXPECT_EQ(breaker.OnFailure(-1, now), BreakerState::kEjected);
+  EXPECT_EQ(breaker.consecutive_failures(), 3u);
+}
+
+TEST(BreakerTest, SuccessClosesFromAnyState) {
+  Breaker breaker = MakeBreaker(2);
+  const auto now = steady_clock::now();
+  breaker.OnFailure(-1, now);
+  breaker.OnFailure(-1, now);
+  ASSERT_EQ(breaker.state(), BreakerState::kEjected);
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHealthy);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+}
+
+TEST(BreakerTest, EjectionSchedulesBackedOffProbe) {
+  Breaker breaker = MakeBreaker(1);
+  const auto now = steady_clock::now();
+  EXPECT_TRUE(breaker.ProbeDue(now));  // Healthy: always probeable.
+  breaker.OnFailure(/*retry_after_ms=*/1000, now);
+  ASSERT_EQ(breaker.state(), BreakerState::kEjected);
+  // The re-probe honors the server's Retry-After hint (jittered into
+  // [0.5x, 1.5x]), so it cannot be due immediately.
+  EXPECT_FALSE(breaker.ProbeDue(now));
+  EXPECT_GE(breaker.next_probe(), now + milliseconds(500));
+  EXPECT_LE(breaker.next_probe(), now + milliseconds(1500));
+  EXPECT_TRUE(breaker.ProbeDue(now + milliseconds(1500)));
+}
+
+TEST(BreakerTest, RepeatedFailuresBackOffFurtherUpToTheCap) {
+  Breaker breaker = MakeBreaker(1);
+  auto now = steady_clock::now();
+  for (int i = 0; i < 10; ++i) breaker.OnFailure(-1, now);
+  // Base 10ms doubled per post-threshold failure, capped at 2s x 1.5.
+  EXPECT_LE(breaker.next_probe(), now + milliseconds(3000));
+  EXPECT_GT(breaker.next_probe(), now);
+}
+
+}  // namespace
+}  // namespace lsi::shard

@@ -1,0 +1,155 @@
+#include "shard/shard_set.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "text/analyzer.h"
+#include "text/corpus.h"
+
+namespace lsi::shard {
+namespace {
+
+text::Corpus ThreeTopicCorpus() {
+  text::Analyzer analyzer;
+  text::Corpus corpus;
+  corpus.AddDocument("space1",
+                     analyzer.Analyze("the rocket launched toward the moon "
+                                      "carrying astronauts into orbit"));
+  corpus.AddDocument("space2",
+                     analyzer.Analyze("astronauts aboard the orbit station "
+                                      "watched the moon and the stars"));
+  corpus.AddDocument("cars1",
+                     analyzer.Analyze("the engine of the car roared as the "
+                                      "automobile sped down the road"));
+  corpus.AddDocument("cars2",
+                     analyzer.Analyze("mechanics repaired the engine and "
+                                      "the brakes of the old automobile"));
+  corpus.AddDocument("food1",
+                     analyzer.Analyze("simmer the garlic and tomatoes into "
+                                      "a sauce for the fresh pasta"));
+  corpus.AddDocument("food2",
+                     analyzer.Analyze("bake the bread with garlic butter "
+                                      "and serve with pasta and sauce"));
+  return corpus;
+}
+
+ShardSetOptions SmallOptions(std::size_t num_shards) {
+  ShardSetOptions options;
+  options.num_shards = num_shards;
+  options.engine.rank = 3;
+  options.engine.solver = core::SvdSolver::kJacobi;
+  return options;
+}
+
+TEST(ShardOfTest, RoundRobinCoversEveryShardExactlyOnce) {
+  const std::size_t n = 3;
+  std::vector<std::size_t> owned(n, 0);
+  for (std::size_t d = 0; d < 12; ++d) ++owned[ShardSet::ShardOf(d, n)];
+  for (std::size_t s = 0; s < n; ++s) EXPECT_EQ(owned[s], 4u) << s;
+}
+
+TEST(ShardSetTest, RejectsZeroShards) {
+  EXPECT_FALSE(ShardSet::Build(ThreeTopicCorpus(), SmallOptions(0)).ok());
+}
+
+TEST(ShardSetTest, EveryDocumentLivesInExactlyOneShard) {
+  auto set = ShardSet::Build(ThreeTopicCorpus(), SmallOptions(3));
+  ASSERT_TRUE(set.ok()) << set.status().message();
+  // Each shard answers queries only with the documents it owns.
+  for (std::size_t s = 0; s < set->num_shards(); ++s) {
+    auto hits = set->shard(s).Query("moon astronauts engine pasta", 10);
+    ASSERT_TRUE(hits.ok());
+    for (const core::EngineHit& hit : *hits) {
+      EXPECT_EQ(ShardSet::ShardOf(hit.document, set->num_shards()), s)
+          << "document " << hit.document << " leaked into shard " << s;
+    }
+  }
+}
+
+TEST(ShardSetTest, MergedQueryIsBitIdenticalToUnshardedEngine) {
+  const text::Corpus corpus = ThreeTopicCorpus();
+  auto unsharded = core::LsiEngine::Build(corpus, SmallOptions(1).engine);
+  ASSERT_TRUE(unsharded.ok());
+  const std::vector<std::string> queries = {
+      "astronauts near the moon", "repairing a car engine",
+      "garlic pasta sauce", "moon engine pasta"};
+  for (std::size_t n = 1; n <= 4; ++n) {
+    auto set = ShardSet::Build(corpus, SmallOptions(n));
+    ASSERT_TRUE(set.ok()) << set.status().message();
+    for (const std::string& query : queries) {
+      auto expected = unsharded->Query(query, 4);
+      ASSERT_TRUE(expected.ok());
+      auto merged = set->Query(query, 4);
+      ASSERT_TRUE(merged.ok()) << merged.status().message();
+      ASSERT_EQ(merged->size(), expected->size()) << n << " shards";
+      for (std::size_t i = 0; i < expected->size(); ++i) {
+        // Exact double equality is the point: shared latent space means
+        // the sharded scores ARE the unsharded scores.
+        EXPECT_EQ((*merged)[i].document, (*expected)[i].document);
+        EXPECT_EQ((*merged)[i].document_name, (*expected)[i].document_name);
+        EXPECT_EQ((*merged)[i].score, (*expected)[i].score);
+      }
+    }
+  }
+}
+
+TEST(ShardSetTest, QueryBatchMatchesPerQueryResults) {
+  auto set = ShardSet::Build(ThreeTopicCorpus(), SmallOptions(2));
+  ASSERT_TRUE(set.ok());
+  const std::vector<std::string> queries = {"astronauts near the moon",
+                                            "garlic pasta sauce"};
+  auto batch = set->QueryBatch(queries, 3);
+  ASSERT_TRUE(batch.ok()) << batch.status().message();
+  ASSERT_EQ(batch->size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto single = set->Query(queries[q], 3);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[q].size(), single->size());
+    for (std::size_t i = 0; i < single->size(); ++i) {
+      EXPECT_EQ((*batch)[q][i].document, (*single)[i].document);
+      EXPECT_EQ((*batch)[q][i].score, (*single)[i].score);
+    }
+  }
+}
+
+TEST(MergeTopKHitsTest, MergesByScoreThenDocumentId) {
+  auto hit = [](std::size_t doc, double score) {
+    core::EngineHit h;
+    h.document = doc;
+    h.document_name = "d" + std::to_string(doc);
+    h.score = score;
+    return h;
+  };
+  std::vector<std::vector<core::EngineHit>> sources;
+  sources.push_back({hit(0, 0.9), hit(2, 0.5)});
+  sources.push_back({hit(1, 0.9), hit(3, 0.7)});
+  auto merged = core::MergeTopKHits(std::move(sources), 3);
+  ASSERT_EQ(merged.size(), 3u);
+  // Tie at 0.9 breaks toward the lower document id, matching the
+  // unsharded engine's stable ranking.
+  EXPECT_EQ(merged[0].document, 0u);
+  EXPECT_EQ(merged[1].document, 1u);
+  EXPECT_EQ(merged[2].document, 3u);
+}
+
+TEST(MergeTopKHitsTest, ZeroTopKKeepsEverythingAndEmptyInputIsEmpty) {
+  EXPECT_TRUE(core::MergeTopKHits({}, 5).empty());
+  auto hit = [](std::size_t doc, double score) {
+    core::EngineHit h;
+    h.document = doc;
+    h.score = score;
+    return h;
+  };
+  std::vector<std::vector<core::EngineHit>> sources;
+  sources.push_back({hit(0, 0.1)});
+  sources.push_back({hit(1, 0.2), hit(2, 0.05)});
+  auto merged = core::MergeTopKHits(std::move(sources), 0);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].document, 1u);
+}
+
+}  // namespace
+}  // namespace lsi::shard

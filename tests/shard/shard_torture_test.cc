@@ -1,0 +1,345 @@
+// System-level torture drill for the scatter-gather router: three real
+// shard backends serve a ShardSet's slices over HTTP while client
+// threads hammer the router and a chaos sequence kills a backend,
+// injects backend faults, and stalls responses past the deadline.
+//
+// Invariants asserted on every single response:
+//   - a 200 WITHOUT X-Lsi-Partial is byte-identical to what the
+//     unsharded single-engine service answers (never a wrong answer
+//     dressed up as a full one);
+//   - a 200 WITH X-Lsi-Partial carries only hits whose (document,
+//     name, score) triples exist in the full baseline ranking, in
+//     strictly baseline-consistent order (a degraded answer is a
+//     correct subset, never fabricated);
+//   - everything else is 5xx load-shedding (503/504), never a 200.
+//
+// After the chaos stops and every backend heals, the router must
+// recover to byte-identical full answers.
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "core/engine.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "shard/router.h"
+#include "shard/shard_set.h"
+#include "text/analyzer.h"
+#include "text/corpus.h"
+
+namespace lsi::shard {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+text::Corpus TortureCorpus() {
+  // Three topics x four documents: enough that every one of three
+  // shards owns documents from several topics.
+  const char* const docs[][2] = {
+      {"space1", "the rocket launched toward the moon carrying astronauts"},
+      {"space2", "astronauts aboard the orbit station watched the stars"},
+      {"space3", "the lunar lander touched the moon surface near the crater"},
+      {"space4", "mission control guided the orbit of the rocket and lander"},
+      {"cars1", "the engine of the car roared as the automobile sped away"},
+      {"cars2", "mechanics repaired the engine and brakes of the automobile"},
+      {"cars3", "the driver steered the car through traffic on the highway"},
+      {"cars4", "the garage tuned the engine and polished the old car"},
+      {"food1", "simmer the garlic and tomatoes into a sauce for the pasta"},
+      {"food2", "bake the bread with garlic butter and serve with pasta"},
+      {"food3", "the chef seasoned the soup with basil garlic and pepper"},
+      {"food4", "knead the dough for fresh pasta and simmer the sauce"},
+  };
+  text::Analyzer analyzer;
+  text::Corpus corpus;
+  for (const auto& doc : docs) {
+    corpus.AddDocument(doc[0], analyzer.Analyze(doc[1]));
+  }
+  return corpus;
+}
+
+core::LsiEngineOptions EngineOptions() {
+  core::LsiEngineOptions options;
+  options.rank = 4;
+  options.solver = core::SvdSolver::kJacobi;
+  return options;
+}
+
+serve::ServerOptions Loopback(int port = 0) {
+  serve::ServerOptions options;
+  options.port = port;
+  options.host = "127.0.0.1";
+  options.threads = 3;
+  return options;
+}
+
+serve::HttpRequest QueryRequest(std::string body) {
+  serve::HttpRequest request;
+  request.method = "POST";
+  request.target = "/query";
+  request.version = "HTTP/1.1";
+  request.body = std::move(body);
+  request.keep_alive = true;
+  return request;
+}
+
+const std::string* FindHeader(const serve::HttpResponse& response,
+                              const std::string& name) {
+  for (const auto& [key, value] : response.extra_headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+/// One shard backend whose server can be killed and resurrected on the
+/// same port, and whose responses can be stalled past any deadline.
+class ChaosBackend {
+ public:
+  explicit ChaosBackend(const core::LsiEngine& engine)
+      : service_(std::make_unique<serve::LsiService>(engine)) {}
+
+  void Start(int port = 0) {
+    server_ = std::make_unique<serve::HttpServer>(
+        [this](const serve::HttpRequest& request,
+               steady_clock::time_point deadline) {
+          if (stall_.load()) {
+            std::this_thread::sleep_for(milliseconds(400));
+          }
+          return service_->Handle(request, deadline);
+        },
+        Loopback(port));
+    ASSERT_TRUE(server_->Start().ok());
+    if (port_ == 0) port_ = server_->port();
+  }
+
+  void Kill() {
+    if (server_ != nullptr) server_->Stop();
+    server_.reset();
+  }
+
+  void Resurrect() { Start(port_); }
+
+  void set_stall(bool stall) { stall_.store(stall); }
+  int port() const { return port_; }
+  std::string address() const { return "127.0.0.1:" + std::to_string(port_); }
+
+ private:
+  std::unique_ptr<serve::LsiService> service_;
+  std::unique_ptr<serve::HttpServer> server_;
+  std::atomic<bool> stall_{false};
+  int port_ = 0;
+};
+
+struct Baseline {
+  std::string body;  // Full unsharded response, byte for byte.
+  /// document id -> (name, exact score) for subset checks.
+  std::map<std::size_t, std::pair<std::string, double>> hits;
+};
+
+TEST(ShardTortureTest, RouterSurvivesKillsFaultsAndStallsThenHeals) {
+  const text::Corpus corpus = TortureCorpus();
+  auto set = ShardSet::Build(corpus, {3, EngineOptions()});
+  ASSERT_TRUE(set.ok()) << set.status().message();
+  auto unsharded = core::LsiEngine::Build(corpus, EngineOptions());
+  ASSERT_TRUE(unsharded.ok());
+  serve::LsiService baseline_service(*unsharded);
+
+  const std::vector<std::string> queries = {
+      "astronauts near the moon",  "repairing a car engine",
+      "garlic pasta sauce",        "rocket orbit lander",
+      "fresh pasta with garlic",   "car on the highway"};
+  // top_k covers the whole corpus so the per-query baseline map holds
+  // every document's exact global score — a degraded answer can then be
+  // checked hit by hit no matter which shards survived.
+  const std::size_t top_k = 12;
+
+  // Per-query ground truth from the single-engine service.
+  std::vector<Baseline> baselines;
+  std::vector<std::string> request_bodies;
+  for (const std::string& query : queries) {
+    const std::string body =
+        R"({"query": ")" + query + R"(", "top_k": )" +
+        std::to_string(top_k) + "}";
+    request_bodies.push_back(body);
+    serve::HttpResponse response = baseline_service.Handle(
+        QueryRequest(body), steady_clock::now() + milliseconds(5000));
+    ASSERT_EQ(response.status, 200) << response.body;
+    Baseline baseline;
+    baseline.body = response.body;
+    auto parsed = serve::JsonValue::Parse(response.body);
+    ASSERT_TRUE(parsed.ok());
+    for (const serve::JsonValue& hit : parsed->Find("hits")->array()) {
+      baseline.hits[static_cast<std::size_t>(hit.Find("document")->number())] =
+          {hit.Find("name")->string_value(), hit.Find("score")->number()};
+    }
+    baselines.push_back(std::move(baseline));
+  }
+
+  std::vector<std::unique_ptr<ChaosBackend>> backends;
+  for (std::size_t s = 0; s < set->num_shards(); ++s) {
+    backends.push_back(std::make_unique<ChaosBackend>(set->shard(s)));
+    backends.back()->Start();
+  }
+
+  RouterOptions options;
+  options.partial = PartialPolicy::kDegrade;
+  options.health_interval = milliseconds(50);
+  options.hedge_initial = milliseconds(150);
+  options.breaker.eject_threshold = 2;
+  options.cache.max_bytes = 0;  // No caching: every request scatters.
+  for (const auto& backend : backends) {
+    options.shards.push_back({backend->address()});
+  }
+  Router router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+
+  // A degraded 200 must be a baseline-consistent subset; a full 200
+  // must be the baseline itself.
+  std::atomic<std::size_t> full_count{0};
+  std::atomic<std::size_t> partial_count{0};
+  std::atomic<std::size_t> shed_count{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::string> violations;
+  std::mutex violations_mutex;
+  auto record_violation = [&](const std::string& what) {
+    violation.store(true);
+    std::lock_guard<std::mutex> lock(violations_mutex);
+    violations.push_back(what);
+  };
+
+  auto check_response = [&](std::size_t q, const serve::HttpResponse& response) {
+    const Baseline& baseline = baselines[q];
+    if (response.status == 503 || response.status == 504) {
+      shed_count.fetch_add(1);
+      return;
+    }
+    if (response.status != 200) {
+      record_violation("unexpected status " +
+                       std::to_string(response.status) + ": " +
+                       response.body);
+      return;
+    }
+    const bool partial = FindHeader(response, "X-Lsi-Partial") != nullptr;
+    if (!partial) {
+      full_count.fetch_add(1);
+      if (response.body != baseline.body) {
+        record_violation("full response diverged for query " +
+                         std::to_string(q) + ": " + response.body);
+      }
+      return;
+    }
+    partial_count.fetch_add(1);
+    auto parsed = serve::JsonValue::Parse(response.body);
+    if (!parsed.ok()) {
+      record_violation("unparseable partial body: " + response.body);
+      return;
+    }
+    double previous_score = 1e300;
+    for (const serve::JsonValue& hit : parsed->Find("hits")->array()) {
+      const auto doc = static_cast<std::size_t>(hit.Find("document")->number());
+      const double score = hit.Find("score")->number();
+      auto expected = baseline.hits.find(doc);
+      // Shared latent space: every degraded hit must carry the exact
+      // global score the full engine assigns that document. (top_k
+      // covers the whole corpus here, so every document is in the map.)
+      if (expected == baseline.hits.end() ||
+          expected->second.second != score ||
+          expected->second.first != hit.Find("name")->string_value()) {
+        record_violation("fabricated hit in partial response: " +
+                         response.body);
+        return;
+      }
+      if (score > previous_score) {
+        record_violation("partial hits out of order: " + response.body);
+        return;
+      }
+      previous_score = score;
+    }
+  };
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      std::size_t q = t;
+      while (!stop.load()) {
+        q = (q + 1) % request_bodies.size();
+        serve::HttpResponse response = router.Handle(
+            QueryRequest(request_bodies[q]),
+            steady_clock::now() + milliseconds(250));
+        check_response(q, response);
+      }
+    });
+  }
+
+  // Chaos phases, each ~200ms of traffic.
+  const auto phase = milliseconds(200);
+  std::this_thread::sleep_for(phase);  // 1: everything healthy.
+
+  backends[1]->Kill();                 // 2: one backend dead.
+  std::this_thread::sleep_for(phase);
+
+  ASSERT_TRUE(fault::FaultRegistry::Global()     // 3: plus flaky dispatch.
+                  .ArmFromString("shard.query.dispatch=every@3")
+                  .ok());
+  std::this_thread::sleep_for(phase);
+  fault::FaultRegistry::Global().DisarmAll();
+
+  backends[2]->set_stall(true);        // 4: plus a stalled backend.
+  std::this_thread::sleep_for(phase);
+  backends[2]->set_stall(false);
+
+  backends[1]->Resurrect();            // 5: heal everything.
+  std::this_thread::sleep_for(phase);
+
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+  {
+    std::lock_guard<std::mutex> lock(violations_mutex);
+    for (const std::string& v : violations) ADD_FAILURE() << v;
+  }
+  EXPECT_FALSE(violation.load());
+  // The drill actually exercised both degraded modes.
+  EXPECT_GT(full_count.load(), 0u);
+  EXPECT_GT(partial_count.load() + shed_count.load(), 0u);
+
+  // Recovery: with every backend healthy again, the router must return
+  // to byte-identical full answers (allow the probe loop a moment to
+  // close breakers).
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    router.ProbeNow();
+    serve::HttpResponse response = router.Handle(
+        QueryRequest(request_bodies[0]),
+        steady_clock::now() + milliseconds(2000));
+    recovered = response.status == 200 &&
+                FindHeader(response, "X-Lsi-Partial") == nullptr &&
+                response.body == baselines[0].body;
+    if (!recovered) std::this_thread::sleep_for(milliseconds(20));
+  }
+  EXPECT_TRUE(recovered) << "router did not heal to full results";
+  for (std::size_t q = 0; q < request_bodies.size(); ++q) {
+    serve::HttpResponse response = router.Handle(
+        QueryRequest(request_bodies[q]),
+        steady_clock::now() + milliseconds(2000));
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(FindHeader(response, "X-Lsi-Partial"), nullptr) << q;
+    EXPECT_EQ(response.body, baselines[q].body) << q;
+  }
+
+  router.Stop();
+  for (auto& backend : backends) backend->Kill();
+}
+
+}  // namespace
+}  // namespace lsi::shard

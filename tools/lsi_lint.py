@@ -51,13 +51,15 @@ Rules (scoped to library code under src/ unless noted):
                     users) live in tools/lsi_structcheck.py; this rule
                     is the fast per-line guard that keeps new mutexes
                     from landing unranked.
-  route-fault-point Every HTTP route dispatched in src/serve (a literal
-                    `path == "/x"` comparison) must declare a fault point
-                    named `serve.<x>.*`, so the fault-torture CI job can
-                    exercise its failure path. Routes that predate the
-                    fault registry (healthz, metrics, statusz, query,
-                    related) are grandfathered; every route added since
-                    ships with its kill switch.
+  route-fault-point Every HTTP route dispatched in src/serve or
+                    src/shard (a literal `path == "/x"` comparison) must
+                    declare a fault point named `serve.<x>.*` /
+                    `shard.<x>.*`, so the fault-torture CI job can
+                    exercise its failure path. serve routes that predate
+                    the fault registry (healthz, metrics, statusz,
+                    query, related) are grandfathered; every route added
+                    since — and every shard router route, with no
+                    grandfathering — ships with its kill switch.
 
 Findings print one per line as `path:line: rule: message`, or as a JSON
 array with --json. Exit status: 0 clean, 1 findings, 2 usage error.
@@ -162,11 +164,16 @@ FAULT_OPEN_RE = re.compile(r"\bLSI_FAULT_POINT\s*\([^)]*$")
 # A route dispatch in the service layer: `path == "/query"`.
 ROUTE_RE = re.compile(r'\bpath\s*==\s*"/([a-z0-9_]+)"')
 
-# Routes that predate the fault registry. Everything added after this
-# set was frozen must declare a `serve.<route>.*` fault point.
+# serve routes that predate the fault registry. Everything added after
+# this set was frozen must declare a `serve.<route>.*` fault point; the
+# shard router postdates the registry entirely, so no shard route is
+# grandfathered.
 GRANDFATHERED_ROUTES = frozenset(
     {"healthz", "metrics", "statusz", "query", "related"}
 )
+
+# Maps a source path to the fault-point namespace its routes must use.
+ROUTE_NAMESPACES = (("src/serve/", "serve"), ("src/shard/", "shard"))
 
 
 def strip_noncode(line: str) -> str:
@@ -205,14 +212,20 @@ def check_file(relpath: str, text: str, fault_points=None, routes=None):
     """Lints one file. `fault_points`, when given, is a dict the caller
     owns mapping fault-point name -> [(path, line)] call sites, filled
     in here so main() can police cross-file uniqueness. `routes` is the
-    same for dispatched HTTP routes: name -> [(path, line)], collected
-    from src/serve so main() can require a fault point per route."""
+    same for dispatched HTTP routes: (namespace, name) -> [(path, line)],
+    collected from src/serve and src/shard so main() can require a
+    fault point per route."""
     findings = []
     lines = text.splitlines()
-    if routes is not None and relpath.startswith("src/serve/"):
-        for lineno, raw in enumerate(lines, start=1):
-            for m in ROUTE_RE.finditer(strip_comments_keep_strings(raw)):
-                routes.setdefault(m.group(1), []).append((relpath, lineno))
+    if routes is not None:
+        for prefix, namespace in ROUTE_NAMESPACES:
+            if not relpath.startswith(prefix):
+                continue
+            for lineno, raw in enumerate(lines, start=1):
+                for m in ROUTE_RE.finditer(strip_comments_keep_strings(raw)):
+                    routes.setdefault((namespace, m.group(1)), []).append(
+                        (relpath, lineno)
+                    )
     if RULE_SCOPE["fault-point"](relpath):
         for lineno, raw in enumerate(lines, start=1):
             code = strip_comments_keep_strings(raw)
@@ -409,10 +422,10 @@ def main(argv=None) -> int:
                 }
                 if not suppressed(finding):
                     findings.append(finding)
-        for route, sites in sorted(routes.items()):
-            if route in GRANDFATHERED_ROUTES:
+        for (namespace, route), sites in sorted(routes.items()):
+            if namespace == "serve" and route in GRANDFATHERED_ROUTES:
                 continue
-            prefix = f"serve.{route}."
+            prefix = f"{namespace}.{route}."
             if any(name.startswith(prefix) for name in fault_points):
                 continue
             path, line = sites[0]
@@ -421,8 +434,8 @@ def main(argv=None) -> int:
                 "path": path,
                 "line": line,
                 "message": f'route "/{route}" declares no fault point '
-                f'named "{prefix}*"; every new serve route ships with a '
-                "kill switch the fault-torture job can arm",
+                f'named "{prefix}*"; every new {namespace} route ships '
+                "with a kill switch the fault-torture job can arm",
                 "snippet": "",
             }
             if not suppressed(finding):

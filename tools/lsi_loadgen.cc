@@ -45,6 +45,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "serve/json.h"
+#include "serve/retry.h"
 
 namespace {
 
@@ -161,13 +162,9 @@ bool ReadResponse(int fd, Response* out) {
     } else if (line.compare(0, 11, "connection:") == 0) {
       out->keep_alive = line.find("keep-alive") != std::string::npos;
     } else if (line.compare(0, 12, "retry-after:") == 0) {
-      // Delay-seconds form only (what the lsi server emits; the
-      // HTTP-date form is ignored).
-      char* end = nullptr;
-      const long seconds = std::strtol(line.c_str() + 12, &end, 10);
-      if (end != line.c_str() + 12 && seconds >= 0) {
-        out->retry_after_ms = seconds * 1000;
-      }
+      // Delay-seconds form only (what the lsi server emits); garbage
+      // and the HTTP-date form leave the field at -1 ("no hint").
+      out->retry_after_ms = lsi::serve::ParseRetryAfterMs(line.substr(12));
     }
     line_start = line_end + 2;
   }
@@ -228,24 +225,6 @@ struct WorkerStats {
   std::uint64_t retries = 0;
 };
 
-/// Backoff before retrying a 503: the server's Retry-After hint (or
-/// 10 ms without one) doubled per consecutive rejection, capped at 2 s,
-/// scaled by a uniform [0.5, 1.5) jitter so workers spread back out.
-std::uint64_t BackoffMs(long retry_after_ms, std::uint32_t consecutive,
-                        lsi::Rng& rng) {
-  constexpr std::uint64_t kDefaultBaseMs = 10;
-  constexpr std::uint64_t kCapMs = 2000;
-  const std::uint64_t base =
-      retry_after_ms >= 0 ? static_cast<std::uint64_t>(retry_after_ms)
-                          : kDefaultBaseMs;
-  const std::uint32_t exponent = std::min(consecutive, 6u);
-  const std::uint64_t scaled =
-      base >= kCapMs ? kCapMs
-                     : std::min(kCapMs, base << exponent);
-  return static_cast<std::uint64_t>(
-      static_cast<double>(scaled) * rng.Uniform(0.5, 1.5));
-}
-
 /// Sleeps up to `ms`, returning early once `stop` is set so a backed-off
 /// worker does not hold up the end of the run.
 void InterruptibleSleep(std::uint64_t ms, const std::atomic<bool>& stop) {
@@ -302,7 +281,9 @@ void RunWorker(const Options& options, std::size_t worker_index,
       // Honor the server's shed-load hint before retrying (the next
       // loop iteration re-sends); count the retry it causes.
       InterruptibleSleep(
-          BackoffMs(response.retry_after_ms, consecutive_503, rng), stop);
+          lsi::serve::BackoffMs(response.retry_after_ms, consecutive_503,
+                                rng),
+          stop);
       ++consecutive_503;
       ++stats->retries;
       continue;

@@ -81,6 +81,8 @@ ALLOWED_DEPS = {
     "live": {"dbg", "common", "core", "linalg", "obs", "par", "text"},
     "serve": {"dbg", "common", "core", "linalg", "live", "obs", "par",
               "text"},
+    "shard": {"dbg", "common", "core", "linalg", "live", "obs", "par",
+              "serve", "text"},
 }
 
 RANK_TABLE_PATH = "src/common/lock_ranks.h"

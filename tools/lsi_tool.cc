@@ -43,6 +43,25 @@
 //       drift crosses --drift-threshold radians. Drain order on signal:
 //       stop accepting, flush the pending epoch, close the WAL.
 //
+//   lsi_tool serve ... [--wal-compact-bytes=N] [--wal-compact-ops=N]
+//       Live mode only: once the WAL exceeds N committed bytes (or N
+//       records), the next acknowledged write folds it into corpus.tsv
+//       in-process and resets the log. Both default to 0 (off).
+//
+//   lsi_tool route --shard=host:port[,host:port...] [--shard=...]
+//                  [--port=N] [--host=A] [--deadline-ms=N]
+//                  [--partial=degrade|fail] [--hedge-min-ms=N]
+//                  [--hedge-initial-ms=N] [--health-interval-ms=N]
+//                  [--cache-mb=N]
+//       Scatter-gather router over shard backends (each one a
+//       `lsi_tool serve` holding that shard's slice). Every --shard
+//       names one shard; commas separate its replicas (first = primary,
+//       later = hedge targets). Serves POST /query, GET /healthz,
+//       /statusz, /metrics; /query fans out with the remaining deadline
+//       in X-Lsi-Deadline-Ms, hedges slow shards once after a
+//       p95-derived delay, and — under --partial=degrade — answers over
+//       the surviving shards with X-Lsi-Partial: true when some fail.
+//
 //   lsi_tool add <live-dir> <name> <text...>
 //       Appends one add record to <live-dir>/wal.log without starting a
 //       server; the next live serve (or compact) replays it.
@@ -88,6 +107,7 @@
 #include "par/par.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "shard/router.h"
 #include "text/corpus_io.h"
 
 namespace {
@@ -110,6 +130,16 @@ int Usage() {
                "  lsi_tool serve --live=<dir> [serve flags] [--rank=N]\n"
                "                 [--weighting=W] [--publish-every=N]\n"
                "                 [--refresh-ms=N] [--drift-threshold=R]\n"
+               "                 [--wal-compact-bytes=N] "
+               "[--wal-compact-ops=N]\n"
+               "  lsi_tool route --shard=host:port[,host:port...] "
+               "[--shard=...]\n"
+               "                 [--port=N] [--host=A] [--deadline-ms=N]\n"
+               "                 [--partial=degrade|fail] "
+               "[--hedge-min-ms=N]\n"
+               "                 [--hedge-initial-ms=N] "
+               "[--health-interval-ms=N]\n"
+               "                 [--cache-mb=N]\n"
                "  lsi_tool add <live-dir> <name> <text...>\n"
                "  lsi_tool compact <live-dir> [--reset-wal]\n"
                "\n"
@@ -427,6 +457,14 @@ int CommandServe(int argc, char** argv) {
       ok = ParseSizeValue(arg + 13, &refresh_ms) && refresh_ms > 0;
     } else if (std::strncmp(arg, "--drift-threshold=", 18) == 0) {
       ok = ParseDoubleValue(arg + 18, &live_options.drift_threshold_radians);
+    } else if (std::strncmp(arg, "--wal-compact-bytes=", 20) == 0) {
+      std::size_t bytes = 0;
+      ok = ParseSizeValue(arg + 20, &bytes);
+      live_options.wal_compact_bytes = bytes;
+    } else if (std::strncmp(arg, "--wal-compact-ops=", 18) == 0) {
+      std::size_t ops = 0;
+      ok = ParseSizeValue(arg + 18, &ops);
+      live_options.wal_compact_ops = ops;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown serve flag: %s\n", arg);
       return 2;
@@ -468,6 +506,7 @@ int CommandServe(int argc, char** argv) {
       return 1;
     }
     live_options.refresh_interval = std::chrono::milliseconds(refresh_ms);
+    live_options.corpus_path = live_dir + "/corpus.tsv";
     auto opened = lsi::live::LiveEngine::Open(
         std::move(corpus).value(), live_dir + "/wal.log", live_options);
     if (!opened.ok()) {
@@ -537,6 +576,116 @@ int CommandServe(int argc, char** argv) {
       return 1;
     }
   }
+  std::printf("drained, exiting\n");
+  return 0;
+}
+
+/// `route` subcommand: scatter-gather router over shard backends.
+int CommandRoute(int argc, char** argv) {
+  std::size_t port = SizeFromEnv("LSI_PORT", 8080);
+  std::size_t cache_mb = SizeFromEnv("LSI_CACHE_MB", 64);
+  std::size_t deadline_ms = SizeFromEnv("LSI_DEADLINE_MS", 2000);
+  std::string host = "0.0.0.0";
+  lsi::shard::RouterOptions options;
+
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    bool ok = true;
+    if (std::strncmp(arg, "--shard=", 8) == 0) {
+      // One --shard per shard; commas separate that shard's replicas.
+      std::vector<std::string> replicas;
+      std::string list = arg + 8;
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) {
+          replicas.push_back(list.substr(start, comma - start));
+        }
+        start = comma + 1;
+      }
+      ok = !replicas.empty();
+      if (ok) options.shards.push_back(std::move(replicas));
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      ok = ParseSizeValue(arg + 7, &port) && port <= 65535;
+    } else if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else if (std::strncmp(arg, "--cache-mb=", 11) == 0) {
+      ok = ParseSizeValue(arg + 11, &cache_mb);
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      ok = ParseSizeValue(arg + 14, &deadline_ms) && deadline_ms > 0;
+    } else if (std::strncmp(arg, "--partial=", 10) == 0) {
+      if (std::strcmp(arg + 10, "degrade") == 0) {
+        options.partial = lsi::shard::PartialPolicy::kDegrade;
+      } else if (std::strcmp(arg + 10, "fail") == 0) {
+        options.partial = lsi::shard::PartialPolicy::kFail;
+      } else {
+        ok = false;
+      }
+    } else if (std::strncmp(arg, "--hedge-min-ms=", 15) == 0) {
+      std::size_t ms = 0;
+      ok = ParseSizeValue(arg + 15, &ms);
+      options.hedge_min = std::chrono::milliseconds(ms);
+    } else if (std::strncmp(arg, "--hedge-initial-ms=", 19) == 0) {
+      std::size_t ms = 0;
+      ok = ParseSizeValue(arg + 19, &ms) && ms > 0;
+      options.hedge_initial = std::chrono::milliseconds(ms);
+    } else if (std::strncmp(arg, "--health-interval-ms=", 21) == 0) {
+      std::size_t ms = 0;
+      ok = ParseSizeValue(arg + 21, &ms) && ms > 0;
+      options.health_interval = std::chrono::milliseconds(ms);
+    } else {
+      std::fprintf(stderr, "unknown route flag: %s\n", arg);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value in flag: %s\n", arg);
+      return 2;
+    }
+  }
+  if (options.shards.empty()) {
+    std::fprintf(stderr, "route needs at least one --shard=host:port\n");
+    return 2;
+  }
+  options.cache.max_bytes = cache_mb * 1024 * 1024;
+
+  lsi::shard::Router router(std::move(options));
+  if (auto started = router.Start(); !started.ok()) {
+    std::fprintf(stderr, "route: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  lsi::serve::ServerOptions server_options;
+  server_options.port = static_cast<int>(port);
+  server_options.host = host;
+  server_options.threads = std::max<std::size_t>(4, lsi::par::Threads());
+  server_options.deadline = std::chrono::milliseconds(deadline_ms);
+  lsi::serve::HttpServer server(
+      [&router](const lsi::serve::HttpRequest& request,
+                std::chrono::steady_clock::time_point deadline) {
+        return router.Handle(request, deadline);
+      },
+      server_options);
+  if (auto started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "route: %s\n", started.ToString().c_str());
+    router.Stop();
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::printf("routing %zu shards on %s:%d\n", router.num_shards(),
+              host.c_str(), server.port());
+  std::fflush(stdout);
+
+  while (g_shutdown_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("shutdown signal received, draining\n");
+  std::fflush(stdout);
+  server.Stop();
+  router.Stop();
   std::printf("drained, exiting\n");
   return 0;
 }
@@ -669,6 +818,8 @@ int main(int argc, char** argv) {
     code = CommandStats(args_count, args_data, &dump_format);
   } else if (std::strcmp(args_data[1], "serve") == 0) {
     code = CommandServe(args_count, args_data);
+  } else if (std::strcmp(args_data[1], "route") == 0) {
+    code = CommandRoute(args_count, args_data);
   } else if (std::strcmp(args_data[1], "add") == 0) {
     code = CommandAdd(args_count, args_data);
   } else if (std::strcmp(args_data[1], "compact") == 0) {
